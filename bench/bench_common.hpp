@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every binary prints the series of one figure or table from the paper's
+// evaluation (DESIGN.md §5 maps ids to binaries). Run counts are modest by
+// default so `for b in build/bench/*; do $b; done` finishes in minutes;
+// export PMCAST_RUNS to tighten the confidence intervals.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace pmc::bench {
+
+inline std::size_t runs_per_point(std::size_t fallback) {
+  return env_size_t("PMCAST_RUNS", fallback);
+}
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& params) {
+  std::cout << "=====================================================\n"
+            << id << " — " << title << "\n"
+            << params << "\n"
+            << "=====================================================\n";
+}
+
+inline std::string pm(const Summary& s, int precision = 4) {
+  return Table::num(s.mean(), precision) + " ±" +
+         Table::num(s.ci95_halfwidth(), precision);
+}
+
+}  // namespace pmc::bench

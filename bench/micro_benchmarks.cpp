@@ -1,0 +1,169 @@
+// MICRO — engineering micro-benchmarks (google-benchmark): the operations on
+// pmcast's hot paths and the ablations DESIGN.md §6 calls out.
+//  * subscription matching (individual and regrouped summaries),
+//  * interest regrouping (exact interval union) and coarsened matching,
+//  * delegate election,
+//  * GroupTree construction and incremental membership updates,
+//  * Markov-chain / Pittel analysis evaluation,
+//  * one full simulated dissemination at a mid-size scale.
+#include <benchmark/benchmark.h>
+
+#include "analysis/markov.hpp"
+#include "analysis/tree_analysis.hpp"
+#include "harness/experiment.hpp"
+#include "membership/election.hpp"
+#include "membership/tree.hpp"
+
+namespace {
+
+using namespace pmc;
+
+void BM_SubscriptionMatch(benchmark::State& state) {
+  const auto sub = Subscription::parse(
+      "b > 1 && 20.0 < c && c < 30.0 && z <= 50000");
+  Event e;
+  e.with("b", 2).with("c", 25.0).with("z", 1000);
+  for (auto _ : state) benchmark::DoNotOptimize(sub.match(e));
+}
+BENCHMARK(BM_SubscriptionMatch);
+
+void BM_SummaryMatch(benchmark::State& state) {
+  // A regrouped summary over `range(0)` interval subscriptions: matching is
+  // a binary search over the merged interval set.
+  Rng rng(1);
+  InterestSummary summary;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    summary.merge(InterestSummary::from(
+        interval_subscription(rng.next_double(), 0.05)));
+  const Event e = make_event_at(0, 0, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(summary.match(e));
+}
+BENCHMARK(BM_SummaryMatch)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_NaiveDisjunctionMatch(benchmark::State& state) {
+  // Ablation baseline: matching the same interests WITHOUT regrouping is a
+  // linear scan over all subscriptions (what Sec. 2.3 tells us to avoid).
+  Rng rng(1);
+  std::vector<Subscription> subs;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    subs.push_back(interval_subscription(rng.next_double(), 0.05));
+  const Event e = make_event_at(0, 0, 0.5);
+  for (auto _ : state) {
+    bool any = false;
+    for (const auto& s : subs) any = any || s.match(e);
+    benchmark::DoNotOptimize(any);
+  }
+}
+BENCHMARK(BM_NaiveDisjunctionMatch)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_InterestRegrouping(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Subscription> subs;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    subs.push_back(interval_subscription(rng.next_double(), 0.1));
+  for (auto _ : state) {
+    InterestSummary summary;
+    for (const auto& s : subs) summary.merge(InterestSummary::from(s));
+    benchmark::DoNotOptimize(summary.complexity());
+  }
+}
+BENCHMARK(BM_InterestRegrouping)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DelegateElection(benchmark::State& state) {
+  Rng rng(3);
+  const auto space = AddressSpace::regular(64, 3);
+  const auto members = space.sample(static_cast<std::size_t>(state.range(0)),
+                                    rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(elect_delegates(members, 3));
+}
+BENCHMARK(BM_DelegateElection)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GroupTreeBuild(benchmark::State& state) {
+  const auto a = static_cast<AddrComponent>(state.range(0));
+  Rng rng(4);
+  const auto members =
+      uniform_interest_members(AddressSpace::regular(a, 3), 0.5, rng);
+  TreeConfig tc;
+  tc.depth = 3;
+  tc.redundancy = 3;
+  for (auto _ : state) {
+    GroupTree tree(tc, members);
+    benchmark::DoNotOptimize(tree.process_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(members.size()));
+}
+BENCHMARK(BM_GroupTreeBuild)->Arg(6)->Arg(12)->Arg(22)->Unit(benchmark::kMillisecond);
+
+void BM_GroupTreeChurn(benchmark::State& state) {
+  Rng rng(5);
+  const auto members =
+      uniform_interest_members(AddressSpace::regular(12, 3), 0.5, rng);
+  TreeConfig tc;
+  tc.depth = 3;
+  tc.redundancy = 3;
+  GroupTree tree(tc, members);
+  const Address victim = members[members.size() / 2].address;
+  const Subscription sub = members[members.size() / 2].subscription;
+  for (auto _ : state) {
+    tree.remove_member(victim);
+    tree.add_member(victim, sub);
+  }
+}
+BENCHMARK(BM_GroupTreeChurn);
+
+void BM_PittelEstimate(benchmark::State& state) {
+  const RoundEstimator est;
+  EnvParams env;
+  env.loss = 0.05;
+  double n = 10648.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.faulty(n, 2.0, env));
+  }
+}
+BENCHMARK(BM_PittelEstimate);
+
+void BM_MarkovChainExpectation(benchmark::State& state) {
+  const auto chain = InfectionChain::flat(
+      static_cast<std::size_t>(state.range(0)), 2.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chain.expected_infected(10, 1));
+}
+BENCHMARK(BM_MarkovChainExpectation)->Arg(22)->Arg(66)->Arg(200);
+
+void BM_TreeAnalysis(benchmark::State& state) {
+  TreeAnalysisParams p;
+  p.a = 22;
+  p.d = 3;
+  p.r = 3;
+  p.fanout = 2;
+  p.pd = 0.5;
+  p.env.loss = 0.05;
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_tree(p));
+}
+BENCHMARK(BM_TreeAnalysis);
+
+void BM_FullDisseminationRun(benchmark::State& state) {
+  // One complete single-event dissemination at n = a^3 per iteration
+  // (tree construction amortized by the harness across runs).
+  const auto a = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.a = a;
+    config.d = 3;
+    config.r = 3;
+    config.fanout = 2;
+    config.pd = 0.5;
+    config.loss = 0.05;
+    config.runs = 1;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(run_pmcast_experiment(config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a * a * a));
+}
+BENCHMARK(BM_FullDisseminationRun)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace

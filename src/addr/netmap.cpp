@@ -1,0 +1,97 @@
+#include "addr/netmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+
+namespace pmc {
+
+AddressSpace ipv4_space() {
+  return AddressSpace(std::vector<AddrComponent>(4, 256));
+}
+
+Address from_ipv4(const std::string& dotted_quad) {
+  const Address a = Address::parse(dotted_quad);
+  if (a.depth() != 4)
+    throw std::invalid_argument("IPv4 address needs 4 components: " +
+                                dotted_quad);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (a.component(i) > 255)
+      throw std::invalid_argument("IPv4 component > 255 in " + dotted_quad);
+  }
+  return a;
+}
+
+Address from_ipv4_port(const std::string& dotted_quad, std::uint16_t port) {
+  const Address base = from_ipv4(dotted_quad);
+  std::vector<AddrComponent> comps = base.components();
+  comps.push_back(static_cast<AddrComponent>(port >> 4));  // 2^12 buckets
+  return Address(std::move(comps));
+}
+
+std::string to_ipv4(const Address& address) {
+  PMC_EXPECTS(address.depth() == 4);
+  for (std::size_t i = 0; i < 4; ++i) PMC_EXPECTS(address.component(i) < 256);
+  return address.to_string();
+}
+
+namespace {
+
+std::vector<std::string> split_labels(const std::string& name) {
+  std::vector<std::string> labels;
+  std::string current;
+  for (const char c : name) {
+    if (c == '.') {
+      if (!current.empty()) labels.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) labels.push_back(std::move(current));
+  return labels;
+}
+
+std::uint64_t hash_label(const std::string& label, std::uint64_t salt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Finalize through splitmix so low bits are well mixed for the modulo.
+  return SplitMix64(h).next();
+}
+
+}  // namespace
+
+Address from_dns(const std::string& name, const AddressSpace& space) {
+  auto labels = split_labels(name);
+  if (labels.empty()) throw std::invalid_argument("empty DNS name");
+  std::reverse(labels.begin(), labels.end());  // TLD first -> shared prefixes
+
+  const std::size_t depth = space.depth();
+  std::vector<AddrComponent> comps(depth);
+  for (std::size_t level = 0; level < depth; ++level) {
+    std::uint64_t h;
+    if (level < labels.size()) {
+      h = hash_label(labels[level], level);
+      // The deepest level folds in any remaining labels so two hosts with a
+      // long common prefix but different tails still differ.
+      if (level == depth - 1) {
+        for (std::size_t extra = depth; extra < labels.size(); ++extra)
+          h ^= hash_label(labels[extra], extra);
+      }
+    } else {
+      // Shorter name than the tree is deep: pad by re-hashing the whole
+      // name per level (deterministic, collision-resistant enough).
+      h = hash_label(name, 0xabcd0000ULL + level);
+    }
+    comps[level] = static_cast<AddrComponent>(h % space.arity(level));
+  }
+  return Address(std::move(comps));
+}
+
+}  // namespace pmc

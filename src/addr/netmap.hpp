@@ -1,0 +1,43 @@
+// Mapping real network identifiers onto pmcast addresses (paper Sec. 2.2).
+//
+// The paper's address form x(1)....x(d) "can represent different kinds of
+// addresses, like IP or DNS addresses (in the latter case, the order would
+// have to be inverted)". These helpers perform those mappings:
+//   * IPv4 dotted-quad -> depth-4 address with a_i = 256 (optionally a
+//     fifth component for a port bucket, the paper's 2^12-ports example);
+//   * DNS names -> logical addresses by hashing the *reversed* label
+//     sequence ("lpdmail.epfl.ch" -> ch.epfl.lpdmail), so processes in the
+//     same domain share prefixes and thus subgroups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "addr/address.hpp"
+#include "addr/space.hpp"
+
+namespace pmc {
+
+/// The IPv4 address space: d = 4, a_i = 256.
+AddressSpace ipv4_space();
+
+/// Parses "128.178.73.3" into a depth-4 address with components < 256.
+/// Throws std::invalid_argument for malformed or out-of-range quads.
+Address from_ipv4(const std::string& dotted_quad);
+
+/// IPv4 plus a port bucket: depth-5 address whose last component is
+/// port >> 4 (2^12 buckets — the paper's example granularity).
+Address from_ipv4_port(const std::string& dotted_quad, std::uint16_t port);
+
+/// Renders a depth-4 address back to dotted-quad notation.
+/// Precondition: depth 4, all components < 256.
+std::string to_ipv4(const Address& address);
+
+/// Maps a DNS name onto a logical address of the given space by hashing
+/// each label of the *reversed* name into the corresponding level
+/// (deterministically): machines under the same domain suffix share
+/// prefixes. Names with fewer labels than the space depth are padded by
+/// re-hashing; extra labels fold into the deepest component.
+Address from_dns(const std::string& name, const AddressSpace& space);
+
+}  // namespace pmc

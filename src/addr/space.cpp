@@ -1,0 +1,72 @@
+#include "addr/space.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace pmc {
+
+AddressSpace::AddressSpace(std::vector<AddrComponent> arities)
+    : arities_(std::move(arities)) {
+  PMC_EXPECTS(!arities_.empty());
+  for (const auto a : arities_) PMC_EXPECTS(a > 0);
+}
+
+AddressSpace AddressSpace::regular(AddrComponent a, std::size_t d) {
+  PMC_EXPECTS(d > 0);
+  return AddressSpace(std::vector<AddrComponent>(d, a));
+}
+
+std::uint64_t AddressSpace::capacity() const noexcept {
+  std::uint64_t cap = 1;
+  for (const auto a : arities_) {
+    if (cap > std::numeric_limits<std::uint64_t>::max() / a)
+      return std::numeric_limits<std::uint64_t>::max();
+    cap *= a;
+  }
+  return cap;
+}
+
+bool AddressSpace::valid(const Address& a) const noexcept {
+  if (a.depth() != arities_.size()) return false;
+  for (std::size_t i = 0; i < arities_.size(); ++i)
+    if (a.component(i) >= arities_[i]) return false;
+  return true;
+}
+
+Address AddressSpace::at(std::uint64_t index) const {
+  PMC_EXPECTS(index < capacity());
+  std::vector<AddrComponent> comps(arities_.size());
+  for (std::size_t i = arities_.size(); i-- > 0;) {
+    comps[i] = static_cast<AddrComponent>(index % arities_[i]);
+    index /= arities_[i];
+  }
+  return Address(std::move(comps));
+}
+
+std::vector<Address> AddressSpace::enumerate() const {
+  const std::uint64_t cap = capacity();
+  std::vector<Address> out;
+  out.reserve(static_cast<std::size_t>(cap));
+  for (std::uint64_t i = 0; i < cap; ++i) out.push_back(at(i));
+  return out;
+}
+
+std::vector<Address> AddressSpace::sample(std::size_t count, Rng& rng) const {
+  const std::uint64_t cap = capacity();
+  PMC_EXPECTS(count <= cap);
+  // Floyd's algorithm: O(count) memory even for huge address spaces.
+  std::unordered_set<std::uint64_t> ranks;
+  ranks.reserve(count);
+  for (std::uint64_t j = cap - count; j < cap; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    ranks.insert(ranks.count(t) ? j : t);
+  }
+  std::vector<Address> out;
+  out.reserve(count);
+  for (const auto r : ranks) out.push_back(at(r));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pmc

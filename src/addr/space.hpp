@@ -1,0 +1,51 @@
+// Address-space descriptors and address generators.
+//
+// The analysis model of the paper (Sec. 4.1) uses a "regular" tree: every
+// prefix has exactly `a` populated children, so n = a^d. AddressSpace also
+// supports per-level arities (Eq. 1's a_i) and sparse population for
+// irregular trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "addr/address.hpp"
+#include "common/rng.hpp"
+
+namespace pmc {
+
+class AddressSpace {
+ public:
+  /// Per-level arities a_1..a_d.
+  explicit AddressSpace(std::vector<AddrComponent> arities);
+
+  /// Regular space: d levels of arity a (analysis model, n = a^d).
+  static AddressSpace regular(AddrComponent a, std::size_t d);
+
+  std::size_t depth() const noexcept { return arities_.size(); }
+  AddrComponent arity(std::size_t level) const {
+    PMC_EXPECTS(level < arities_.size());
+    return arities_[level];
+  }
+
+  /// Total number of representable addresses (prod a_i), saturating.
+  std::uint64_t capacity() const noexcept;
+
+  bool valid(const Address& a) const noexcept;
+
+  /// All addresses of the space in lexicographic order. Use only for spaces
+  /// whose capacity fits in memory (the simulation configs do).
+  std::vector<Address> enumerate() const;
+
+  /// `count` distinct addresses drawn uniformly without replacement.
+  /// Precondition: count <= capacity().
+  std::vector<Address> sample(std::size_t count, Rng& rng) const;
+
+  /// The address at lexicographic rank `index` (mixed-radix decoding).
+  Address at(std::uint64_t index) const;
+
+ private:
+  std::vector<AddrComponent> arities_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,76 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+double log_binomial(double n, double k) {
+  PMC_EXPECTS(k >= 0.0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+InfectionChain::InfectionChain(std::size_t n, double p_receive)
+    : n_(n), p_(p_receive) {
+  PMC_EXPECTS(n >= 1);
+  PMC_EXPECTS(p_receive >= 0.0 && p_receive <= 1.0);
+}
+
+InfectionChain InfectionChain::flat(std::size_t n, double fanout,
+                                    const EnvParams& env) {
+  PMC_EXPECTS(n >= 1);
+  double p = 0.0;
+  if (n > 1) {
+    p = (fanout / static_cast<double>(n - 1)) * (1.0 - env.loss) *
+        (1.0 - env.crash);
+    if (p > 1.0) p = 1.0;  // fanout >= group size: everyone is contacted
+    if (p < 0.0) p = 0.0;
+  }
+  return InfectionChain(n, p);
+}
+
+double InfectionChain::transition(std::size_t j, std::size_t k) const {
+  if (j > n_ || k > n_ || k < j) return 0.0;
+  if (j == 0) return k == 0 ? 1.0 : 0.0;
+  const double q = 1.0 - p_;
+  if (q <= 0.0) return k == n_ ? 1.0 : 0.0;  // p == 1: total infection
+  const double qj = std::pow(q, static_cast<double>(j));
+  const double infect = 1.0 - qj;  // a given susceptible gets infected
+  const auto nj = static_cast<double>(n_ - j);
+  const auto kj = static_cast<double>(k - j);
+  if (infect <= 0.0) return k == j ? 1.0 : 0.0;  // p == 0: frozen
+  const double log_p = log_binomial(nj, kj) +
+                       kj * std::log(infect) +
+                       (nj - kj) * std::log(qj);
+  return std::exp(log_p);
+}
+
+std::vector<double> InfectionChain::distribution_after(
+    std::size_t rounds, std::size_t initial) const {
+  PMC_EXPECTS(initial <= n_);
+  std::vector<double> dist(n_ + 1, 0.0);
+  dist[initial] = 1.0;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    std::vector<double> next(n_ + 1, 0.0);
+    for (std::size_t j = 0; j <= n_; ++j) {
+      if (dist[j] <= 0.0) continue;
+      for (std::size_t k = j; k <= n_; ++k)
+        next[k] += dist[j] * transition(j, k);
+    }
+    dist = std::move(next);
+  }
+  return dist;
+}
+
+double InfectionChain::expected_infected(std::size_t rounds,
+                                         std::size_t initial) const {
+  const auto dist = distribution_after(rounds, initial);
+  double e = 0.0;
+  for (std::size_t k = 0; k <= n_; ++k)
+    e += static_cast<double>(k) * dist[k];
+  return e;
+}
+
+}  // namespace pmc

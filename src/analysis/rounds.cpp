@@ -1,0 +1,29 @@
+#include "analysis/rounds.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+double RoundEstimator::pittel(double n, double fanout) const {
+  if (n <= 1.0 || fanout <= 0.0) return 0.0;
+  const double t =
+      std::log(n) * (1.0 / fanout + 1.0 / std::log(fanout + 1.0)) + c_;
+  return t > 0.0 ? t : 0.0;
+}
+
+double RoundEstimator::faulty(double n, double fanout,
+                              const EnvParams& env) const {
+  PMC_EXPECTS(env.loss >= 0.0 && env.loss < 1.0);
+  PMC_EXPECTS(env.crash >= 0.0 && env.crash < 1.0);
+  const double keep = (1.0 - env.loss) * (1.0 - env.crash);
+  return pittel(n * keep, fanout * keep);
+}
+
+std::size_t RoundEstimator::executed_rounds(double t) {
+  if (t <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(t));
+}
+
+}  // namespace pmc

@@ -1,0 +1,126 @@
+#include "analysis/tree_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+TreeAnalysisResult analyze_tree(const TreeAnalysisParams& params) {
+  PMC_EXPECTS(params.a >= 1 && params.d >= 1 && params.r >= 1);
+  PMC_EXPECTS(params.pd >= 0.0 && params.pd <= 1.0);
+
+  const RoundEstimator estimator(params.pittel_c);
+  const auto a = static_cast<double>(params.a);
+
+  TreeAnalysisResult out;
+  out.depths.reserve(params.d);
+
+  double expected_g = 1.0;  // g_0 = 1: the root subgroup starts infected
+  for (std::size_t i = 1; i <= params.d; ++i) {
+    DepthAnalysis da;
+    da.depth = i;
+    // Eq. 7: a delegate of depth i represents a^(d-i) processes.
+    const double represented =
+        std::pow(a, static_cast<double>(params.d - i));
+    da.pi = 1.0 - std::pow(1.0 - params.pd, represented);
+    // Eq. 12: view sizes.
+    da.mi = (i < params.d) ? static_cast<double>(params.r) * a : a;
+    da.interested = da.mi * da.pi;
+
+    // Eq. 11/13: rounds spent gossiping at this depth.
+    da.rounds = estimator.faulty(da.interested, params.fanout * da.pi,
+                                 params.env);
+    const std::size_t executed = RoundEstimator::executed_rounds(da.rounds);
+
+    // Eq. 14: expected infected among the interested after T_i rounds.
+    const auto group = static_cast<std::size_t>(
+        std::max(1.0, std::round(da.interested)));
+    const auto chain = InfectionChain::flat(
+        group, params.fanout * da.pi, params.env);
+    da.expected_infected = chain.expected_infected(executed);
+
+    // Eq. 15: a "node" (R delegates of one subtree; a single process at the
+    // leaves) is infected when at least one of its members is.
+    const double frac =
+        da.interested > 0.0
+            ? std::min(1.0, da.expected_infected / da.interested)
+            : 0.0;
+    const double exponent = da.mi / a;  // R for i < d, 1 for i = d
+    da.ri = 1.0 - std::pow(1.0 - frac, exponent);
+
+    // Eqs. 16-18 in expectation: each of the E[g_{i-1}] infected entities
+    // has a children, of which a*p_i are interested, each reached w.p. r_i.
+    expected_g *= a * da.pi * da.ri;
+    da.expected_gi = expected_g;
+
+    out.total_rounds += da.rounds;
+    out.depths.push_back(da);
+  }
+
+  out.expected_infected = expected_g;
+  const double n_pd =
+      std::pow(a, static_cast<double>(params.d)) * params.pd;
+  out.reliability =
+      n_pd > 0.0 ? std::clamp(expected_g / n_pd, 0.0, 1.0) : 0.0;
+  return out;
+}
+
+std::vector<std::vector<double>> tree_infection_distribution(
+    const TreeAnalysisParams& params, std::size_t max_states) {
+  const auto base = analyze_tree(params);  // supplies p_i and r_i per depth
+  const auto a = static_cast<double>(params.a);
+
+  std::vector<std::vector<double>> out;
+  // g_0 = 1 with certainty.
+  std::vector<double> prev{0.0, 1.0};
+  for (const auto& depth : base.depths) {
+    // Given g_{i-1} = j infected parent entities, the number of *interested*
+    // child nodes in play is round(j * a * p_i), each independently infected
+    // with probability r_i (Eq. 16).
+    const double per_parent = a * depth.pi;
+    const auto max_children = static_cast<std::size_t>(
+        std::round(static_cast<double>(prev.size() - 1) * per_parent));
+    if (max_children + 1 > max_states)
+      throw std::logic_error(
+          "tree_infection_distribution: state space exceeds max_states");
+    std::vector<double> cur(max_children + 1, 0.0);
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      if (prev[j] <= 0.0) continue;
+      const auto targets = static_cast<std::size_t>(
+          std::round(static_cast<double>(j) * per_parent));
+      if (targets == 0) {
+        cur[0] += prev[j];
+        continue;
+      }
+      const double ri = std::clamp(depth.ri, 0.0, 1.0);
+      for (std::size_t k = 0; k <= targets; ++k) {
+        double log_p;
+        if (ri <= 0.0) {
+          if (k != 0) continue;
+          log_p = 0.0;
+        } else if (ri >= 1.0) {
+          if (k != targets) continue;
+          log_p = 0.0;
+        } else {
+          log_p = log_binomial(static_cast<double>(targets),
+                               static_cast<double>(k)) +
+                  static_cast<double>(k) * std::log(ri) +
+                  static_cast<double>(targets - k) * std::log(1.0 - ri);
+        }
+        cur[k] += prev[j] * std::exp(log_p);
+      }
+    }
+    out.push_back(cur);
+    prev = std::move(cur);
+  }
+  return out;
+}
+
+std::size_t regular_view_size(std::size_t a, std::size_t d, std::size_t r) {
+  PMC_EXPECTS(a >= 1 && d >= 1 && r >= 1);
+  return r * a * (d - 1) + a;
+}
+
+}  // namespace pmc

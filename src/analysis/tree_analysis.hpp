@@ -1,0 +1,65 @@
+// Stochastic analysis of pmcast on a regular tree (paper Sec. 4.3).
+//
+// For a regular tree with branch factor a, depth d, redundancy R, fanout F
+// and per-process interest probability p_d:
+//   p_i  = 1 - (1-p_d)^(a^(d-i))                (Eq. 7 — delegate interest)
+//   m_i  = R*a for i < d, a for i = d           (Eq. 12 — view sizes)
+//   T_i  = Tf(m_i p_i, F p_i)                   (Eq. 11/13 — rounds per depth)
+//   E[s_Ti] from the flat-group chain           (Eq. 14)
+//   r_i  = 1 - (1 - E[s_Ti]/(m_i p_i))^(m_i/a)  (Eq. 15 — node infected;
+//          the exponent m_i/a is R for inner depths and 1 at the leaves)
+//   E[g_i] = E[g_{i-1}] * a p_i r_i             (Eqs. 16-18, expectations)
+// Reliability degree = E[g_d] / (n p_d).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/markov.hpp"
+#include "analysis/rounds.hpp"
+
+namespace pmc {
+
+struct TreeAnalysisParams {
+  std::size_t a = 22;       ///< branch factor (subgroups per node)
+  std::size_t d = 3;        ///< tree depth
+  std::size_t r = 3;        ///< delegates per subgroup (R)
+  double fanout = 2.0;      ///< gossip fanout F
+  double pd = 0.5;          ///< fraction of interested processes
+  EnvParams env;            ///< ε, τ
+  double pittel_c = 0.0;    ///< additive constant of Eq. 3
+};
+
+struct DepthAnalysis {
+  std::size_t depth = 0;       ///< i in [1, d]
+  double pi = 0.0;             ///< Eq. 7
+  double mi = 0.0;             ///< Eq. 12 view size
+  double interested = 0.0;     ///< m_i * p_i
+  double rounds = 0.0;         ///< T_i (real-valued Pittel estimate)
+  double expected_infected = 0.0;  ///< E[s_Ti]
+  double ri = 0.0;             ///< Eq. 15
+  double expected_gi = 0.0;    ///< E[g_i]
+};
+
+struct TreeAnalysisResult {
+  std::vector<DepthAnalysis> depths;  ///< one entry per depth 1..d
+  double total_rounds = 0.0;          ///< Eq. 13, sum of T_i
+  double expected_infected = 0.0;     ///< E[g_d] (Eq. 18)
+  double reliability = 0.0;           ///< E[g_d] / (n p_d), clamped to [0,1]
+};
+
+TreeAnalysisResult analyze_tree(const TreeAnalysisParams& params);
+
+/// Full distribution of infected entities per depth (Eqs. 16-17):
+/// result[i-1][k] = P[g_i = k] for depth i, with g_0 = 1. The state space
+/// at depth i has up to round(a^i * p_i) + 1 entries, so this is intended
+/// for small trees (the expectation path in analyze_tree covers large
+/// ones); `max_states` guards the cost and throws std::logic_error beyond.
+std::vector<std::vector<double>> tree_infection_distribution(
+    const TreeAnalysisParams& params, std::size_t max_states = 4096);
+
+/// Per-process membership knowledge m = R a (d-1) + a in a regular tree
+/// (Eq. 2/12) — the membership-scalability claim.
+std::size_t regular_view_size(std::size_t a, std::size_t d, std::size_t r);
+
+}  // namespace pmc

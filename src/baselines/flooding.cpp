@@ -1,0 +1,78 @@
+#include "baselines/flooding.hpp"
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+FloodingNode::FloodingNode(Runtime& rt, ProcessId pid, FloodingConfig config,
+                           Subscription subscription,
+                           std::shared_ptr<const std::vector<ProcessId>> peers)
+    : Process(rt, pid),
+      config_(config),
+      subscription_(std::move(subscription)),
+      peers_(std::move(peers)),
+      estimator_(config.pittel_c) {
+  PMC_EXPECTS(peers_ != nullptr);
+  PMC_EXPECTS(config_.fanout >= 1);
+  PMC_EXPECTS(config_.period > 0);
+}
+
+void FloodingNode::broadcast(Event event) {
+  PMC_EXPECTS(alive());
+  auto ev = std::make_shared<const Event>(std::move(event));
+  seen_.insert(ev->id());
+  deliver_if_interested(*ev);
+  buffer(Entry{std::move(ev), 0});
+}
+
+void FloodingNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  const auto* gossip = dynamic_cast<const FloodGossipMsg*>(msg.get());
+  if (gossip == nullptr) return;
+  if (!seen_.insert(gossip->event->id()).second) return;
+  ++stats_.received;
+  deliver_if_interested(*gossip->event);
+  buffer(Entry{gossip->event, gossip->round});
+}
+
+void FloodingNode::on_period() {
+  const double bound = estimator_.faulty(
+      static_cast<double>(peers_->size()),
+      static_cast<double>(config_.fanout), config_.env_estimate);
+  auto it = buffer_.begin();
+  while (it != buffer_.end()) {
+    if (static_cast<double>(it->round) >= bound) {
+      it = buffer_.erase(it);
+      continue;
+    }
+    ++it->round;
+    const std::size_t picks =
+        std::min<std::size_t>(config_.fanout, peers_->size());
+    const auto chosen =
+        rng().sample_without_replacement(peers_->size(), picks);
+    for (const auto ci : chosen) {
+      const ProcessId target = (*peers_)[ci];
+      if (target == id()) continue;
+      auto m = std::make_shared<FloodGossipMsg>();
+      m->event = it->event;
+      m->round = it->round;
+      send(target, std::move(m));
+      ++stats_.gossips_sent;
+    }
+    ++it;
+  }
+  if (buffer_.empty()) disarm_periodic();
+}
+
+void FloodingNode::buffer(Entry entry) {
+  buffer_.push_back(std::move(entry));
+  if (!periodic_armed()) arm_periodic(config_.period);
+}
+
+void FloodingNode::deliver_if_interested(const Event& e) {
+  if (!subscription_.match(e)) return;
+  if (!delivered_.insert(e.id()).second) return;
+  ++stats_.delivered;
+  if (deliver_) deliver_(e);
+}
+
+}  // namespace pmc

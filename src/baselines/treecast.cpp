@@ -1,0 +1,69 @@
+#include "baselines/treecast.hpp"
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+TreecastNode::TreecastNode(Runtime& rt, ProcessId pid, TreecastConfig config,
+                           Address self, Subscription subscription,
+                           const ViewProvider& views, Directory directory)
+    : Process(rt, pid),
+      config_(config),
+      self_(std::move(self)),
+      subscription_(std::move(subscription)),
+      views_(&views),
+      directory_(std::move(directory)) {
+  config_.tree.validate();
+  PMC_EXPECTS(self_.depth() == config_.tree.depth);
+  PMC_EXPECTS(directory_ != nullptr);
+}
+
+void TreecastNode::multicast(Event event) {
+  PMC_EXPECTS(alive());
+  auto ev = std::make_shared<const Event>(std::move(event));
+  seen_.insert(ev->id());
+  deliver_if_interested(*ev);
+  forward_from(ev, 1);
+}
+
+void TreecastNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  const auto* m = dynamic_cast<const TreecastMsg*>(msg.get());
+  if (m == nullptr) return;
+  PMC_EXPECTS(m->event != nullptr);
+  if (!seen_.insert(m->event->id()).second) return;
+  ++stats_.received;
+  deliver_if_interested(*m->event);
+  if (m->depth <= config_.tree.depth) forward_from(m->event, m->depth);
+}
+
+void TreecastNode::forward_from(const std::shared_ptr<const Event>& event,
+                                std::size_t start_depth) {
+  for (std::size_t depth = start_depth; depth <= config_.tree.depth;
+       ++depth) {
+    const DepthView& view = views_->view(self_, depth);
+    const AddrComponent own_infix = self_.component(depth - 1);
+    for (const auto& row : view.rows()) {
+      if (!row.alive || row.delegates.empty()) continue;
+      if (!row.interests.match(*event)) continue;
+      if (depth < config_.tree.depth && row.infix == own_infix)
+        continue;  // our own branch: we keep descending ourselves
+      if (row.delegates.front() == self_) continue;
+      const ProcessId target = directory_(row.delegates.front());
+      if (target == kNoProcess) continue;
+      auto msg = std::make_shared<TreecastMsg>();
+      msg->event = event;
+      msg->depth = static_cast<std::uint32_t>(depth + 1);
+      send(target, std::move(msg));
+      ++stats_.forwards;
+    }
+  }
+}
+
+void TreecastNode::deliver_if_interested(const Event& e) {
+  if (!subscription_.match(e)) return;
+  if (!delivered_.insert(e.id()).second) return;
+  ++stats_.delivered;
+  if (deliver_) deliver_(e);
+}
+
+}  // namespace pmc

@@ -1,0 +1,59 @@
+// Streaming statistics used by the experiment harness: Welford accumulators
+// for mean/variance with normal-approximation confidence intervals, and a
+// small exact-quantile summary for per-run metrics (run counts are modest,
+// so storing samples is acceptable and keeps quantiles exact).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pmc {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const noexcept;
+  /// Half-width of the 95% confidence interval (normal approximation).
+  double ci95_halfwidth() const noexcept { return 1.959964 * stderr_mean(); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples for exact quantiles; intended for <= a few thousand runs.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept { return acc_.mean(); }
+  double stddev() const noexcept { return acc_.stddev(); }
+  double ci95_halfwidth() const noexcept { return acc_.ci95_halfwidth(); }
+  double min() const noexcept { return acc_.min(); }
+  double max() const noexcept { return acc_.max(); }
+
+  /// Linear-interpolation quantile, q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  Accumulator acc_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,41 @@
+#include "event/event.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmc {
+
+Event& Event::with(std::string name, Value value) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, const std::string& n) { return a.name < n; });
+  if (it != attrs_.end() && it->name == name) {
+    it->value = std::move(value);
+  } else {
+    attrs_.insert(it, Attribute{std::move(name), std::move(value)});
+  }
+  return *this;
+}
+
+std::optional<Value> Event::get(std::string_view name) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const Attribute& a, std::string_view n) { return a.name < n; });
+  if (it != attrs_.end() && it->name == name) return it->value;
+  return std::nullopt;
+}
+
+std::string Event::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& a : attrs_) {
+    if (!first) os << ", ";
+    first = false;
+    os << a.name << "=" << a.value.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pmc

@@ -1,0 +1,52 @@
+#include "event/value.hpp"
+
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+ValueKind Value::kind() const noexcept {
+  switch (rep_.index()) {
+    case 0: return ValueKind::Int;
+    case 1: return ValueKind::Float;
+    default: return ValueKind::String;
+  }
+}
+
+double Value::as_double() const {
+  PMC_EXPECTS(is_numeric());
+  if (kind() == ValueKind::Int)
+    return static_cast<double>(std::get<std::int64_t>(rep_));
+  return std::get<double>(rep_);
+}
+
+std::int64_t Value::as_int() const {
+  PMC_EXPECTS(kind() == ValueKind::Int);
+  return std::get<std::int64_t>(rep_);
+}
+
+const std::string& Value::as_string() const {
+  PMC_EXPECTS(kind() == ValueKind::String);
+  return std::get<std::string>(rep_);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  const bool a_str = a.kind() == ValueKind::String;
+  const bool b_str = b.kind() == ValueKind::String;
+  if (a_str != b_str) return false;
+  if (a_str) return a.as_string() == b.as_string();
+  return a.as_double() == b.as_double();
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case ValueKind::Int: os << as_int(); break;
+    case ValueKind::Float: os << as_double(); break;
+    case ValueKind::String: os << '"' << as_string() << '"'; break;
+  }
+  return os.str();
+}
+
+}  // namespace pmc

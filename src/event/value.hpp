@@ -1,0 +1,48 @@
+// Typed attribute values for content-based publish/subscribe events.
+//
+// The paper's example subscriptions (Fig. 2) range over integer (b, z),
+// floating-point (c) and string (e) attributes; Value models exactly those
+// three kinds. Numeric comparisons are performed in double precision so that
+// an integer event attribute can satisfy a floating-point range constraint
+// and vice versa, matching the paper's free mixing of b (int) and c (float).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace pmc {
+
+enum class ValueKind { Int, Float, String };
+
+class Value {
+ public:
+  Value() : rep_(std::int64_t{0}) {}
+  Value(std::int64_t v) : rep_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : rep_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  ValueKind kind() const noexcept;
+  bool is_numeric() const noexcept { return kind() != ValueKind::String; }
+
+  /// Numeric view; precondition: is_numeric().
+  double as_double() const;
+  /// Integer view; precondition: kind() == ValueKind::Int.
+  std::int64_t as_int() const;
+  /// String view; precondition: kind() == ValueKind::String.
+  const std::string& as_string() const;
+
+  /// Equality is kind-aware for strings, numeric-valued for int/float
+  /// (so Value(2) == Value(2.0)).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::int64_t, double, std::string> rep_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,147 @@
+#include "filter/interval.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+namespace {
+
+/// Orders lower bounds: a closed bound at x precedes an open bound at x.
+bool lo_less(double a_lo, bool a_open, double b_lo, bool b_open) {
+  if (a_lo != b_lo) return a_lo < b_lo;
+  return !a_open && b_open;
+}
+
+/// Orders upper bounds: an open bound at x precedes a closed bound at x.
+bool hi_less(double a_hi, bool a_open, double b_hi, bool b_open) {
+  if (a_hi != b_hi) return a_hi < b_hi;
+  return a_open && !b_open;
+}
+
+}  // namespace
+
+Interval Interval::intersect(const Interval& o) const noexcept {
+  Interval r = *this;
+  if (lo_less(r.lo, r.lo_open, o.lo, o.lo_open)) {
+    r.lo = o.lo;
+    r.lo_open = o.lo_open;
+  }
+  if (hi_less(o.hi, o.hi_open, r.hi, r.hi_open)) {
+    r.hi = o.hi;
+    r.hi_open = o.hi_open;
+  }
+  return r;
+}
+
+bool Interval::covers(const Interval& o) const noexcept {
+  if (o.empty()) return true;
+  if (empty()) return false;
+  const bool lo_ok = !lo_less(o.lo, o.lo_open, lo, lo_open);
+  const bool hi_ok = !hi_less(hi, hi_open, o.hi, o.hi_open);
+  return lo_ok && hi_ok;
+}
+
+bool Interval::mergeable(const Interval& o) const noexcept {
+  if (empty() || o.empty()) return true;
+  // Sort so a starts no later than b.
+  const Interval& a = lo_less(lo, lo_open, o.lo, o.lo_open) ? *this : o;
+  const Interval& b = (&a == this) ? o : *this;
+  // Disjoint iff a ends strictly before b starts with a gap: either
+  // a.hi < b.lo, or a.hi == b.lo with both bounds open (the point escapes).
+  if (a.hi < b.lo) return false;
+  if (a.hi == b.lo && a.hi_open && b.lo_open) return false;
+  return true;
+}
+
+Interval Interval::merge(const Interval& o) const noexcept {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  Interval r = *this;
+  if (lo_less(o.lo, o.lo_open, r.lo, r.lo_open)) {
+    r.lo = o.lo;
+    r.lo_open = o.lo_open;
+  }
+  if (hi_less(r.hi, r.hi_open, o.hi, o.hi_open)) {
+    r.hi = o.hi;
+    r.hi_open = o.hi_open;
+  }
+  return r;
+}
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << (lo_open ? '(' : '[') << lo << ", " << hi << (hi_open ? ')' : ']');
+  return os.str();
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(ivs_.size() + 1);
+  bool placed = false;
+  for (const auto& cur : ivs_) {
+    if (iv.mergeable(cur)) {
+      iv = iv.merge(cur);
+    } else if (lo_less(cur.lo, cur.lo_open, iv.lo, iv.lo_open)) {
+      out.push_back(cur);
+    } else {
+      if (!placed) {
+        out.push_back(iv);
+        placed = true;
+      }
+      out.push_back(cur);
+    }
+  }
+  if (!placed) out.push_back(iv);
+  ivs_ = std::move(out);
+}
+
+void IntervalSet::insert_all(const IntervalSet& o) {
+  for (const auto& iv : o.ivs_) insert(iv);
+}
+
+bool IntervalSet::contains(double x) const noexcept {
+  // Binary search on lower bounds, then check the candidate interval.
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), x,
+      [](double v, const Interval& iv) { return v < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  return std::prev(it)->contains(x);
+}
+
+bool IntervalSet::covers(const Interval& o) const noexcept {
+  if (o.empty()) return true;
+  // Canonical form: disjoint, non-mergeable intervals. A single interval o is
+  // covered iff some one member covers it (a gap otherwise leaks a point).
+  return std::any_of(ivs_.begin(), ivs_.end(),
+                     [&](const Interval& iv) { return iv.covers(o); });
+}
+
+bool IntervalSet::covers(const IntervalSet& o) const noexcept {
+  return std::all_of(o.ivs_.begin(), o.ivs_.end(),
+                     [&](const Interval& iv) { return covers(iv); });
+}
+
+Interval IntervalSet::bounding() const {
+  PMC_EXPECTS(!ivs_.empty());
+  Interval r = ivs_.front();
+  r.hi = ivs_.back().hi;
+  r.hi_open = ivs_.back().hi_open;
+  return r;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < ivs_.size(); ++i) {
+    if (i) os << " ∪ ";
+    os << ivs_[i].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pmc

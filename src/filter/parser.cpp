@@ -1,0 +1,297 @@
+#include "filter/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace pmc {
+
+namespace {
+
+enum class Tok {
+  End, Ident, Int, Float, String, LParen, RParen,
+  AndAnd, OrOr, Bang, Eq, Ne, Lt, Le, Gt, Ge, True, False,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier / string payload
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const noexcept { return cur_; }
+
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("interest parse error at offset " +
+                                std::to_string(cur_.pos) + ": " + msg);
+  }
+
+ private:
+  void advance() {
+    while (i_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[i_])))
+      ++i_;
+    cur_ = Token{};
+    cur_.pos = i_;
+    if (i_ >= src_.size()) return;  // End
+
+    const char c = src_[i_];
+    if (c == '(') { cur_.kind = Tok::LParen; ++i_; return; }
+    if (c == ')') { cur_.kind = Tok::RParen; ++i_; return; }
+    if (c == '&') { expect_pair('&'); cur_.kind = Tok::AndAnd; return; }
+    if (c == '|') { expect_pair('|'); cur_.kind = Tok::OrOr; return; }
+    if (c == '!') {
+      ++i_;
+      if (i_ < src_.size() && src_[i_] == '=') { cur_.kind = Tok::Ne; ++i_; }
+      else cur_.kind = Tok::Bang;
+      return;
+    }
+    if (c == '=') {
+      ++i_;
+      if (i_ < src_.size() && src_[i_] == '=') ++i_;  // "=" and "==" alias
+      cur_.kind = Tok::Eq;
+      return;
+    }
+    if (c == '<') {
+      ++i_;
+      if (i_ < src_.size() && src_[i_] == '=') { cur_.kind = Tok::Le; ++i_; }
+      else cur_.kind = Tok::Lt;
+      return;
+    }
+    if (c == '>') {
+      ++i_;
+      if (i_ < src_.size() && src_[i_] == '=') { cur_.kind = Tok::Ge; ++i_; }
+      else cur_.kind = Tok::Gt;
+      return;
+    }
+    if (c == '"') { lex_string(); return; }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+' || c == '.') {
+      lex_number();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      lex_ident();
+      return;
+    }
+    throw std::invalid_argument("interest parse error at offset " +
+                                std::to_string(i_) +
+                                ": unexpected character '" + c + "'");
+  }
+
+  void expect_pair(char c) {
+    if (i_ + 1 >= src_.size() || src_[i_ + 1] != c)
+      throw std::invalid_argument("interest parse error at offset " +
+                                  std::to_string(i_) + ": expected '" +
+                                  std::string(2, c) + "'");
+    i_ += 2;
+  }
+
+  void lex_string() {
+    ++i_;  // opening quote
+    std::string out;
+    while (i_ < src_.size() && src_[i_] != '"') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;  // escape
+      out.push_back(src_[i_]);
+      ++i_;
+    }
+    if (i_ >= src_.size())
+      throw std::invalid_argument("interest parse error: unterminated string");
+    ++i_;  // closing quote
+    cur_.kind = Tok::String;
+    cur_.text = std::move(out);
+  }
+
+  void lex_number() {
+    const std::size_t start = i_;
+    if (src_[i_] == '-' || src_[i_] == '+') ++i_;
+    bool is_float = false;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (std::isdigit(static_cast<unsigned char>(c))) { ++i_; continue; }
+      if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++i_;
+        if ((c == 'e' || c == 'E') && i_ < src_.size() &&
+            (src_[i_] == '-' || src_[i_] == '+'))
+          ++i_;
+        continue;
+      }
+      break;
+    }
+    const std::string_view lexeme = src_.substr(start, i_ - start);
+    if (is_float) {
+      cur_.kind = Tok::Float;
+      cur_.float_val = std::stod(std::string(lexeme));
+    } else {
+      cur_.kind = Tok::Int;
+      std::int64_t v = 0;
+      const auto res =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+      if (res.ec != std::errc{})
+        throw std::invalid_argument("interest parse error: bad integer '" +
+                                    std::string(lexeme) + "'");
+      cur_.int_val = v;
+    }
+  }
+
+  void lex_ident() {
+    const std::size_t start = i_;
+    while (i_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[i_])) ||
+            src_[i_] == '_'))
+      ++i_;
+    cur_.text = std::string(src_.substr(start, i_ - start));
+    if (cur_.text == "true") cur_.kind = Tok::True;
+    else if (cur_.text == "false") cur_.kind = Tok::False;
+    else cur_.kind = Tok::Ident;
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  Token cur_;
+};
+
+struct Operand {
+  bool is_attr = false;
+  std::string attr;
+  Value value;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  PredicatePtr parse() {
+    auto p = parse_or();
+    if (lex_.peek().kind != Tok::End) lex_.fail("trailing input");
+    return p;
+  }
+
+ private:
+  PredicatePtr parse_or() {
+    std::vector<PredicatePtr> parts{parse_and()};
+    while (lex_.peek().kind == Tok::OrOr) {
+      lex_.take();
+      parts.push_back(parse_and());
+    }
+    return Predicate::disj(std::move(parts));
+  }
+
+  PredicatePtr parse_and() {
+    std::vector<PredicatePtr> parts{parse_unary()};
+    while (lex_.peek().kind == Tok::AndAnd) {
+      lex_.take();
+      parts.push_back(parse_unary());
+    }
+    return Predicate::conj(std::move(parts));
+  }
+
+  PredicatePtr parse_unary() {
+    if (lex_.peek().kind == Tok::Bang) {
+      lex_.take();
+      return Predicate::negation(parse_unary());
+    }
+    return parse_primary();
+  }
+
+  PredicatePtr parse_primary() {
+    switch (lex_.peek().kind) {
+      case Tok::LParen: {
+        lex_.take();
+        auto p = parse_or();
+        if (lex_.peek().kind != Tok::RParen) lex_.fail("expected ')'");
+        lex_.take();
+        return p;
+      }
+      case Tok::True: lex_.take(); return Predicate::wildcard();
+      case Tok::False: lex_.take(); return Predicate::never();
+      default: return parse_chain();
+    }
+  }
+
+  // operand (cmpop operand)+ — pairwise conjunction for chains.
+  PredicatePtr parse_chain() {
+    std::vector<Operand> operands{parse_operand()};
+    std::vector<CmpOp> ops;
+    while (auto op = peek_cmp()) {
+      lex_.take();
+      ops.push_back(*op);
+      operands.push_back(parse_operand());
+    }
+    if (ops.empty()) lex_.fail("expected comparison operator");
+    std::vector<PredicatePtr> cmps;
+    cmps.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      cmps.push_back(make_compare(operands[i], ops[i], operands[i + 1]));
+    return Predicate::conj(std::move(cmps));
+  }
+
+  std::optional<CmpOp> peek_cmp() const {
+    switch (lex_.peek().kind) {
+      case Tok::Eq: return CmpOp::Eq;
+      case Tok::Ne: return CmpOp::Ne;
+      case Tok::Lt: return CmpOp::Lt;
+      case Tok::Le: return CmpOp::Le;
+      case Tok::Gt: return CmpOp::Gt;
+      case Tok::Ge: return CmpOp::Ge;
+      default: return std::nullopt;
+    }
+  }
+
+  Operand parse_operand() {
+    const Token t = lex_.take();
+    Operand o;
+    switch (t.kind) {
+      case Tok::Ident:
+        o.is_attr = true;
+        o.attr = t.text;
+        break;
+      case Tok::Int: o.value = Value(t.int_val); break;
+      case Tok::Float: o.value = Value(t.float_val); break;
+      case Tok::String: o.value = Value(t.text); break;
+      default: lex_.fail("expected attribute or literal");
+    }
+    return o;
+  }
+
+  PredicatePtr make_compare(const Operand& lhs, CmpOp op, const Operand& rhs) {
+    if (lhs.is_attr == rhs.is_attr)
+      lex_.fail("comparison must relate one attribute to one literal");
+    if (lhs.is_attr) return Predicate::compare(lhs.attr, op, rhs.value);
+    // Literal on the left: mirror the operator ("10.0 < c" == "c > 10.0").
+    CmpOp mirrored = op;
+    switch (op) {
+      case CmpOp::Lt: mirrored = CmpOp::Gt; break;
+      case CmpOp::Le: mirrored = CmpOp::Ge; break;
+      case CmpOp::Gt: mirrored = CmpOp::Lt; break;
+      case CmpOp::Ge: mirrored = CmpOp::Le; break;
+      default: break;  // Eq/Ne symmetric
+    }
+    return Predicate::compare(rhs.attr, mirrored, lhs.value);
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+PredicatePtr parse_predicate(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace pmc

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the textual interest language.
+//
+//   expr        := or
+//   or          := and ( "||" and )*
+//   and         := unary ( "&&" unary )*
+//   unary       := "!" unary | primary
+//   primary     := "(" expr ")" | "true" | "false" | chain
+//   chain       := operand ( cmpop operand )+      (chains conjoin pairwise,
+//                                                   e.g. "10.0 < c < 220.0")
+//   operand     := identifier | literal
+//   cmpop       := "==" | "=" | "!=" | "<" | "<=" | ">" | ">="
+//   literal     := integer | float | '"' chars '"'
+//
+// Each comparison must relate exactly one attribute to one literal
+// (either side). Throws std::invalid_argument with position info on error.
+#pragma once
+
+#include <string_view>
+
+#include "filter/predicate.hpp"
+
+namespace pmc {
+
+PredicatePtr parse_predicate(std::string_view text);
+
+}  // namespace pmc

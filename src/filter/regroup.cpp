@@ -1,0 +1,385 @@
+#include "filter/regroup.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+// ---------------------------------------------------------------------------
+// Clause
+// ---------------------------------------------------------------------------
+
+void Clause::constrain_numeric(const std::string& attr, const Interval& iv) {
+  auto [it, inserted] = numeric_.try_emplace(attr, iv);
+  if (!inserted) it->second = it->second.intersect(iv);
+  if (it->second.empty()) contradictory_ = true;
+  // A numeric constraint and a string constraint on the same attribute can
+  // never both hold (an attribute value has one kind).
+  if (strings_.count(attr) != 0) contradictory_ = true;
+}
+
+void Clause::constrain_string(const std::string& attr,
+                              std::vector<std::string> allowed) {
+  std::sort(allowed.begin(), allowed.end());
+  allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+  auto it = strings_.find(attr);
+  if (it == strings_.end()) {
+    it = strings_.emplace(attr, std::move(allowed)).first;
+  } else {
+    std::vector<std::string> both;
+    std::set_intersection(it->second.begin(), it->second.end(),
+                          allowed.begin(), allowed.end(),
+                          std::back_inserter(both));
+    it->second = std::move(both);
+  }
+  if (it->second.empty()) contradictory_ = true;
+  if (numeric_.count(attr) != 0) contradictory_ = true;
+}
+
+bool Clause::match(const Event& e) const {
+  if (contradictory_) return false;
+  for (const auto& [attr, iv] : numeric_) {
+    const auto v = e.get(attr);
+    if (!v || !v->is_numeric() || !iv.contains(v->as_double())) return false;
+  }
+  for (const auto& [attr, allowed] : strings_) {
+    const auto v = e.get(attr);
+    if (!v || v->kind() != ValueKind::String) return false;
+    if (!std::binary_search(allowed.begin(), allowed.end(), v->as_string()))
+      return false;
+  }
+  return true;
+}
+
+bool Clause::subsumes(const Clause& o) const {
+  if (o.contradictory_) return true;
+  if (contradictory_) return false;
+  // Every constraint of *this must be implied by o's constraint on the same
+  // attribute: o must constrain the attribute at least as tightly.
+  for (const auto& [attr, iv] : numeric_) {
+    const auto it = o.numeric_.find(attr);
+    if (it == o.numeric_.end() || !iv.covers(it->second)) return false;
+  }
+  for (const auto& [attr, allowed] : strings_) {
+    const auto it = o.strings_.find(attr);
+    if (it == o.strings_.end()) return false;
+    if (!std::includes(allowed.begin(), allowed.end(), it->second.begin(),
+                       it->second.end()))
+      return false;
+  }
+  return true;
+}
+
+std::string Clause::to_string() const {
+  if (contradictory_) return "false";
+  if (unconstrained()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [attr, iv] : numeric_) {
+    if (!first) os << " && ";
+    first = false;
+    os << attr << " in " << iv.to_string();
+  }
+  for (const auto& [attr, allowed] : strings_) {
+    if (!first) os << " && ";
+    first = false;
+    os << attr << " in {";
+    for (std::size_t i = 0; i < allowed.size(); ++i) {
+      if (i) os << ", ";
+      os << '"' << allowed[i] << '"';
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// DNF conversion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Interval for a single numeric comparison; nullopt when the comparison is
+/// not interval-shaped (numeric Ne — union of two rays, handled by caller).
+std::optional<Interval> comparison_interval(CmpOp op, double v) {
+  switch (op) {
+    case CmpOp::Eq: return Interval::point(v);
+    case CmpOp::Lt: return Interval::at_most(v, /*open=*/true);
+    case CmpOp::Le: return Interval::at_most(v, /*open=*/false);
+    case CmpOp::Gt: return Interval::at_least(v, /*open=*/true);
+    case CmpOp::Ge: return Interval::at_least(v, /*open=*/false);
+    case CmpOp::Ne: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Clause> intersect_clauses(const Clause& a, const Clause& b) {
+  Clause out = a;
+  for (const auto& [attr, iv] : b.numeric()) out.constrain_numeric(attr, iv);
+  for (const auto& [attr, allowed] : b.strings())
+    out.constrain_string(attr, allowed);
+  if (out.contradictory()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<Clause>> to_dnf(const PredicatePtr& pred,
+                                          std::size_t max_clauses) {
+  PMC_EXPECTS(pred != nullptr);
+  using Kind = Predicate::Kind;
+  switch (pred->kind()) {
+    case Kind::True: return std::vector<Clause>{Clause{}};
+    case Kind::False: return std::vector<Clause>{};
+    case Kind::Not: return std::nullopt;  // negation over a complex subtree
+    case Kind::Compare: {
+      const auto& v = pred->value();
+      if (v.kind() == ValueKind::String) {
+        if (pred->op() == CmpOp::Eq) {
+          Clause c;
+          c.constrain_string(pred->attr(), {v.as_string()});
+          return std::vector<Clause>{std::move(c)};
+        }
+        return std::nullopt;  // string !=, <, ... not clause-representable
+      }
+      const double x = v.as_double();
+      if (pred->op() == CmpOp::Ne) {
+        Clause below, above;
+        below.constrain_numeric(pred->attr(),
+                                Interval::at_most(x, /*open=*/true));
+        above.constrain_numeric(pred->attr(),
+                                Interval::at_least(x, /*open=*/true));
+        return std::vector<Clause>{std::move(below), std::move(above)};
+      }
+      Clause c;
+      c.constrain_numeric(pred->attr(), *comparison_interval(pred->op(), x));
+      return std::vector<Clause>{std::move(c)};
+    }
+    case Kind::Or: {
+      std::vector<Clause> out;
+      for (const auto& child : pred->children()) {
+        auto sub = to_dnf(child, max_clauses);
+        if (!sub) return std::nullopt;
+        out.insert(out.end(), std::make_move_iterator(sub->begin()),
+                   std::make_move_iterator(sub->end()));
+        if (out.size() > max_clauses) return std::nullopt;
+      }
+      return out;
+    }
+    case Kind::And: {
+      std::vector<Clause> acc{Clause{}};
+      for (const auto& child : pred->children()) {
+        auto sub = to_dnf(child, max_clauses);
+        if (!sub) return std::nullopt;
+        std::vector<Clause> next;
+        for (const auto& a : acc) {
+          for (const auto& b : *sub) {
+            if (auto merged = intersect_clauses(a, b))
+              next.push_back(std::move(*merged));
+            if (next.size() > max_clauses) return std::nullopt;
+          }
+        }
+        acc = std::move(next);
+        if (acc.empty()) break;  // contradiction, short-circuit
+      }
+      return acc;
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// InterestSummary
+// ---------------------------------------------------------------------------
+
+InterestSummary InterestSummary::from(const Subscription& sub,
+                                      const RegroupOptions& opts) {
+  InterestSummary s;
+  if (sub.is_wildcard()) {
+    s.wildcard_ = true;
+    return s;
+  }
+  auto dnf = to_dnf(sub.predicate(), opts.max_dnf_clauses);
+  if (!dnf) {
+    s.opaque_.push_back(sub.predicate());
+    return s;
+  }
+  for (auto& clause : *dnf) s.add_clause(std::move(clause), opts);
+  s.prune_subsumed();
+  return s;
+}
+
+void InterestSummary::add_clause(Clause c, const RegroupOptions& opts) {
+  if (c.contradictory()) return;
+  if (c.unconstrained()) {
+    wildcard_ = true;
+    return;
+  }
+  if (c.attribute_count() == 1) {
+    // Tier 1/2: fold single-attribute clauses into per-attribute unions.
+    if (!c.numeric().empty()) {
+      const auto& [attr, iv] = *c.numeric().begin();
+      numeric_[attr].insert(iv);
+    } else {
+      const auto& [attr, allowed] = *c.strings().begin();
+      auto& dst = strings_[attr];
+      std::vector<std::string> merged;
+      std::set_union(dst.begin(), dst.end(), allowed.begin(), allowed.end(),
+                     std::back_inserter(merged));
+      dst = std::move(merged);
+    }
+    return;
+  }
+  clauses_.push_back(std::move(c));
+  if (clauses_.size() > opts.max_clauses) coarsen();
+}
+
+void InterestSummary::merge(const InterestSummary& other,
+                            const RegroupOptions& opts) {
+  if (other.wildcard_) wildcard_ = true;
+  if (wildcard_) return;
+  for (const auto& [attr, ivs] : other.numeric_) numeric_[attr].insert_all(ivs);
+  for (const auto& [attr, allowed] : other.strings_) {
+    auto& dst = strings_[attr];
+    std::vector<std::string> merged;
+    std::set_union(dst.begin(), dst.end(), allowed.begin(), allowed.end(),
+                   std::back_inserter(merged));
+    dst = std::move(merged);
+  }
+  for (const auto& c : other.clauses_) add_clause(c, opts);
+  opaque_.insert(opaque_.end(), other.opaque_.begin(), other.opaque_.end());
+  prune_subsumed();
+}
+
+void InterestSummary::prune_subsumed() {
+  if (wildcard_) return;
+  // Drop multi-attribute clauses already implied by a tier-1/2 union or by
+  // a weaker clause. Quadratic in clause count, which stays small by budget.
+  std::vector<Clause> kept;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const Clause& c = clauses_[i];
+    bool redundant = false;
+    for (const auto& [attr, iv] : c.numeric()) {
+      const auto it = numeric_.find(attr);
+      if (it != numeric_.end() && it->second.covers(iv)) {
+        redundant = true;  // the single-attribute union already matches
+        break;
+      }
+    }
+    if (!redundant) {
+      for (std::size_t j = 0; j < clauses_.size() && !redundant; ++j) {
+        if (j == i) continue;
+        // Tie-break equal clauses by index so exactly one copy survives.
+        if (clauses_[j].subsumes(c) &&
+            !(c.subsumes(clauses_[j]) && i < j)) {
+          redundant = true;
+        }
+      }
+    }
+    if (!redundant) kept.push_back(c);
+  }
+  clauses_ = std::move(kept);
+}
+
+bool InterestSummary::match(const Event& e) const {
+  if (wildcard_) return true;
+  for (const auto& [attr, ivs] : numeric_) {
+    const auto v = e.get(attr);
+    if (v && v->is_numeric() && ivs.contains(v->as_double())) return true;
+  }
+  for (const auto& [attr, allowed] : strings_) {
+    const auto v = e.get(attr);
+    if (v && v->kind() == ValueKind::String &&
+        std::binary_search(allowed.begin(), allowed.end(), v->as_string()))
+      return true;
+  }
+  for (const auto& c : clauses_)
+    if (c.match(e)) return true;
+  for (const auto& p : opaque_)
+    if (p->match(e)) return true;
+  return false;
+}
+
+void InterestSummary::coarsen() {
+  if (wildcard_) return;
+  // Relax each multi-attribute clause to the projection onto one of its
+  // attributes: (b>3 && c<2) is implied by (b>3), so replacing the clause by
+  // the projection can only add matches — never lose one.
+  for (const auto& c : clauses_) {
+    if (!c.numeric().empty()) {
+      const auto& [attr, iv] = *c.numeric().begin();
+      numeric_[attr].insert(iv);
+    } else if (!c.strings().empty()) {
+      const auto& [attr, allowed] = *c.strings().begin();
+      auto& dst = strings_[attr];
+      std::vector<std::string> merged;
+      std::set_union(dst.begin(), dst.end(), allowed.begin(), allowed.end(),
+                     std::back_inserter(merged));
+      dst = std::move(merged);
+    }
+  }
+  clauses_.clear();
+  // Collapse each interval union to its bounding interval.
+  for (auto& [attr, ivs] : numeric_) {
+    if (ivs.size() > 1) ivs = IntervalSet(ivs.bounding());
+  }
+  prune_subsumed();
+}
+
+InterestSummary InterestSummary::reassemble(
+    bool wildcard, std::map<std::string, IntervalSet> numeric,
+    std::map<std::string, std::vector<std::string>> strings,
+    std::vector<Clause> clauses, std::vector<PredicatePtr> opaque) {
+  InterestSummary s;
+  s.wildcard_ = wildcard;
+  s.numeric_ = std::move(numeric);
+  s.strings_ = std::move(strings);
+  s.clauses_ = std::move(clauses);
+  s.opaque_ = std::move(opaque);
+  return s;
+}
+
+std::size_t InterestSummary::complexity() const noexcept {
+  if (wildcard_) return 0;
+  std::size_t n = clauses_.size() + opaque_.size();
+  for (const auto& [attr, ivs] : numeric_) n += ivs.size();
+  for (const auto& [attr, allowed] : strings_) n += allowed.size();
+  return n;
+}
+
+std::string InterestSummary::to_string() const {
+  if (wildcard_) return "*";
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << " || ";
+    first = false;
+  };
+  for (const auto& [attr, ivs] : numeric_) {
+    sep();
+    os << attr << " in " << ivs.to_string();
+  }
+  for (const auto& [attr, allowed] : strings_) {
+    sep();
+    os << attr << " in {";
+    for (std::size_t i = 0; i < allowed.size(); ++i) {
+      if (i) os << ", ";
+      os << '"' << allowed[i] << '"';
+    }
+    os << "}";
+  }
+  for (const auto& c : clauses_) {
+    sep();
+    os << "(" << c.to_string() << ")";
+  }
+  for (const auto& p : opaque_) {
+    sep();
+    os << p->to_string();
+  }
+  if (first) os << "false";
+  return os.str();
+}
+
+}  // namespace pmc

@@ -1,0 +1,11 @@
+#include "filter/subscription.hpp"
+
+#include "filter/parser.hpp"
+
+namespace pmc {
+
+Subscription Subscription::parse(std::string_view text) {
+  return Subscription(parse_predicate(text));
+}
+
+}  // namespace pmc

@@ -1,0 +1,41 @@
+// A subscription is a process's individual interest: a predicate over event
+// attributes. Subscriptions are cheap to copy (shared immutable AST).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/contract.hpp"
+#include "filter/predicate.hpp"
+
+namespace pmc {
+
+class Subscription {
+ public:
+  /// Wildcard subscription (interested in everything) — the paper's
+  /// interpretation of "absence of a criterion" (Sec. 2.3).
+  Subscription() : pred_(Predicate::wildcard()) {}
+  explicit Subscription(PredicatePtr pred) : pred_(std::move(pred)) {
+    PMC_EXPECTS(pred_ != nullptr);
+  }
+
+  /// Parses the textual interest language, e.g.
+  ///   "b > 3 && 10.0 < c && c < 220.0"
+  ///   "b == 2 && (e == \"Bob\" || e == \"Tom\")"
+  ///   "20.0 < c < 35.0"                       (chained comparison)
+  /// Throws std::invalid_argument on syntax errors.
+  static Subscription parse(std::string_view text);
+
+  bool match(const Event& e) const { return pred_->match(e); }
+  bool is_wildcard() const noexcept {
+    return pred_->kind() == Predicate::Kind::True;
+  }
+
+  const PredicatePtr& predicate() const noexcept { return pred_; }
+  std::string to_string() const { return pred_->to_string(); }
+
+ private:
+  PredicatePtr pred_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,358 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/flooding.hpp"
+#include "baselines/genuine.hpp"
+#include "baselines/treecast.hpp"
+#include "common/contract.hpp"
+#include "pmcast/node.hpp"
+
+namespace pmc {
+
+std::size_t ExperimentConfig::group_size() const {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < d; ++i) n *= a;
+  return n;
+}
+
+TreeAnalysisParams ExperimentConfig::analysis_params() const {
+  TreeAnalysisParams p;
+  p.a = a;
+  p.d = d;
+  p.r = r;
+  p.fanout = static_cast<double>(fanout);
+  p.pd = pd;
+  p.env.loss = loss;
+  p.env.crash = crash_fraction;
+  p.pittel_c = pittel_c;
+  return p;
+}
+
+PmcastConfig ExperimentConfig::pmcast_config() const {
+  PmcastConfig c;
+  c.tree.depth = d;
+  c.tree.redundancy = r;
+  c.fanout = fanout;
+  c.period = period;
+  c.pittel_c = pittel_c;
+  c.env_estimate.loss = loss;
+  c.env_estimate.crash = crash_fraction;
+  c.tuning_threshold = tuning_threshold;
+  c.local_interest_shortcut = local_interest_shortcut;
+  c.leaf_flood_density = leaf_flood_density;
+  c.recovery_rounds = recovery_rounds;
+  return c;
+}
+
+namespace {
+
+/// Shared per-configuration state reused across runs: the member population,
+/// its tree, and the address -> pid directory.
+struct Population {
+  std::vector<Member> members;
+  std::unique_ptr<GroupTree> tree;
+  std::unordered_map<Address, ProcessId, AddressHash> directory;
+
+  explicit Population(const ExperimentConfig& config, bool build_tree) {
+    Rng rng(config.seed);
+    const auto space = AddressSpace::regular(
+        static_cast<AddrComponent>(config.a), config.d);
+    members = config.clustered
+                  ? clustered_interest_members(space, config.pd,
+                                               config.cluster_jitter, rng)
+                  : uniform_interest_members(space, config.pd, rng);
+    if (build_tree) {
+      TreeConfig tc;
+      tc.depth = config.d;
+      tc.redundancy = config.r;
+      GroupTreeOptions opts;
+      opts.coarsen_depth_leq = config.coarsen_depth_leq;
+      tree = std::make_unique<GroupTree>(tc, members, opts);
+    }
+    directory.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i)
+      directory.emplace(members[i].address, static_cast<ProcessId>(i));
+  }
+
+  PmcastNode::Directory directory_fn() const {
+    return [this](const Address& a) {
+      const auto it = directory.find(a);
+      return it == directory.end() ? kNoProcess : it->second;
+    };
+  }
+};
+
+struct RunMetrics {
+  double delivery = 0.0;
+  double false_reception = 0.0;
+  double rounds = 0.0;
+  double messages_per_process = 0.0;
+  double interested_fraction = 0.0;
+};
+
+void aggregate(ExperimentResult& out, const RunMetrics& m) {
+  out.delivery.add(m.delivery);
+  out.false_reception.add(m.false_reception);
+  out.rounds.add(m.rounds);
+  out.messages_per_process.add(m.messages_per_process);
+  out.interested_fraction.add(m.interested_fraction);
+}
+
+/// Counts delivery/reception over the node collection after a run.
+/// NodeT must expose interested_in/has_delivered/has_received/alive.
+template <typename NodeT>
+RunMetrics finish_run(const std::vector<std::unique_ptr<NodeT>>& nodes,
+                      const Event& event, ProcessId publisher,
+                      const Runtime& rt, std::uint64_t sent,
+                      SimTime period) {
+  std::size_t interested = 0;
+  std::size_t interested_delivered = 0;
+  std::size_t uninterested = 0;
+  std::size_t uninterested_received = 0;
+  for (const auto& node : nodes) {
+    if (!node->alive()) continue;  // crashed processes leave both sides
+    const bool wants = node->interested_in(event);
+    if (wants) {
+      ++interested;
+      if (node->has_delivered(event.id())) ++interested_delivered;
+    } else if (node->id() != publisher) {
+      ++uninterested;
+      if (node->has_received(event.id())) ++uninterested_received;
+    }
+  }
+  RunMetrics m;
+  m.delivery = interested == 0
+                   ? 1.0
+                   : static_cast<double>(interested_delivered) /
+                         static_cast<double>(interested);
+  m.false_reception = uninterested == 0
+                          ? 0.0
+                          : static_cast<double>(uninterested_received) /
+                                static_cast<double>(uninterested);
+  m.rounds = static_cast<double>(rt.now()) / static_cast<double>(period);
+  m.messages_per_process =
+      static_cast<double>(sent) / static_cast<double>(nodes.size());
+  m.interested_fraction =
+      static_cast<double>(interested) /
+      static_cast<double>(std::max<std::size_t>(1, nodes.size()));
+  return m;
+}
+
+template <typename MakeNodes, typename Publish>
+ExperimentResult run_experiment_loop(const ExperimentConfig& config,
+                                     MakeNodes&& make_nodes,
+                                     Publish&& publish) {
+  ExperimentResult out;
+  Rng run_rng(config.seed ^ 0xabcdef0123456789ULL);
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    NetworkConfig net;
+    net.loss_probability = config.loss;
+    Runtime rt(net, run_rng.next_u64());
+
+    auto nodes = make_nodes(rt);
+
+    // Crash injection: f = τ n victims, uniform over the run horizon.
+    const auto f = static_cast<std::size_t>(
+        config.crash_fraction * static_cast<double>(nodes.size()));
+    if (f > 0) {
+      const auto victims =
+          run_rng.sample_without_replacement(nodes.size(), f);
+      std::vector<Process*> procs;
+      procs.reserve(f);
+      for (const auto v : victims) procs.push_back(nodes[v].get());
+      rt.schedule_crashes(procs, 40 * config.period);
+    }
+
+    const auto publisher = static_cast<ProcessId>(
+        run_rng.next_below(nodes.size()));
+    const Event event = make_uniform_event(publisher, run, run_rng);
+    publish(*nodes[publisher], event);
+
+    rt.run_until_idle();
+
+    aggregate(out, finish_run(nodes, event, publisher, rt,
+                              rt.network().counters().sent, config.period));
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult run_pmcast_experiment(const ExperimentConfig& config) {
+  const Population pop(config, /*build_tree=*/true);
+  const TreeViewProvider views(*pop.tree);
+  const PmcastConfig node_config = config.pmcast_config();
+
+  return run_experiment_loop(
+      config,
+      [&](Runtime& rt) {
+        std::vector<std::unique_ptr<PmcastNode>> nodes;
+        nodes.reserve(pop.members.size());
+        for (std::size_t i = 0; i < pop.members.size(); ++i) {
+          nodes.push_back(std::make_unique<PmcastNode>(
+              rt, static_cast<ProcessId>(i), node_config,
+              pop.members[i].address, pop.members[i].subscription, views,
+              pop.directory_fn()));
+        }
+        return nodes;
+      },
+      [](PmcastNode& node, const Event& e) { node.pmcast(e); });
+}
+
+ExperimentResult run_flooding_experiment(const ExperimentConfig& config) {
+  const Population pop(config, /*build_tree=*/false);
+  FloodingConfig fc;
+  fc.fanout = config.fanout;
+  fc.period = config.period;
+  fc.pittel_c = config.pittel_c;
+  fc.env_estimate.loss = config.loss;
+  fc.env_estimate.crash = config.crash_fraction;
+
+  auto peers = std::make_shared<std::vector<ProcessId>>();
+  for (std::size_t i = 0; i < pop.members.size(); ++i)
+    peers->push_back(static_cast<ProcessId>(i));
+
+  return run_experiment_loop(
+      config,
+      [&](Runtime& rt) {
+        std::vector<std::unique_ptr<FloodingNode>> nodes;
+        nodes.reserve(pop.members.size());
+        for (std::size_t i = 0; i < pop.members.size(); ++i) {
+          nodes.push_back(std::make_unique<FloodingNode>(
+              rt, static_cast<ProcessId>(i), fc,
+              pop.members[i].subscription, peers));
+        }
+        return nodes;
+      },
+      [](FloodingNode& node, const Event& e) { node.broadcast(e); });
+}
+
+ExperimentResult run_genuine_experiment(const ExperimentConfig& config,
+                                        std::size_t view_size) {
+  const Population pop(config, /*build_tree=*/false);
+  GenuineConfig gc;
+  gc.fanout = config.fanout;
+  gc.period = config.period;
+  gc.pittel_c = config.pittel_c;
+  gc.env_estimate.loss = config.loss;
+  gc.env_estimate.crash = config.crash_fraction;
+  gc.group_size_hint = pop.members.size();
+
+  // Partial views are fixed per configuration (same seed), mirroring a
+  // converged lpbcast-style membership.
+  Rng view_rng(config.seed ^ 0x7777777777777777ULL);
+  std::vector<std::vector<GenuineNode::Peer>> views(pop.members.size());
+  for (std::size_t i = 0; i < pop.members.size(); ++i) {
+    const auto picks = view_rng.sample_without_replacement(
+        pop.members.size(), std::min(view_size, pop.members.size()));
+    for (const auto p : picks) {
+      if (p == i) continue;
+      views[i].push_back(GenuineNode::Peer{
+          static_cast<ProcessId>(p), pop.members[p].subscription});
+    }
+  }
+
+  return run_experiment_loop(
+      config,
+      [&](Runtime& rt) {
+        std::vector<std::unique_ptr<GenuineNode>> nodes;
+        nodes.reserve(pop.members.size());
+        for (std::size_t i = 0; i < pop.members.size(); ++i) {
+          nodes.push_back(std::make_unique<GenuineNode>(
+              rt, static_cast<ProcessId>(i), gc,
+              pop.members[i].subscription, views[i]));
+        }
+        return nodes;
+      },
+      [](GenuineNode& node, const Event& e) { node.multicast(e); });
+}
+
+ExperimentResult run_treecast_experiment(const ExperimentConfig& config) {
+  const Population pop(config, /*build_tree=*/true);
+  const TreeViewProvider views(*pop.tree);
+  TreecastConfig tc;
+  tc.tree.depth = config.d;
+  tc.tree.redundancy = config.r;
+
+  return run_experiment_loop(
+      config,
+      [&](Runtime& rt) {
+        std::vector<std::unique_ptr<TreecastNode>> nodes;
+        nodes.reserve(pop.members.size());
+        for (std::size_t i = 0; i < pop.members.size(); ++i) {
+          nodes.push_back(std::make_unique<TreecastNode>(
+              rt, static_cast<ProcessId>(i), tc, pop.members[i].address,
+              pop.members[i].subscription, views, pop.directory_fn()));
+        }
+        return nodes;
+      },
+      [](TreecastNode& node, const Event& e) { node.multicast(e); });
+}
+
+StreamResult run_stream_experiment(const StreamConfig& stream) {
+  const ExperimentConfig& config = stream.base;
+  const Population pop(config, /*build_tree=*/true);
+  const TreeViewProvider views(*pop.tree);
+  const PmcastConfig node_config = config.pmcast_config();
+
+  NetworkConfig net;
+  net.loss_probability = config.loss;
+  Runtime rt(net, config.seed ^ 0x5712ea30ULL);
+
+  std::vector<std::unique_ptr<PmcastNode>> nodes;
+  nodes.reserve(pop.members.size());
+  for (std::size_t i = 0; i < pop.members.size(); ++i) {
+    nodes.push_back(std::make_unique<PmcastNode>(
+        rt, static_cast<ProcessId>(i), node_config, pop.members[i].address,
+        pop.members[i].subscription, views, pop.directory_fn()));
+  }
+
+  Rng rng(config.seed ^ 0x5151515151ULL);
+  std::vector<Event> events;
+  events.reserve(stream.events);
+  for (std::uint64_t s = 0; s < stream.events; ++s) {
+    const auto publisher =
+        static_cast<ProcessId>(rng.next_below(nodes.size()));
+    Event e = make_uniform_event(publisher, s, rng);
+    events.push_back(e);
+    rt.scheduler().schedule_at(
+        static_cast<SimTime>(s) * stream.inter_arrival,
+        [&nodes, publisher, e] { nodes[publisher].get()->pmcast(e); });
+  }
+  rt.run_until_idle();
+
+  StreamResult out;
+  const SimTime last_publish =
+      static_cast<SimTime>(stream.events - 1) * stream.inter_arrival;
+  out.drain_periods = static_cast<double>(rt.now() - last_publish) /
+                      static_cast<double>(config.period);
+  out.messages_per_event_per_process =
+      static_cast<double>(rt.network().counters().sent) /
+      static_cast<double>(stream.events) /
+      static_cast<double>(nodes.size());
+  for (const auto& e : events) {
+    std::size_t interested = 0, delivered = 0;
+    for (const auto& node : nodes) {
+      if (!node->alive() || !node->interested_in(e)) continue;
+      ++interested;
+      if (node->has_delivered(e.id())) ++delivered;
+    }
+    out.per_event_delivery.add(
+        interested == 0 ? 1.0
+                        : static_cast<double>(delivered) /
+                              static_cast<double>(interested));
+  }
+  return out;
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace pmc

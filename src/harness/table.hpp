@@ -1,0 +1,29 @@
+// Fixed-width table printing for the bench binaries — every figure/table
+// bench emits the same series the paper plots, in aligned columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a data row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmc

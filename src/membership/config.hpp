@@ -1,0 +1,23 @@
+// Tree shape parameters shared across membership and dissemination.
+#pragma once
+
+#include <cstddef>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+struct TreeConfig {
+  /// Tree depth d (number of address components).
+  std::size_t depth = 3;
+  /// Redundancy factor R: delegates elected per subgroup (paper recommends
+  /// R > 1 for membership reliability).
+  std::size_t redundancy = 3;
+
+  void validate() const {
+    PMC_EXPECTS(depth >= 1);
+    PMC_EXPECTS(redundancy >= 1);
+  }
+};
+
+}  // namespace pmc

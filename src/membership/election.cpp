@@ -1,0 +1,33 @@
+#include "membership/election.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+DelegateRank smallest_address_rank() {
+  return [](const Address& a, const Address& b) { return a < b; };
+}
+
+std::vector<Address> elect_delegates(std::span<const Address> members,
+                                     std::size_t r,
+                                     const DelegateRank& rank) {
+  PMC_EXPECTS(r >= 1);
+  std::vector<Address> out(members.begin(), members.end());
+  if (out.size() > r) {
+    std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(r),
+                      out.end(), rank);
+    out.resize(r);
+  } else {
+    std::sort(out.begin(), out.end(), rank);
+  }
+  return out;
+}
+
+std::vector<Address> elect_delegates(std::span<const Address> members,
+                                     std::size_t r) {
+  return elect_delegates(members, r, smallest_address_rank());
+}
+
+}  // namespace pmc

@@ -1,0 +1,35 @@
+// Deterministic delegate election (paper Sec. 2.2/2.3).
+//
+// All processes of a subgroup must agree on the same R delegates *without
+// explicit agreement*, so the choice is a pure function of the member set.
+// The paper's default criterion is "smallest addresses"; alternative
+// criteria (e.g. preferring well-resourced processes) plug in as a custom
+// ranking, as Sec. 2.3 suggests.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "addr/address.hpp"
+
+namespace pmc {
+
+/// Ranks candidates; delegates are the R best (lowest) by this order.
+/// Must be a strict weak ordering and identical at all processes.
+using DelegateRank =
+    std::function<bool(const Address& a, const Address& b)>;
+
+/// The paper's default: numerically smallest addresses first.
+DelegateRank smallest_address_rank();
+
+/// The R best members by `rank`; all members if fewer than R.
+/// The result is sorted by rank (best first).
+std::vector<Address> elect_delegates(std::span<const Address> members,
+                                     std::size_t r,
+                                     const DelegateRank& rank);
+
+std::vector<Address> elect_delegates(std::span<const Address> members,
+                                     std::size_t r);
+
+}  // namespace pmc

@@ -1,0 +1,411 @@
+#include "membership/sync.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config,
+                   MembershipView view, Subscription subscription)
+    : Process(rt, pid),
+      config_(config),
+      view_(std::move(view)),
+      subscription_(std::move(subscription)),
+      joined_(true) {
+  config_.tree.validate();
+  // Continue from the highest version present so local edits sort after
+  // everything already in the bootstrap view (Lamport-style).
+  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth)
+    for (const auto& row : view_.view(depth).rows())
+      version_counter_ = std::max(version_counter_, row.version);
+  arm_periodic(config_.gossip_period);
+}
+
+SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
+                   Subscription subscription, ProcessId contact)
+    : Process(rt, pid),
+      config_(config),
+      view_(std::move(self), config.tree),
+      subscription_(std::move(subscription)) {
+  auto join = std::make_shared<JoinRequestMsg>();
+  join->joiner = view_.self();
+  join->joiner_pid = pid;
+  join->subscription = subscription_;
+  send(contact, std::move(join));
+  arm_periodic(config_.gossip_period);
+}
+
+void SyncNode::leave() {
+  auto msg = std::make_shared<LeaveMsg>();
+  msg->leaver = view_.self();
+  // Inform the immediate (leaf-depth) neighbors.
+  for (const auto& row : view_.view(config_.tree.depth).rows()) {
+    if (!row.alive || row.delegates.empty()) continue;
+    if (row.delegates.front() == view_.self()) continue;
+    send_to(row.delegates.front(), msg);
+  }
+  crash();  // fail-stop semantics: the process simply stops participating
+}
+
+void SyncNode::on_message(ProcessId from, const MessagePtr& msg) {
+  if (const auto* digest = dynamic_cast<const MembershipDigestMsg*>(msg.get()))
+    handle_digest(from, *digest);
+  else if (const auto* update =
+               dynamic_cast<const MembershipUpdateMsg*>(msg.get()))
+    handle_update(*update);
+  else if (const auto* join = dynamic_cast<const JoinRequestMsg*>(msg.get()))
+    handle_join(from, *join);
+  else if (const auto* transfer =
+               dynamic_cast<const ViewTransferMsg*>(msg.get()))
+    handle_view_transfer(*transfer);
+  else if (const auto* lv = dynamic_cast<const LeaveMsg*>(msg.get()))
+    handle_leave(*lv);
+  else if (const auto* query =
+               dynamic_cast<const SuspectQueryMsg*>(msg.get()))
+    handle_suspect_query(from, *query);
+  else if (const auto* reply =
+               dynamic_cast<const SuspectReplyMsg*>(msg.get()))
+    handle_suspect_reply(*reply);
+}
+
+void SyncNode::on_period() {
+  if (!joined_) return;  // still waiting for the view transfer
+  recompact_own_rows();
+  check_neighbor_timeouts();
+
+  const auto peers = known_peers();
+  if (peers.empty()) return;
+  auto digest = std::make_shared<MembershipDigestMsg>();
+  digest->sender = view_.self();
+  digest->sender_pid = id();
+  digest->digests = make_digest();
+  const std::size_t fanout = std::min(config_.gossip_fanout, peers.size());
+  const auto picks = rng().sample_without_replacement(peers.size(), fanout);
+  for (const auto i : picks) send_to(peers[i], digest);
+
+  // Leaf subgroups actively ping each other (paper Sec. 6): one extra
+  // digest per period to a round-robin immediate neighbor keeps the
+  // last-contact table fresh and failure detection accurate.
+  std::vector<const Address*> neighbors;
+  for (const auto& row : view_.view(config_.tree.depth).rows()) {
+    if (!row.alive || row.delegates.empty()) continue;
+    if (row.delegates.front() == view_.self()) continue;
+    neighbors.push_back(&row.delegates.front());
+  }
+  if (!neighbors.empty()) {
+    send_to(*neighbors[ping_cursor_++ % neighbors.size()], digest);
+  }
+}
+
+void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {
+  note_contact(m.sender);
+  // Reply with every line where our version is strictly newer, plus lines
+  // the gossiper does not know at all — restricted to depths the two of us
+  // share (tables above the common prefix are about different subgroups).
+  const std::size_t shared =
+      view_.self().common_prefix_length(m.sender) + 1;
+  std::vector<DepthRow> newer;
+  for (std::size_t depth = 1; depth <= std::min(shared, config_.tree.depth);
+       ++depth) {
+    for (const auto& row : view_.view(depth).rows()) {
+      const auto it = std::find_if(
+          m.digests.begin(), m.digests.end(), [&](const RowDigest& d) {
+            return d.depth == depth && d.infix == row.infix;
+          });
+      if (it == m.digests.end() || it->version < row.version)
+        newer.push_back(DepthRow{static_cast<std::uint32_t>(depth), row});
+    }
+  }
+  if (newer.empty()) return;
+  auto reply = std::make_shared<MembershipUpdateMsg>();
+  reply->sender = view_.self();
+  reply->rows = std::move(newer);
+  send(from, std::move(reply));
+}
+
+void SyncNode::handle_update(const MembershipUpdateMsg& m) {
+  note_contact(m.sender);
+  absorb_rows(m.sender, m.rows);
+}
+
+void SyncNode::absorb_rows(const Address& sender,
+                           const std::vector<DepthRow>& rows) {
+  const std::size_t shared =
+      view_.self().common_prefix_length(sender) + 1;
+  for (const auto& dr : rows) {
+    if (dr.depth < 1 || dr.depth > config_.tree.depth) continue;
+    if (dr.depth > shared) continue;  // not our subgroup's table
+    apply_row(dr.depth, dr.row);
+  }
+}
+
+void SyncNode::handle_join(ProcessId from, const JoinRequestMsg& m) {
+  (void)from;
+  if (!joined_) return;
+  const std::size_t shared = view_.self().common_prefix_length(m.joiner);
+
+  // Try to route closer: a delegate of a deeper subgroup on the joiner's
+  // path knows strictly more of the joiner's neighborhood than we do.
+  if (shared + 1 < config_.tree.depth && m.hops < config_.max_join_hops) {
+    const auto* row = view_.view(shared + 1).find(m.joiner.component(shared));
+    if (row != nullptr && row->alive && !row->delegates.empty() &&
+        !(row->delegates.front() == view_.self())) {
+      auto fwd = std::make_shared<JoinRequestMsg>(m);
+      fwd->hops = m.hops + 1;
+      send_to(row->delegates.front(), std::move(fwd));
+      return;
+    }
+  }
+
+  // We are (or act as) an immediate neighbor: insert the joiner and send it
+  // everything we know that is valid for its address.
+  ViewRow row;
+  row.infix = m.joiner.component(
+      std::min(shared, config_.tree.depth - 1));
+  row.delegates = {m.joiner};
+  row.interests = InterestSummary::from(m.subscription);
+  row.process_count = 1;
+  row.version = next_version();
+  apply_row(static_cast<std::uint32_t>(
+                std::min(shared + 1, config_.tree.depth)),
+            row);
+
+  auto transfer = std::make_shared<ViewTransferMsg>();
+  transfer->sender = view_.self();
+  transfer->rows = rows_for(m.joiner);
+  send(m.joiner_pid, std::move(transfer));
+}
+
+void SyncNode::handle_view_transfer(const ViewTransferMsg& m) {
+  note_contact(m.sender);
+  for (const auto& dr : m.rows) {
+    if (dr.depth < 1 || dr.depth > config_.tree.depth) continue;
+    apply_row(dr.depth, dr.row);
+  }
+  if (!joined_) {
+    joined_ = true;
+    // Make ourselves visible: our own leaf row, versioned locally.
+    ViewRow self_row;
+    self_row.infix = view_.self().component(config_.tree.depth - 1);
+    self_row.delegates = {view_.self()};
+    self_row.interests = InterestSummary::from(subscription_);
+    self_row.process_count = 1;
+    self_row.version = next_version();
+    view_.view(config_.tree.depth).upsert(std::move(self_row));
+  }
+}
+
+void SyncNode::handle_leave(const LeaveMsg& m) {
+  // Tombstone the leaver's leaf row; anti-entropy spreads it.
+  const std::size_t shared = view_.self().common_prefix_length(m.leaver);
+  const std::size_t depth = std::min(shared + 1, config_.tree.depth);
+  const auto* row = view_.view(depth).find(
+      m.leaver.component(depth - 1));
+  if (row == nullptr || !row->alive) return;
+  ViewRow tomb = *row;
+  tomb.alive = false;
+  tomb.version = std::max(next_version(), row->version + 1);
+  version_counter_ = std::max(version_counter_, tomb.version);
+  view_.view(depth).upsert(std::move(tomb));
+}
+
+bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
+  version_counter_ = std::max(version_counter_, row.version);
+  // Rebut false suspicion: a live process that learns of its own tombstone
+  // republishes its leaf row with a higher version.
+  if (!row.alive && depth == config_.tree.depth &&
+      !row.delegates.empty() && row.delegates.front() == view_.self()) {
+    ViewRow alive_row = row;
+    alive_row.alive = true;
+    alive_row.version = next_version();
+    return view_.view(depth).upsert(std::move(alive_row));
+  }
+  return view_.view(depth).upsert(row);
+}
+
+std::vector<DepthRow> SyncNode::rows_for(const Address& other) const {
+  const std::size_t shared = view_.self().common_prefix_length(other);
+  std::vector<DepthRow> out;
+  for (std::size_t depth = 1;
+       depth <= std::min(shared + 1, config_.tree.depth); ++depth) {
+    for (const auto& row : view_.view(depth).rows())
+      out.push_back(DepthRow{static_cast<std::uint32_t>(depth), row});
+  }
+  return out;
+}
+
+std::vector<RowDigest> SyncNode::make_digest() const {
+  std::vector<RowDigest> out;
+  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth) {
+    for (const auto& row : view_.view(depth).rows())
+      out.push_back(RowDigest{static_cast<std::uint32_t>(depth), row.infix,
+                              row.version});
+  }
+  return out;
+}
+
+void SyncNode::recompact_own_rows() {
+  // From the leaf upward: the row describing our subgroup of depth i (in the
+  // depth-i table) is compacted from our depth-(i+1) table (paper Sec. 2.3).
+  // Only delegates publish these rows; everyone else just consumes them.
+  if (config_.tree.depth < 2) return;
+  for (std::size_t depth = config_.tree.depth - 1; depth >= 1; --depth) {
+    const DepthView& deeper = view_.view(depth + 1);
+    if (deeper.empty()) continue;
+
+    InterestSummary summary;
+    std::vector<Address> candidates;
+    std::uint64_t count = 0;
+    for (const auto& r : deeper.rows()) {
+      if (!r.alive) continue;
+      summary.merge(r.interests);
+      candidates.insert(candidates.end(), r.delegates.begin(),
+                        r.delegates.end());
+      count += r.process_count;
+    }
+    if (count == 0) continue;
+    auto delegates = elect_delegates(candidates, config_.tree.redundancy);
+
+    // Publish only if we are one of the delegates of our own subgroup.
+    if (std::find(delegates.begin(), delegates.end(), view_.self()) ==
+        delegates.end())
+      continue;
+
+    const AddrComponent own_infix = view_.self().component(depth - 1);
+    const auto* current = view_.view(depth).find(own_infix);
+    if (current != nullptr && current->alive &&
+        current->delegates == delegates &&
+        current->process_count == count && current->interests == summary)
+      continue;  // nothing changed
+
+    ViewRow row;
+    row.infix = own_infix;
+    row.delegates = std::move(delegates);
+    row.interests = std::move(summary);
+    row.process_count = count;
+    row.version = next_version();
+    view_.view(depth).upsert(std::move(row));
+  }
+}
+
+void SyncNode::check_neighbor_timeouts() {
+  const SimTime now = runtime().now();
+  auto& leaf = view_.view(config_.tree.depth);
+  std::vector<Address> suspects;
+  for (const auto& row : leaf.rows()) {
+    if (!row.alive || row.delegates.empty()) continue;
+    const Address& neighbor = row.delegates.front();
+    if (neighbor == view_.self()) continue;
+    const auto it = last_contact_.find(neighbor);
+    SimTime last = it == last_contact_.end() ? SimTime{0} : it->second;
+    const auto grace = grace_until_.find(neighbor);
+    if (grace != grace_until_.end()) last = std::max(last, grace->second);
+    if (now - last <= config_.suspicion_timeout) continue;
+    if (it == last_contact_.end() && now <= config_.suspicion_timeout)
+      continue;  // grace period right after startup
+    suspects.push_back(neighbor);
+  }
+
+  for (const Address& suspect : suspects) {
+    if (!config_.confirm_suspicion) {
+      tombstone_neighbor(suspect);
+      continue;
+    }
+    // Agreement-before-exclusion: ask one other live neighbor first.
+    const auto pending = pending_suspicions_.find(suspect);
+    if (pending != pending_suspicions_.end()) {
+      // No confirmation arrived for a whole timeout: the confirmer may be
+      // gone too; fall back to unilateral exclusion.
+      if (now - pending->second > config_.suspicion_timeout) {
+        pending_suspicions_.erase(pending);
+        tombstone_neighbor(suspect);
+      }
+      continue;
+    }
+    const Address* confirmer = nullptr;
+    for (const auto& row : leaf.rows()) {
+      if (!row.alive || row.delegates.empty()) continue;
+      const Address& candidate = row.delegates.front();
+      if (candidate == view_.self() || candidate == suspect) continue;
+      confirmer = &candidate;
+      break;
+    }
+    if (confirmer == nullptr) {
+      tombstone_neighbor(suspect);  // nobody to ask
+      continue;
+    }
+    auto query = std::make_shared<SuspectQueryMsg>();
+    query->sender = view_.self();
+    query->suspect = suspect;
+    send_to(*confirmer, std::move(query));
+    pending_suspicions_.emplace(suspect, now);
+  }
+}
+
+void SyncNode::handle_suspect_query(ProcessId from,
+                                    const SuspectQueryMsg& m) {
+  note_contact(m.sender);
+  const auto it = last_contact_.find(m.suspect);
+  const bool heard =
+      it != last_contact_.end() &&
+      runtime().now() - it->second <= config_.suspicion_timeout;
+  auto reply = std::make_shared<SuspectReplyMsg>();
+  reply->sender = view_.self();
+  reply->suspect = m.suspect;
+  reply->heard_recently = heard;
+  send(from, std::move(reply));
+}
+
+void SyncNode::handle_suspect_reply(const SuspectReplyMsg& m) {
+  note_contact(m.sender);
+  const auto it = pending_suspicions_.find(m.suspect);
+  if (it == pending_suspicions_.end()) return;  // stale reply
+  pending_suspicions_.erase(it);
+  if (m.heard_recently) {
+    // The suspect is alive elsewhere: extend our deadline — but only as a
+    // grace note, never as direct contact (see grace_until_ comment).
+    grace_until_[m.suspect] = runtime().now();
+  } else {
+    tombstone_neighbor(m.suspect);
+  }
+}
+
+void SyncNode::tombstone_neighbor(const Address& neighbor) {
+  auto& leaf = view_.view(config_.tree.depth);
+  const auto* row = leaf.find(neighbor.component(config_.tree.depth - 1));
+  if (row == nullptr || !row->alive) return;
+  ViewRow tomb = *row;
+  tomb.alive = false;
+  tomb.version = std::max(next_version(), row->version + 1);
+  version_counter_ = std::max(version_counter_, tomb.version);
+  leaf.upsert(std::move(tomb));
+}
+
+void SyncNode::note_contact(const Address& a) {
+  last_contact_[a] = runtime().now();
+}
+
+std::vector<Address> SyncNode::known_peers() const {
+  std::vector<Address> out;
+  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth) {
+    for (const auto& row : view_.view(depth).rows()) {
+      if (!row.alive) continue;
+      for (const auto& d : row.delegates) {
+        if (d == view_.self()) continue;
+        if (std::find(out.begin(), out.end(), d) == out.end())
+          out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+void SyncNode::send_to(const Address& a, MessagePtr msg) {
+  if (!directory_) return;
+  const ProcessId pid = directory_(a);
+  if (pid == kNoProcess) return;
+  send(pid, std::move(msg));
+}
+
+}  // namespace pmc

@@ -1,0 +1,187 @@
+// Decentralized membership management (paper Sec. 2.3).
+//
+// Every SyncNode owns a MembershipView whose rows carry logical versions.
+// Periodically it gossips a *digest* — (depth, infix, version) for every row
+// — to a few known processes; a receiver replies with full rows for every
+// line where its own version is newer ("gossip pull": the gossiper gets
+// updated). Views therefore converge without any coordinator.
+//
+// Joining: the joiner asks any contact already in the group; the contact
+// routes the request towards the "lowest" delegates it knows for the
+// joiner's address (recursively), until an immediate neighbor inserts the
+// joiner and transfers its view.
+//
+// Leaving: the leaver informs neighbors, which tombstone its row (alive =
+// false, bumped version); the tombstone then spreads via anti-entropy.
+//
+// Failure detection: each process tracks the last time it heard from its
+// immediate (leaf-depth) neighbors; silence beyond a timeout tombstones the
+// suspect locally, and anti-entropy propagates the suspicion.
+//
+// Row recomputation: delegates periodically recompact the row describing
+// their own subgroup at each depth they represent (interest regrouping,
+// process count, delegate list) from the next-deeper table, bumping the
+// version when the row materially changed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "membership/tree.hpp"
+#include "membership/view.hpp"
+#include "sim/runtime.hpp"
+
+namespace pmc {
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+struct RowDigest {
+  std::uint32_t depth = 0;
+  AddrComponent infix = 0;
+  std::uint64_t version = 0;
+};
+
+struct MembershipDigestMsg final : MessageBase {
+  Address sender;
+  ProcessId sender_pid = kNoProcess;
+  std::vector<RowDigest> digests;
+};
+
+struct MembershipUpdateMsg final : MessageBase {
+  Address sender;
+  std::vector<DepthRow> rows;
+};
+
+struct JoinRequestMsg final : MessageBase {
+  Address joiner;
+  ProcessId joiner_pid = kNoProcess;
+  Subscription subscription;
+  std::uint32_t hops = 0;  ///< guards against routing loops
+};
+
+struct ViewTransferMsg final : MessageBase {
+  Address sender;
+  std::vector<DepthRow> rows;  ///< rows valid for the joiner
+};
+
+struct LeaveMsg final : MessageBase {
+  Address leaver;
+};
+
+/// Sec. 6's per-depth mechanism (3): before excluding a silent neighbor,
+/// ask another leaf neighbor whether it has heard from the suspect — a
+/// lightweight agreement that filters one-sided connectivity glitches.
+struct SuspectQueryMsg final : MessageBase {
+  Address sender;
+  Address suspect;
+};
+
+struct SuspectReplyMsg final : MessageBase {
+  Address sender;
+  Address suspect;
+  bool heard_recently = false;
+};
+
+// ---------------------------------------------------------------------------
+// SyncNode
+// ---------------------------------------------------------------------------
+
+struct SyncConfig {
+  TreeConfig tree;
+  SimTime gossip_period = sim_ms(100);
+  std::size_t gossip_fanout = 2;
+  /// Silence from an immediate neighbor beyond this tombstones it.
+  SimTime suspicion_timeout = sim_ms(1000);
+  /// Join requests stop being forwarded after this many hops.
+  std::uint32_t max_join_hops = 16;
+  /// When true, a timed-out neighbor is only tombstoned after a second
+  /// leaf neighbor confirms it has not heard from the suspect either
+  /// (Sec. 6's leaf-level agreement before exclusion).
+  bool confirm_suspicion = false;
+};
+
+class SyncNode final : public Process {
+ public:
+  /// A founding member: starts with a bootstrap view (e.g. from GroupTree).
+  SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, MembershipView view,
+           Subscription subscription);
+
+  /// A joining process: starts with an empty view and contacts `contact`.
+  SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
+           Subscription subscription, ProcessId contact);
+
+  const Address& address() const noexcept { return view_.self(); }
+  const MembershipView& view() const noexcept { return view_; }
+  const Subscription& subscription() const noexcept { return subscription_; }
+  bool joined() const noexcept { return joined_; }
+
+  /// Graceful departure: informs immediate neighbors, then crashes the
+  /// process object (it stops participating).
+  void leave();
+
+  /// Resolves a known process address to its simulation ProcessId.
+  /// The directory is simulation plumbing (in a deployment this would be the
+  /// transport address carried in the view rows).
+  using Directory = std::function<ProcessId(const Address&)>;
+  void set_directory(Directory directory) { directory_ = std::move(directory); }
+
+  /// Piggybacking support (Sec. 2.3: "membership information can be
+  /// piggybacked when gossiping events"): the rows worth attaching to a
+  /// message for `other`, and ingestion of rows that arrived piggybacked.
+  std::vector<DepthRow> rows_to_share(const Address& other) const {
+    return rows_for(other);
+  }
+  void absorb_rows(const Address& sender,
+                   const std::vector<DepthRow>& rows);
+
+ protected:
+  void on_message(ProcessId from, const MessagePtr& msg) override;
+  void on_period() override;
+
+ private:
+  void handle_digest(ProcessId from, const MembershipDigestMsg& m);
+  void handle_update(const MembershipUpdateMsg& m);
+  void handle_join(ProcessId from, const JoinRequestMsg& m);
+  void handle_view_transfer(const ViewTransferMsg& m);
+  void handle_leave(const LeaveMsg& m);
+  void handle_suspect_query(ProcessId from, const SuspectQueryMsg& m);
+  void handle_suspect_reply(const SuspectReplyMsg& m);
+  void tombstone_neighbor(const Address& neighbor);
+
+  /// Applies a row if it is newer; returns true when the view changed.
+  bool apply_row(std::uint32_t depth, const ViewRow& row);
+  /// Rows of this view relevant for a process with address `other`
+  /// (depths 1..common_prefix+1).
+  std::vector<DepthRow> rows_for(const Address& other) const;
+  std::vector<RowDigest> make_digest() const;
+  /// Recompacts own-subgroup rows at every depth where self is a delegate.
+  void recompact_own_rows();
+  void check_neighbor_timeouts();
+  void note_contact(const Address& a);
+  /// All (address, pid-resolvable) gossip candidates, excluding self.
+  std::vector<Address> known_peers() const;
+  void send_to(const Address& a, MessagePtr msg);
+  std::uint64_t next_version() { return ++version_counter_; }
+
+  SyncConfig config_;
+  MembershipView view_;
+  Subscription subscription_;
+  Directory directory_;
+  bool joined_ = false;
+  std::uint64_t version_counter_ = 0;
+  std::size_t ping_cursor_ = 0;  // round-robin over immediate neighbors
+  /// Times of *direct* contact (messages actually received from a process).
+  /// Suspect queries are answered from this map only — never from grace —
+  /// otherwise two suspecting processes can keep a dead neighbor "alive" by
+  /// echoing each other's second-hand confidence.
+  std::unordered_map<Address, SimTime, AddressHash> last_contact_;
+  /// Deadline extensions granted by positive confirmations.
+  std::unordered_map<Address, SimTime, AddressHash> grace_until_;
+  std::unordered_map<Address, SimTime, AddressHash> pending_suspicions_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,107 @@
+#include "membership/view.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace pmc {
+
+namespace {
+
+auto row_lower_bound(std::vector<ViewRow>& rows, AddrComponent infix) {
+  return std::lower_bound(
+      rows.begin(), rows.end(), infix,
+      [](const ViewRow& r, AddrComponent v) { return r.infix < v; });
+}
+
+}  // namespace
+
+const ViewRow* DepthView::find(AddrComponent infix) const noexcept {
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), infix,
+      [](const ViewRow& r, AddrComponent v) { return r.infix < v; });
+  if (it != rows_.end() && it->infix == infix) return &*it;
+  return nullptr;
+}
+
+bool DepthView::upsert(ViewRow row) {
+  auto it = row_lower_bound(rows_, row.infix);
+  if (it != rows_.end() && it->infix == row.infix) {
+    if (row.version <= it->version) return false;
+    *it = std::move(row);
+    return true;
+  }
+  rows_.insert(it, std::move(row));
+  return true;
+}
+
+bool DepthView::erase(AddrComponent infix) {
+  auto it = row_lower_bound(rows_, infix);
+  if (it != rows_.end() && it->infix == infix) {
+    rows_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::size_t DepthView::live_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(rows_.begin(), rows_.end(),
+                    [](const ViewRow& r) { return r.alive; }));
+}
+
+std::uint64_t DepthView::total_processes() const noexcept {
+  return std::accumulate(rows_.begin(), rows_.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const ViewRow& r) {
+                           return acc + (r.alive ? r.process_count : 0);
+                         });
+}
+
+std::string DepthView::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : rows_) {
+    os << "  " << r.infix << (r.alive ? "" : " (gone)") << " | "
+       << r.interests.to_string() << " | count=" << r.process_count << " |";
+    for (const auto& d : r.delegates) os << " " << d.to_string();
+    os << "\n";
+  }
+  return os.str();
+}
+
+MembershipView::MembershipView(Address self, TreeConfig config)
+    : self_(std::move(self)), config_(config) {
+  config_.validate();
+  PMC_EXPECTS(self_.depth() == config_.depth);
+  depths_.resize(config_.depth);
+}
+
+DepthView& MembershipView::view(std::size_t depth) {
+  PMC_EXPECTS(depth >= 1 && depth <= depths_.size());
+  return depths_[depth - 1];
+}
+
+const DepthView& MembershipView::view(std::size_t depth) const {
+  PMC_EXPECTS(depth >= 1 && depth <= depths_.size());
+  return depths_[depth - 1];
+}
+
+std::size_t MembershipView::known_processes() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t depth = 1; depth <= depths_.size(); ++depth) {
+    for (const auto& row : depths_[depth - 1].rows()) {
+      if (row.alive) n += row.delegates.size();
+    }
+  }
+  return n;
+}
+
+std::string MembershipView::to_string() const {
+  std::ostringstream os;
+  os << "MembershipView(" << self_.to_string() << ")\n";
+  for (std::size_t depth = 1; depth <= depths_.size(); ++depth) {
+    os << " depth " << depth << ":\n" << depths_[depth - 1].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace pmc

@@ -1,0 +1,95 @@
+// Per-depth membership view tables (paper Fig. 2).
+//
+// A process keeps one table per depth i of the tree. Each row describes one
+// populated subgroup reachable by appending an infix x(i) to the process's
+// prefix of length i-1: the subgroup's regrouped interests, its process
+// count, and the R delegates representing it ("postfixes" in Fig. 2). At the
+// leaf depth d a row is a single immediate-neighbor process. Rows carry a
+// version for the gossip-pull anti-entropy of Sec. 2.3 (newer version wins)
+// and an `alive` flag so departures/failures propagate as tombstones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "addr/address.hpp"
+#include "filter/regroup.hpp"
+#include "membership/config.hpp"
+
+namespace pmc {
+
+struct ViewRow {
+  AddrComponent infix = 0;          ///< subgroup's component at this depth
+  std::vector<Address> delegates;   ///< R delegates; the process itself at depth d
+  InterestSummary interests;        ///< regrouped interests of the subgroup
+  std::uint64_t process_count = 0;  ///< processes represented by the row
+  std::uint64_t version = 0;        ///< anti-entropy logical timestamp
+  bool alive = true;                ///< false: tombstone (left or crashed)
+};
+
+/// A row tagged with the depth of the table it belongs to — the unit of
+/// membership exchange (anti-entropy updates, view transfers, and rows
+/// piggybacked on event gossip).
+struct DepthRow {
+  std::uint32_t depth = 0;
+  ViewRow row;
+};
+
+/// One depth's table: rows sorted by infix, unique per infix.
+class DepthView {
+ public:
+  const std::vector<ViewRow>& rows() const noexcept { return rows_; }
+  std::size_t size() const noexcept { return rows_.size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+
+  const ViewRow* find(AddrComponent infix) const noexcept;
+
+  /// Inserts or replaces; on replace the higher version wins (ties keep the
+  /// incumbent). Returns true if the table changed.
+  bool upsert(ViewRow row);
+
+  /// Removes a row outright (local maintenance; prefer tombstones for
+  /// anti-entropy-visible departures).
+  bool erase(AddrComponent infix);
+
+  /// Number of live rows.
+  std::size_t live_count() const noexcept;
+  /// Sum of process_count over live rows.
+  std::uint64_t total_processes() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<ViewRow> rows_;
+};
+
+/// The complete membership knowledge of one process: its address plus one
+/// DepthView per depth 1..d. Depth i is indexed as view(i), 1-based to match
+/// the paper.
+class MembershipView {
+ public:
+  MembershipView() = default;
+  MembershipView(Address self, TreeConfig config);
+
+  const Address& self() const noexcept { return self_; }
+  const TreeConfig& config() const noexcept { return config_; }
+
+  DepthView& view(std::size_t depth);
+  const DepthView& view(std::size_t depth) const;
+
+  /// Total processes known (Eq. 2): live delegates at depths < d plus live
+  /// neighbors at depth d; a process appearing at several depths is counted
+  /// once per appearance, as the paper does.
+  std::size_t known_processes() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  Address self_;
+  TreeConfig config_;
+  std::vector<DepthView> depths_;
+};
+
+}  // namespace pmc

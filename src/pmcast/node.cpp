@@ -1,0 +1,314 @@
+#include "pmcast/node.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+PmcastNode::PmcastNode(Runtime& rt, ProcessId pid, PmcastConfig config,
+                       Address self, Subscription subscription,
+                       const ViewProvider& views, Directory directory)
+    : Process(rt, pid),
+      config_(config),
+      self_(std::move(self)),
+      subscription_(std::move(subscription)),
+      views_(&views),
+      directory_(std::move(directory)),
+      estimator_(config.pittel_c) {
+  config_.validate();
+  PMC_EXPECTS(self_.depth() == config_.tree.depth);
+  PMC_EXPECTS(directory_ != nullptr);
+  gossips_.resize(config_.tree.depth);
+}
+
+void PmcastNode::pmcast(Event event) {
+  PMC_EXPECTS(alive());
+  auto ev = std::make_shared<const Event>(std::move(event));
+  ++stats_.published;
+  seen_.insert(ev->id());
+  deliver_if_interested(*ev);
+
+  // Sec. 3.2: start at the root, but skip depths where the interest is
+  // confined to our own subtree — the event is of "local" interest there.
+  std::size_t depth = 1;
+  if (config_.local_interest_shortcut) {
+    while (depth < config_.tree.depth) {
+      const DepthView& view = views_->view(self_, depth);
+      const AddrComponent own_infix = self_.component(depth - 1);
+      bool foreign_interest = false;
+      for (const auto& row : view.rows()) {
+        if (!row.alive || row.infix == own_infix) continue;
+        if (row.interests.match(*ev)) {
+          foreign_interest = true;
+          break;
+        }
+      }
+      if (foreign_interest) break;
+      ++depth;
+    }
+  }
+
+  const double rate = rate_at(depth, *ev);
+  buffer_event(depth, Entry{std::move(ev), rate, 0});
+}
+
+void PmcastNode::on_message(ProcessId from, const MessagePtr& msg) {
+  if (const auto* digest = dynamic_cast<const EventDigestMsg*>(msg.get())) {
+    handle_digest(from, *digest);
+    return;
+  }
+  if (const auto* request = dynamic_cast<const EventRequestMsg*>(msg.get())) {
+    handle_request(from, *request);
+    return;
+  }
+  if (const auto* payload = dynamic_cast<const EventPayloadMsg*>(msg.get())) {
+    handle_payload(*payload);
+    return;
+  }
+  const auto* gossip = dynamic_cast<const GossipMsg*>(msg.get());
+  if (gossip == nullptr) return;
+  PMC_EXPECTS(gossip->event != nullptr);
+  PMC_EXPECTS(gossip->depth >= 1 && gossip->depth <= config_.tree.depth);
+
+  if (piggyback_sink_ && !gossip->piggyback.empty())
+    piggyback_sink_(gossip->sender, gossip->piggyback);
+
+  // Fig. 3 lines 20-23 (with whole-lifetime dedup, see header).
+  if (!seen_.insert(gossip->event->id()).second) return;
+  ++stats_.received;
+  buffer_event(gossip->depth,
+               Entry{gossip->event, gossip->rate, gossip->round});
+  deliver_if_interested(*gossip->event);
+}
+
+void PmcastNode::on_period() {
+  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth)
+    gossip_entries_at(depth);
+  run_recovery_round();
+  if (buffers_empty() && store_.empty()) disarm_periodic();
+}
+
+void PmcastNode::gossip_entries_at(std::size_t depth) {
+  auto& entries = gossips_[depth - 1];
+  if (entries.empty()) return;
+
+  std::vector<Entry> promoted;
+  auto it = entries.begin();
+  while (it != entries.end()) {
+    Entry& entry = *it;
+    double local_rate = 0.0;  // recomputed, used only by the candidate list
+    const auto candidates = candidates_at(depth, *entry.event, local_rate);
+
+    // Sec. 6 mechanism: dense interest at the leaf depth — flood the
+    // subgroup once instead of running probabilistic rounds.
+    if (depth == config_.tree.depth && entry.round == 0 &&
+        entry.rate >= config_.leaf_flood_density) {
+      for (const Candidate& cand : candidates) {
+        if (!cand.interested) continue;
+        const ProcessId target = directory_(*cand.address);
+        if (target == kNoProcess) continue;
+        auto msg = std::make_shared<GossipMsg>();
+        msg->event = entry.event;
+        msg->rate = entry.rate;
+        // Mark the remaining life-time exhausted so receivers do not
+        // re-gossip; the flood already addressed everyone interested.
+        msg->round = std::numeric_limits<std::uint32_t>::max();
+        msg->depth = static_cast<std::uint32_t>(depth);
+        send(target, std::move(msg));
+        ++stats_.gossips_sent;
+      }
+      ++stats_.leaf_floods;
+      retain_for_recovery(std::move(entry.event));
+      it = entries.erase(it);
+      continue;
+    }
+    // Fig. 3 line 7: the round bound uses the rate propagated with the
+    // event, so every process of the subgroup applies the same bound.
+    const double interested =
+        static_cast<double>(candidates.size()) * entry.rate;
+    const double bound = estimator_.faulty(
+        interested, static_cast<double>(config_.fanout) * entry.rate,
+        config_.env_estimate);
+
+    if (static_cast<double>(entry.round) < bound) {
+      // Fig. 3 lines 8-14: one more round at this depth.
+      ++entry.round;
+      ++stats_.rounds_run;
+      const std::size_t picks =
+          std::min<std::size_t>(config_.fanout, candidates.size());
+      const auto chosen =
+          rng().sample_without_replacement(candidates.size(), picks);
+      for (const auto ci : chosen) {
+        const Candidate& cand = candidates[ci];
+        if (!cand.interested) continue;  // line 13: filter before sending
+        const ProcessId target = directory_(*cand.address);
+        if (target == kNoProcess) continue;
+        auto msg = std::make_shared<GossipMsg>();
+        msg->event = entry.event;
+        msg->rate = entry.rate;
+        msg->round = entry.round;
+        msg->depth = static_cast<std::uint32_t>(depth);
+        if (piggyback_source_) {
+          msg->piggyback = piggyback_source_(*cand.address);
+          if (!msg->piggyback.empty()) msg->sender = self_;
+        }
+        send(target, std::move(msg));
+        ++stats_.gossips_sent;
+      }
+      ++it;
+    } else {
+      // Fig. 3 lines 15-18: retire here, promote to the next depth.
+      if (depth < config_.tree.depth) {
+        auto ev = std::move(entry.event);
+        const double next_rate = rate_at(depth + 1, *ev);
+        promoted.push_back(Entry{std::move(ev), next_rate, 0});
+      } else {
+        retain_for_recovery(std::move(entry.event));
+      }
+      it = entries.erase(it);
+    }
+  }
+  for (auto& entry : promoted) buffer_event(depth + 1, std::move(entry));
+}
+
+std::vector<PmcastNode::Candidate> PmcastNode::candidates_at(
+    std::size_t depth, const Event& e, double& rate_out) const {
+  const DepthView& view = views_->view(self_, depth);
+  std::vector<Candidate> out;
+  std::size_t interested = 0;
+  for (const auto& row : view.rows()) {
+    if (!row.alive) continue;
+    const bool row_interested = row.interests.match(e);
+    for (const auto& addr : row.delegates) {
+      if (addr == self_) continue;
+      out.push_back(Candidate{&addr, row_interested});
+      if (row_interested) ++interested;
+    }
+  }
+
+  // Sec. 5.3 tuning: too small an audience starves Pittel's estimate, so
+  // treat the first h view members as interested as well.
+  if (config_.tuning_threshold > 0 &&
+      interested < config_.tuning_threshold) {
+    interested = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i < config_.tuning_threshold) out[i].interested = true;
+      if (out[i].interested) ++interested;
+    }
+  }
+
+  rate_out = out.empty()
+                 ? 0.0
+                 : static_cast<double>(interested) /
+                       static_cast<double>(out.size());
+  return out;
+}
+
+double PmcastNode::rate_at(std::size_t depth, const Event& e) const {
+  double rate = 0.0;
+  (void)candidates_at(depth, e, rate);
+  return rate;
+}
+
+void PmcastNode::buffer_event(std::size_t depth, Entry entry) {
+  PMC_EXPECTS(depth >= 1 && depth <= config_.tree.depth);
+  gossips_[depth - 1].push_back(std::move(entry));
+  if (!periodic_armed()) arm_periodic(config_.period);
+}
+
+void PmcastNode::deliver_if_interested(const Event& e) {
+  if (!subscription_.match(e)) return;
+  if (!delivered_ids_.insert(e.id()).second) return;
+  ++stats_.delivered;
+  if (deliver_) deliver_(e);
+}
+
+bool PmcastNode::buffers_empty() const noexcept {
+  return std::all_of(gossips_.begin(), gossips_.end(),
+                     [](const auto& v) { return v.empty(); });
+}
+
+void PmcastNode::retain_for_recovery(std::shared_ptr<const Event> event) {
+  if (config_.recovery_rounds == 0 || event == nullptr) return;
+  const EventId id = event->id();  // before the move: evaluation order of
+                                   // the subscript and the move is unspecified
+  store_[id] = Retained{std::move(event), config_.recovery_rounds};
+}
+
+void PmcastNode::run_recovery_round() {
+  if (store_.empty()) return;
+  const DepthView& leaf = views_->view(self_, config_.tree.depth);
+
+  // Per leaf neighbor, the ids of retained events its interests match.
+  std::vector<std::pair<const Address*, std::vector<EventId>>> digests;
+  for (const auto& row : leaf.rows()) {
+    if (!row.alive || row.delegates.empty()) continue;
+    const Address& neighbor = row.delegates.front();
+    if (neighbor == self_) continue;
+    std::vector<EventId> ids;
+    for (const auto& [id, retained] : store_) {
+      if (row.interests.match(*retained.event)) ids.push_back(id);
+    }
+    if (!ids.empty()) digests.emplace_back(&neighbor, std::move(ids));
+  }
+
+  // Digest fanout F among the neighbors with matching retained events.
+  const std::size_t picks =
+      std::min<std::size_t>(config_.fanout, digests.size());
+  if (picks > 0) {
+    const auto chosen = rng().sample_without_replacement(digests.size(), picks);
+    for (const auto ci : chosen) {
+      const ProcessId target = directory_(*digests[ci].first);
+      if (target == kNoProcess) continue;
+      auto msg = std::make_shared<EventDigestMsg>();
+      msg->ids = std::move(digests[ci].second);
+      send(target, std::move(msg));
+      ++stats_.digests_sent;
+    }
+  }
+
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (--it->second.rounds_left == 0)
+      it = store_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void PmcastNode::handle_digest(ProcessId from, const EventDigestMsg& m) {
+  if (config_.recovery_rounds == 0) return;
+  std::vector<EventId> missing;
+  for (const auto& id : m.ids) {
+    if (seen_.count(id) == 0) missing.push_back(id);
+  }
+  if (missing.empty()) return;
+  auto request = std::make_shared<EventRequestMsg>();
+  request->ids = std::move(missing);
+  send(from, std::move(request));
+}
+
+void PmcastNode::handle_request(ProcessId from, const EventRequestMsg& m) {
+  auto payload = std::make_shared<EventPayloadMsg>();
+  for (const auto& id : m.ids) {
+    const auto it = store_.find(id);
+    if (it != store_.end()) payload->events.push_back(it->second.event);
+  }
+  if (!payload->events.empty()) send(from, std::move(payload));
+}
+
+void PmcastNode::handle_payload(const EventPayloadMsg& m) {
+  for (const auto& event : m.events) {
+    if (event == nullptr || !seen_.insert(event->id()).second) continue;
+    ++stats_.received;
+    ++stats_.recoveries;
+    deliver_if_interested(*event);
+    // Retain the recovered payload so it can serve further requests, and
+    // keep the periodic task alive for the digest rounds.
+    retain_for_recovery(event);
+    if (!periodic_armed() && alive()) arm_periodic(config_.period);
+  }
+}
+
+}  // namespace pmc

@@ -1,0 +1,180 @@
+// The pmcast dissemination node — paper Fig. 3.
+//
+// A node buffers each known event per depth as (event, rate, round). Every
+// period P it walks the buffers depth by depth:
+//   * while round < T(interested, F*rate) it draws F random members of its
+//     depth view and gossips the event to those that are interested
+//     (delegates whose subgroup's regrouped interests match);
+//   * once the rounds at a depth are exhausted the entry moves to the next
+//     depth with a freshly computed matching rate (GETRATE), until it falls
+//     off depth d — the paper's "passive garbage collection".
+// Receivers deliver the event iff their own subscription matches.
+//
+// Deviations from the paper's pseudocode, argued in DESIGN.md §2:
+//   * PMCAST inserts at depth 1 (the root), per the paper's prose;
+//   * the leaf-depth view size is not multiplied by R;
+//   * a per-node `seen` set deduplicates events across their whole lifetime
+//     (Fig. 3 line 20 only checks the live buffers), so HPDELIVER fires at
+//     most once per event;
+//   * a node never gossips to itself.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "event/event.hpp"
+#include "filter/subscription.hpp"
+#include "pmcast/config.hpp"
+#include "pmcast/view_provider.hpp"
+#include "sim/runtime.hpp"
+
+namespace pmc {
+
+/// The gossip wire message (Fig. 3's SEND(event, rate, round, depth)).
+/// `piggyback` optionally carries membership rows (Sec. 2.3) together with
+/// the sender's address so the receiver can scope them.
+struct GossipMsg final : MessageBase {
+  std::shared_ptr<const Event> event;
+  double rate = 0.0;
+  std::uint32_t round = 0;
+  std::uint32_t depth = 0;
+  Address sender;                  ///< set when piggyback is non-empty
+  std::vector<DepthRow> piggyback;
+};
+
+/// Recovery digests (optional, PmcastConfig::recovery_rounds): ids of
+/// retained events the sender believes the target is interested in.
+struct EventDigestMsg final : MessageBase {
+  std::vector<EventId> ids;
+};
+
+/// Request for retransmission of events missing at the requester.
+struct EventRequestMsg final : MessageBase {
+  std::vector<EventId> ids;
+};
+
+/// Retransmitted payloads answering an EventRequestMsg.
+struct EventPayloadMsg final : MessageBase {
+  std::vector<std::shared_ptr<const Event>> events;
+};
+
+class PmcastNode final : public Process {
+ public:
+  using DeliverHandler = std::function<void(const Event&)>;
+  using Directory = std::function<ProcessId(const Address&)>;
+
+  PmcastNode(Runtime& rt, ProcessId pid, PmcastConfig config, Address self,
+             Subscription subscription, const ViewProvider& views,
+             Directory directory);
+
+  /// Multicasts an event (Fig. 3's PMCAST). The originator participates at
+  /// every depth starting from the root; if it is itself interested, the
+  /// event is delivered locally.
+  void pmcast(Event event);
+
+  /// HPDELIVER callback; invoked at most once per event.
+  void set_deliver_handler(DeliverHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Membership piggybacking (paper Sec. 2.3): when both hooks are set,
+  /// every outgoing gossip carries source(target) rows and every incoming
+  /// gossip's rows are handed to sink(sender, rows) — typically wired to
+  /// SyncNode::rows_to_share / SyncNode::absorb_rows, so membership spreads
+  /// with events instead of (only) dedicated gossips.
+  using PiggybackSource =
+      std::function<std::vector<DepthRow>(const Address& target)>;
+  using PiggybackSink = std::function<void(const Address& sender,
+                                           const std::vector<DepthRow>&)>;
+  void set_piggyback(PiggybackSource source, PiggybackSink sink) {
+    piggyback_source_ = std::move(source);
+    piggyback_sink_ = std::move(sink);
+  }
+
+  const Address& address() const noexcept { return self_; }
+  const Subscription& subscription() const noexcept { return subscription_; }
+
+  bool interested_in(const Event& e) const { return subscription_.match(e); }
+  bool has_received(const EventId& id) const { return seen_.count(id) != 0; }
+  bool has_delivered(const EventId& id) const {
+    return delivered_ids_.count(id) != 0;
+  }
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t received = 0;   ///< distinct events received via gossip
+    std::uint64_t delivered = 0;  ///< events handed to the application
+    std::uint64_t gossips_sent = 0;
+    std::uint64_t rounds_run = 0;  ///< per-depth gossip rounds executed
+    std::uint64_t leaf_floods = 0;  ///< Sec. 6 leaf-flood activations
+    std::uint64_t digests_sent = 0;
+    std::uint64_t recoveries = 0;  ///< events obtained via retransmission
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ protected:
+  void on_message(ProcessId from, const MessagePtr& msg) override;
+  void on_period() override;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Event> event;
+    double rate = 0.0;
+    std::uint32_t round = 0;
+  };
+
+  /// One view member that could be gossiped to.
+  struct Candidate {
+    const Address* address = nullptr;
+    bool interested = false;
+  };
+
+  /// Enumerates the view members at `depth` (excluding self), marking each
+  /// as interested per its row's regrouped interests, with the Sec. 5.3
+  /// tuning applied. Returns the effective matching rate via `rate_out`.
+  std::vector<Candidate> candidates_at(std::size_t depth, const Event& e,
+                                       double& rate_out) const;
+
+  /// Fig. 3's GETRATE: effective matching rate at `depth`.
+  double rate_at(std::size_t depth, const Event& e) const;
+
+  void buffer_event(std::size_t depth, Entry entry);
+  void gossip_entries_at(std::size_t depth);
+  void deliver_if_interested(const Event& e);
+  bool buffers_empty() const noexcept;
+
+  /// Starts (or refreshes) the recovery phase for a retained event.
+  void retain_for_recovery(std::shared_ptr<const Event> event);
+  /// One period of digest gossip for every event still in recovery.
+  void run_recovery_round();
+  void handle_digest(ProcessId from, const EventDigestMsg& m);
+  void handle_request(ProcessId from, const EventRequestMsg& m);
+  void handle_payload(const EventPayloadMsg& m);
+
+  PmcastConfig config_;
+  Address self_;
+  Subscription subscription_;
+  const ViewProvider* views_;
+  Directory directory_;
+  RoundEstimator estimator_;
+  DeliverHandler deliver_;
+  PiggybackSource piggyback_source_;
+  PiggybackSink piggyback_sink_;
+
+  std::vector<std::vector<Entry>> gossips_;  // index 0 <-> depth 1
+  std::unordered_set<EventId, EventIdHash> seen_;
+  std::unordered_set<EventId, EventIdHash> delivered_ids_;
+
+  /// Events retained for digest recovery, with remaining digest rounds.
+  struct Retained {
+    std::shared_ptr<const Event> event;
+    std::size_t rounds_left = 0;
+  };
+  std::unordered_map<EventId, Retained, EventIdHash> store_;
+
+  Stats stats_;
+};
+
+}  // namespace pmc

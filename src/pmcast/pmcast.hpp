@@ -1,0 +1,30 @@
+// Umbrella header: the public API of the pmcast library.
+//
+//   #include "pmcast/pmcast.hpp"
+//
+// Typical use (see examples/quickstart.cpp):
+//   1. Describe the tree (TreeConfig) and build a GroupTree from
+//      (Address, Subscription) members, or run SyncNodes for decentralized
+//      membership.
+//   2. Create a Runtime and one PmcastNode per process, wired to a
+//      ViewProvider and an Address -> ProcessId directory.
+//   3. Call PmcastNode::pmcast(event); interested nodes get their deliver
+//      handler invoked with high probability, uninterested nodes are left
+//      alone with high probability.
+#pragma once
+
+#include "addr/address.hpp"
+#include "addr/space.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/rounds.hpp"
+#include "analysis/tree_analysis.hpp"
+#include "event/event.hpp"
+#include "filter/regroup.hpp"
+#include "filter/subscription.hpp"
+#include "membership/sync.hpp"
+#include "membership/tree.hpp"
+#include "membership/view.hpp"
+#include "pmcast/config.hpp"
+#include "pmcast/node.hpp"
+#include "pmcast/view_provider.hpp"
+#include "sim/runtime.hpp"

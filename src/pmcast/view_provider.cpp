@@ -1,0 +1,16 @@
+#include "pmcast/view_provider.hpp"
+
+namespace pmc {
+
+const DepthView& TreeViewProvider::view(const Address& self,
+                                        std::size_t depth) const {
+  return tree_->view_for(self, depth);
+}
+
+const DepthView& LocalViewProvider::view(const Address& self,
+                                         std::size_t depth) const {
+  PMC_EXPECTS(view_->self() == self);
+  return view_->view(depth);
+}
+
+}  // namespace pmc

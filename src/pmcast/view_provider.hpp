@@ -1,0 +1,45 @@
+// Where a pmcast node's per-depth view tables come from.
+//
+// Two implementations:
+//  * TreeViewProvider — tables shared from a GroupTree. In simulation this
+//    models the converged state where every process of a subgroup holds the
+//    same table (and saves memory for 10^4-process runs).
+//  * LocalViewProvider — tables from a process-local MembershipView, e.g.
+//    one maintained by the SyncNode anti-entropy; this is the deployment
+//    configuration where views are only loosely coordinated.
+#pragma once
+
+#include "membership/tree.hpp"
+#include "membership/view.hpp"
+
+namespace pmc {
+
+class ViewProvider {
+ public:
+  virtual ~ViewProvider() = default;
+  /// The depth-i table of process `self` (i in [1, d]).
+  virtual const DepthView& view(const Address& self,
+                                std::size_t depth) const = 0;
+};
+
+class TreeViewProvider final : public ViewProvider {
+ public:
+  explicit TreeViewProvider(const GroupTree& tree) : tree_(&tree) {}
+  const DepthView& view(const Address& self,
+                        std::size_t depth) const override;
+
+ private:
+  const GroupTree* tree_;
+};
+
+class LocalViewProvider final : public ViewProvider {
+ public:
+  explicit LocalViewProvider(const MembershipView& view) : view_(&view) {}
+  const DepthView& view(const Address& self,
+                        std::size_t depth) const override;
+
+ private:
+  const MembershipView* view_;
+};
+
+}  // namespace pmc

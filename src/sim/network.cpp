@@ -1,0 +1,64 @@
+#include "sim/network.hpp"
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+Network::Network(Scheduler& sched, NetworkConfig config, Rng rng)
+    : sched_(sched), config_(config), rng_(rng) {
+  PMC_EXPECTS(config_.loss_probability >= 0.0 &&
+              config_.loss_probability <= 1.0);
+  PMC_EXPECTS(config_.latency_min >= 0 &&
+              config_.latency_min <= config_.latency_max);
+}
+
+void Network::attach(ProcessId id, Handler handler) {
+  PMC_EXPECTS(handler != nullptr);
+  if (id >= handlers_.size()) handlers_.resize(id + 1);
+  handlers_[id] = std::move(handler);
+}
+
+void Network::detach(ProcessId id) {
+  if (id < handlers_.size()) handlers_[id] = nullptr;
+}
+
+bool Network::attached(ProcessId id) const noexcept {
+  return id < handlers_.size() && handlers_[id] != nullptr;
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  PMC_EXPECTS(msg != nullptr);
+  ++counters_.sent;
+  if (filter_ && !filter_(from, to)) {
+    ++counters_.filtered;
+    return;
+  }
+  if (transcoder_) {
+    msg = transcoder_(msg);
+    if (msg == nullptr) {
+      ++counters_.filtered;
+      return;
+    }
+  }
+  if (config_.loss_probability > 0.0 &&
+      rng_.bernoulli(config_.loss_probability)) {
+    ++counters_.lost;
+    return;
+  }
+  const SimTime span = config_.latency_max - config_.latency_min;
+  const SimTime latency =
+      config_.latency_min +
+      (span > 0 ? static_cast<SimTime>(
+                      rng_.next_below(static_cast<std::uint64_t>(span) + 1))
+                : 0);
+  sched_.schedule_after(latency, [this, from, to, msg = std::move(msg)] {
+    if (to < handlers_.size() && handlers_[to]) {
+      ++counters_.delivered;
+      handlers_[to](from, msg);
+    } else {
+      ++counters_.dead_target;
+    }
+  });
+}
+
+}  // namespace pmc

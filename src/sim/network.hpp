@@ -1,0 +1,87 @@
+// Simulated unreliable network (paper Sec. 4.1's model): every message is
+// independently lost with probability ε; delivery latency is uniform in
+// [latency_min, latency_max], which the analysis requires to stay below the
+// gossip period P. An optional link filter models partitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pmc {
+
+using ProcessId = std::uint32_t;
+constexpr ProcessId kNoProcess = 0xffffffffU;
+
+/// Base class for simulated message payloads. Payloads are immutable and
+/// shared between in-flight copies (a gossip to F destinations enqueues F
+/// references, not F copies).
+struct MessageBase {
+  virtual ~MessageBase() = default;
+};
+using MessagePtr = std::shared_ptr<const MessageBase>;
+
+struct NetworkConfig {
+  double loss_probability = 0.0;  ///< ε — independent per message
+  SimTime latency_min = sim_us(100);
+  SimTime latency_max = sim_us(900);
+};
+
+struct NetworkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;       ///< dropped by ε
+  std::uint64_t filtered = 0;   ///< dropped by the link filter (partition)
+  std::uint64_t dead_target = 0;  ///< target crashed or unregistered
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(ProcessId from, const MessagePtr&)>;
+  using LinkFilter = std::function<bool(ProcessId from, ProcessId to)>;
+
+  Network(Scheduler& sched, NetworkConfig config, Rng rng);
+
+  /// Registers the receive handler for `id`; overrides any previous one.
+  void attach(ProcessId id, Handler handler);
+  /// Removes the handler (in-flight messages to `id` are counted dead).
+  void detach(ProcessId id);
+  bool attached(ProcessId id) const noexcept;
+
+  /// Sends `msg` from `from` to `to`; loss and latency are applied here.
+  void send(ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// When set, messages with filter(from, to) == false are dropped
+  /// (simulates partitions). Pass nullptr to clear.
+  void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// When set, every message passes through this hook before delivery —
+  /// e.g. a serialize-then-parse round trip through the wire codec, so
+  /// tests exercise the exact bytes a deployment would put on a socket.
+  /// Returning nullptr drops the message (counted as filtered).
+  using Transcoder = std::function<MessagePtr(const MessagePtr&)>;
+  void set_transcoder(Transcoder transcoder) {
+    transcoder_ = std::move(transcoder);
+  }
+
+  const NetworkCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = NetworkCounters{}; }
+
+  Scheduler& scheduler() noexcept { return sched_; }
+  const NetworkConfig& config() const noexcept { return config_; }
+
+ private:
+  Scheduler& sched_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Handler> handlers_;  // indexed by ProcessId
+  LinkFilter filter_;
+  Transcoder transcoder_;
+  NetworkCounters counters_;
+};
+
+}  // namespace pmc

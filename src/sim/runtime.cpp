@@ -1,0 +1,74 @@
+#include "sim/runtime.hpp"
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+Runtime::Runtime(NetworkConfig net_config, std::uint64_t seed)
+    : seeder_(seed), net_(sched_, net_config, Rng(seeder_.next_u64())) {}
+
+void Runtime::schedule_crashes(std::span<Process* const> victims,
+                               SimTime horizon) {
+  PMC_EXPECTS(horizon >= now());
+  Rng rng = make_rng();
+  const auto span = static_cast<std::uint64_t>(horizon - now());
+  for (Process* p : victims) {
+    PMC_EXPECTS(p != nullptr);
+    const SimTime at =
+        now() + (span > 0 ? static_cast<SimTime>(rng.next_below(span)) : 0);
+    sched_.schedule_at(at, [p] {
+      if (p->alive()) p->crash();
+    });
+  }
+}
+
+Process::Process(Runtime& rt, ProcessId id)
+    : rt_(rt), id_(id), rng_(rt.make_rng()) {
+  rt_.network().attach(id_, [this](ProcessId from, const MessagePtr& msg) {
+    if (alive_) on_message(from, msg);
+  });
+}
+
+Process::~Process() {
+  disarm_periodic();
+  rt_.network().detach(id_);
+}
+
+void Process::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  disarm_periodic();
+  rt_.network().detach(id_);
+}
+
+void Process::arm_periodic(SimTime period) {
+  PMC_EXPECTS(period > 0);
+  PMC_EXPECTS(alive_);
+  period_ = period;
+  if (!timer_armed_) {
+    timer_armed_ = true;
+    schedule_tick();
+  }
+}
+
+void Process::disarm_periodic() {
+  if (timer_armed_) {
+    rt_.scheduler().cancel(timer_token_);
+    timer_armed_ = false;
+  }
+}
+
+void Process::schedule_tick() {
+  // Align to global period boundaries: next tick at the smallest multiple of
+  // period_ strictly after now.
+  const SimTime now = rt_.now();
+  const SimTime next = (now / period_ + 1) * period_;
+  timer_token_ = rt_.scheduler().schedule_at(next, [this] {
+    if (!timer_armed_ || !alive_) return;
+    on_period();
+    // on_period() may have disarmed (stop) or re-armed with a new period.
+    if (timer_armed_ && alive_) schedule_tick();
+  });
+}
+
+}  // namespace pmc

@@ -1,0 +1,91 @@
+// Simulation runtime: binds a scheduler and a network, hosts processes, and
+// injects crash failures (fail-stop, no recovery — the paper's failure model,
+// Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pmc {
+
+class Process;
+
+class Runtime {
+ public:
+  explicit Runtime(NetworkConfig net_config = {},
+                   std::uint64_t seed = 0x5eedf00dULL);
+
+  Scheduler& scheduler() noexcept { return sched_; }
+  Network& network() noexcept { return net_; }
+  SimTime now() const noexcept { return sched_.now(); }
+
+  /// Independent deterministic RNG stream derived from the run seed.
+  Rng make_rng() { return seeder_.split(); }
+
+  /// Crashes each process at an independent uniform time in [now, horizon).
+  /// This realizes τ = f/n: pass the f sampled victims.
+  void schedule_crashes(std::span<Process* const> victims, SimTime horizon);
+
+  void run_for(SimTime duration) { sched_.run_until(now() + duration); }
+  void run_until_idle() { sched_.run(); }
+
+ private:
+  Scheduler sched_;
+  Rng seeder_;
+  Network net_;
+};
+
+/// A simulated process: receives messages while alive and may run a periodic
+/// task aligned to global period boundaries (so gossip proceeds in the
+/// synchronized rounds the paper's analysis assumes, without the algorithm
+/// depending on that synchrony).
+class Process {
+ public:
+  Process(Runtime& rt, ProcessId id);
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const noexcept { return id_; }
+  bool alive() const noexcept { return alive_; }
+
+  /// Fail-stop: stops receiving and ticking; no recovery.
+  void crash();
+
+ protected:
+  virtual void on_message(ProcessId from, const MessagePtr& msg) = 0;
+  virtual void on_period() {}
+
+  /// Starts the periodic task; first tick at the next multiple of `period`.
+  /// Re-arming with a different period takes effect from the next tick.
+  void arm_periodic(SimTime period);
+  void disarm_periodic();
+  bool periodic_armed() const noexcept { return timer_armed_; }
+
+  void send(ProcessId to, MessagePtr msg) {
+    rt_.network().send(id_, to, std::move(msg));
+  }
+
+  Runtime& runtime() noexcept { return rt_; }
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  void schedule_tick();
+
+  Runtime& rt_;
+  ProcessId id_;
+  Rng rng_;
+  bool alive_ = true;
+  bool timer_armed_ = false;
+  SimTime period_ = 0;
+  EventToken timer_token_ = 0;
+};
+
+}  // namespace pmc

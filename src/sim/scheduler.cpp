@@ -1,0 +1,62 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+EventToken Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  PMC_EXPECTS(at >= now_);
+  PMC_EXPECTS(fn != nullptr);
+  const EventToken token = next_token_++;
+  queue_.push(Item{at, token, std::move(fn)});
+  live_.insert(token);
+  return token;
+}
+
+void Scheduler::cancel(EventToken token) {
+  // Only a token still awaiting execution gets a tombstone; cancelling the
+  // currently running (already popped) token must be a no-op.
+  if (live_.erase(token) != 0) cancelled_.insert(token);
+}
+
+bool Scheduler::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, hence the const_cast on the (about to be destroyed) top.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(item.token);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(item.token);
+    now_ = item.at;
+    ++executed_;
+    item.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() { return pop_one(); }
+
+void Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!pop_one()) break;
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (pop_one()) {
+    if (++n >= max_events)
+      throw std::runtime_error("Scheduler::run exceeded max_events");
+  }
+}
+
+}  // namespace pmc

@@ -1,0 +1,68 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks with stable
+// FIFO tie-breaking (same-time events run in scheduling order, which keeps
+// runs reproducible). Events can be cancelled by id (lazy tombstones).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pmc {
+
+using EventToken = std::uint64_t;
+
+class Scheduler {
+ public:
+  /// Schedules `fn` at absolute time `at` (>= now). Returns a token usable
+  /// with cancel().
+  EventToken schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` `delay` after now.
+  EventToken schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; a no-op for tokens that already ran or were
+  /// already cancelled (safe to call from inside the running event itself).
+  void cancel(EventToken token);
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return live_.empty(); }
+  std::size_t pending() const noexcept { return live_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+  /// Runs events until the queue is empty or `deadline` is passed; time
+  /// advances to at most `deadline`.
+  void run_until(SimTime deadline);
+  /// Runs until the queue drains. `max_events` guards against runaway loops.
+  void run(std::uint64_t max_events = 1'000'000'000ULL);
+
+ private:
+  struct Item {
+    SimTime at;
+    EventToken token;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.token > b.token;  // FIFO among same-time events
+    }
+  };
+
+  bool pop_one();
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<EventToken> live_;       // scheduled, not yet run/cancelled
+  std::unordered_set<EventToken> cancelled_;  // tombstones still in the queue
+  SimTime now_ = 0;
+  EventToken next_token_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pmc

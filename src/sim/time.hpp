@@ -1,0 +1,16 @@
+// Simulated time. Microsecond resolution keeps gossip periods (milliseconds,
+// paper Fig. 3 "every P milliseconds") and sub-period network latencies
+// exactly representable as integers, avoiding floating-point time drift.
+#pragma once
+
+#include <cstdint>
+
+namespace pmc {
+
+using SimTime = std::int64_t;  // microseconds since simulation start
+
+constexpr SimTime sim_us(std::int64_t us) { return us; }
+constexpr SimTime sim_ms(std::int64_t ms) { return ms * 1000; }
+constexpr SimTime sim_sec(std::int64_t s) { return s * 1000 * 1000; }
+
+}  // namespace pmc

@@ -1,0 +1,558 @@
+#include "wire/messages.hpp"
+
+#include <limits>
+
+namespace pmc::wire {
+
+namespace {
+
+constexpr std::uint64_t kMaxCollection = 1 << 20;  // sanity bound on counts
+
+std::uint64_t checked_count(Reader& r) {
+  const std::uint64_t n = r.varint();
+  if (n > kMaxCollection) throw DecodeError("collection too large");
+  return n;
+}
+
+}  // namespace
+
+// -- Value -------------------------------------------------------------------
+
+void encode(Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Int:
+      w.u8(0);
+      w.svarint(v.as_int());
+      break;
+    case ValueKind::Float:
+      w.u8(1);
+      w.f64(v.as_double());
+      break;
+    case ValueKind::String:
+      w.u8(2);
+      w.str(v.as_string());
+      break;
+  }
+}
+
+Value decode_value(Reader& r) {
+  switch (r.u8()) {
+    case 0: return Value(r.svarint());
+    case 1: return Value(r.f64());
+    case 2: return Value(r.str());
+    default: throw DecodeError("bad value kind");
+  }
+}
+
+// -- Event -------------------------------------------------------------------
+
+void encode(Writer& w, const Event& e) {
+  w.varint(e.id().publisher);
+  w.varint(e.id().sequence);
+  w.varint(e.attributes().size());
+  for (const auto& a : e.attributes()) {
+    w.str(a.name);
+    encode(w, a.value);
+  }
+}
+
+Event decode_event(Reader& r) {
+  EventId id;
+  id.publisher = r.varint();
+  id.sequence = r.varint();
+  Event e(id);
+  const auto n = checked_count(r);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    if (name.empty()) throw DecodeError("empty attribute name");
+    e.with(std::move(name), decode_value(r));
+  }
+  return e;
+}
+
+// -- Predicate ----------------------------------------------------------------
+
+void encode(Writer& w, const PredicatePtr& p) {
+  using Kind = Predicate::Kind;
+  switch (p->kind()) {
+    case Kind::True: w.u8(0); break;
+    case Kind::False: w.u8(1); break;
+    case Kind::Compare:
+      w.u8(2);
+      w.str(p->attr());
+      w.u8(static_cast<std::uint8_t>(p->op()));
+      encode(w, p->value());
+      break;
+    case Kind::And:
+    case Kind::Or:
+      w.u8(p->kind() == Kind::And ? 3 : 4);
+      w.varint(p->children().size());
+      for (const auto& c : p->children()) encode(w, c);
+      break;
+    case Kind::Not:
+      w.u8(5);
+      encode(w, p->child());
+      break;
+  }
+}
+
+PredicatePtr decode_predicate(Reader& r, std::size_t max_depth) {
+  if (max_depth == 0) throw DecodeError("predicate too deep");
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case 0: return Predicate::wildcard();
+    case 1: return Predicate::never();
+    case 2: {
+      std::string attr = r.str();
+      if (attr.empty()) throw DecodeError("empty attribute in comparison");
+      const std::uint8_t op = r.u8();
+      if (op > static_cast<std::uint8_t>(CmpOp::Ge))
+        throw DecodeError("bad comparison operator");
+      return Predicate::compare(std::move(attr), static_cast<CmpOp>(op),
+                                decode_value(r));
+    }
+    case 3:
+    case 4: {
+      // Rebuilding through the conj/disj factories re-applies constant
+      // folding and flattening: the decoded tree is canonical, equivalent.
+      const auto n = checked_count(r);
+      std::vector<PredicatePtr> children;
+      children.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i)
+        children.push_back(decode_predicate(r, max_depth - 1));
+      return tag == 3 ? Predicate::conj(std::move(children))
+                      : Predicate::disj(std::move(children));
+    }
+    case 5:
+      return Predicate::negation(decode_predicate(r, max_depth - 1));
+    default: throw DecodeError("bad predicate tag");
+  }
+  throw DecodeError("unreachable predicate tag");
+}
+
+// -- Subscription -------------------------------------------------------------
+
+void encode(Writer& w, const Subscription& s) { encode(w, s.predicate()); }
+
+Subscription decode_subscription(Reader& r) {
+  return Subscription(decode_predicate(r));
+}
+
+// -- Interval / IntervalSet ----------------------------------------------------
+
+void encode(Writer& w, const Interval& iv) {
+  w.f64(iv.lo);
+  w.f64(iv.hi);
+  w.boolean(iv.lo_open);
+  w.boolean(iv.hi_open);
+}
+
+Interval decode_interval(Reader& r) {
+  Interval iv;
+  iv.lo = r.f64();
+  iv.hi = r.f64();
+  iv.lo_open = r.boolean();
+  iv.hi_open = r.boolean();
+  return iv;
+}
+
+void encode(Writer& w, const IntervalSet& set) {
+  w.varint(set.intervals().size());
+  for (const auto& iv : set.intervals()) encode(w, iv);
+}
+
+IntervalSet decode_interval_set(Reader& r) {
+  IntervalSet set;
+  const auto n = checked_count(r);
+  for (std::uint64_t i = 0; i < n; ++i) set.insert(decode_interval(r));
+  return set;
+}
+
+// -- Clause ---------------------------------------------------------------------
+
+void encode(Writer& w, const Clause& c) {
+  w.varint(c.numeric().size());
+  for (const auto& [attr, iv] : c.numeric()) {
+    w.str(attr);
+    encode(w, iv);
+  }
+  w.varint(c.strings().size());
+  for (const auto& [attr, allowed] : c.strings()) {
+    w.str(attr);
+    w.varint(allowed.size());
+    for (const auto& s : allowed) w.str(s);
+  }
+}
+
+Clause decode_clause(Reader& r) {
+  Clause c;
+  const auto numeric = checked_count(r);
+  for (std::uint64_t i = 0; i < numeric; ++i) {
+    std::string attr = r.str();
+    c.constrain_numeric(attr, decode_interval(r));
+  }
+  const auto strings = checked_count(r);
+  for (std::uint64_t i = 0; i < strings; ++i) {
+    std::string attr = r.str();
+    const auto count = checked_count(r);
+    std::vector<std::string> allowed;
+    allowed.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t j = 0; j < count; ++j) allowed.push_back(r.str());
+    c.constrain_string(attr, std::move(allowed));
+  }
+  return c;
+}
+
+// -- InterestSummary ---------------------------------------------------------
+
+void encode(Writer& w, const InterestSummary& s) {
+  w.boolean(s.is_wildcard());
+  w.varint(s.numeric_unions().size());
+  for (const auto& [attr, set] : s.numeric_unions()) {
+    w.str(attr);
+    encode(w, set);
+  }
+  w.varint(s.string_unions().size());
+  for (const auto& [attr, allowed] : s.string_unions()) {
+    w.str(attr);
+    w.varint(allowed.size());
+    for (const auto& v : allowed) w.str(v);
+  }
+  w.varint(s.clauses().size());
+  for (const auto& c : s.clauses()) encode(w, c);
+  w.varint(s.opaque().size());
+  for (const auto& p : s.opaque()) encode(w, p);
+}
+
+InterestSummary decode_summary(Reader& r) {
+  const bool wildcard = r.boolean();
+  std::map<std::string, IntervalSet> numeric;
+  const auto numeric_count = checked_count(r);
+  for (std::uint64_t i = 0; i < numeric_count; ++i) {
+    std::string attr = r.str();
+    numeric.emplace(std::move(attr), decode_interval_set(r));
+  }
+  std::map<std::string, std::vector<std::string>> strings;
+  const auto string_count = checked_count(r);
+  for (std::uint64_t i = 0; i < string_count; ++i) {
+    std::string attr = r.str();
+    const auto count = checked_count(r);
+    std::vector<std::string> allowed;
+    for (std::uint64_t j = 0; j < count; ++j) allowed.push_back(r.str());
+    strings.emplace(std::move(attr), std::move(allowed));
+  }
+  std::vector<Clause> clauses;
+  const auto clause_count = checked_count(r);
+  for (std::uint64_t i = 0; i < clause_count; ++i)
+    clauses.push_back(decode_clause(r));
+  std::vector<PredicatePtr> opaque;
+  const auto opaque_count = checked_count(r);
+  for (std::uint64_t i = 0; i < opaque_count; ++i)
+    opaque.push_back(decode_predicate(r));
+  return InterestSummary::reassemble(wildcard, std::move(numeric),
+                                     std::move(strings), std::move(clauses),
+                                     std::move(opaque));
+}
+
+// -- Address / ViewRow ---------------------------------------------------------
+
+void encode(Writer& w, const Address& a) {
+  w.varint(a.depth());
+  for (const auto c : a.components()) w.varint(c);
+}
+
+Address decode_address(Reader& r) {
+  const auto depth = checked_count(r);
+  if (depth == 0) throw DecodeError("empty address");
+  std::vector<AddrComponent> comps;
+  comps.reserve(static_cast<std::size_t>(depth));
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    const std::uint64_t c = r.varint();
+    if (c > std::numeric_limits<AddrComponent>::max())
+      throw DecodeError("address component out of range");
+    comps.push_back(static_cast<AddrComponent>(c));
+  }
+  return Address(std::move(comps));
+}
+
+void encode(Writer& w, const ViewRow& row) {
+  w.varint(row.infix);
+  w.varint(row.delegates.size());
+  for (const auto& d : row.delegates) encode(w, d);
+  encode(w, row.interests);
+  w.varint(row.process_count);
+  w.varint(row.version);
+  w.boolean(row.alive);
+}
+
+ViewRow decode_view_row(Reader& r) {
+  ViewRow row;
+  const std::uint64_t infix = r.varint();
+  if (infix > std::numeric_limits<AddrComponent>::max())
+    throw DecodeError("infix out of range");
+  row.infix = static_cast<AddrComponent>(infix);
+  const auto delegates = checked_count(r);
+  for (std::uint64_t i = 0; i < delegates; ++i)
+    row.delegates.push_back(decode_address(r));
+  row.interests = decode_summary(r);
+  row.process_count = r.varint();
+  row.version = r.varint();
+  row.alive = r.boolean();
+  return row;
+}
+
+// -- Envelope --------------------------------------------------------------------
+
+namespace {
+
+void encode_depth_rows(Writer& w, const std::vector<DepthRow>& rows) {
+  w.varint(rows.size());
+  for (const auto& dr : rows) {
+    w.varint(dr.depth);
+    encode(w, dr.row);
+  }
+}
+
+std::vector<DepthRow> decode_depth_rows(Reader& r) {
+  std::vector<DepthRow> rows;
+  const auto n = checked_count(r);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DepthRow dr;
+    const std::uint64_t depth = r.varint();
+    if (depth == 0 || depth > 0xff) throw DecodeError("bad row depth");
+    dr.depth = static_cast<std::uint32_t>(depth);
+    dr.row = decode_view_row(r);
+    rows.push_back(std::move(dr));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const MessageBase& msg) {
+  Writer w;
+  if (const auto* gossip = dynamic_cast<const GossipMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::Gossip));
+    encode(w, *gossip->event);
+    w.f64(gossip->rate);
+    w.varint(gossip->round);
+    w.varint(gossip->depth);
+    const bool piggybacked = !gossip->piggyback.empty();
+    w.boolean(piggybacked);
+    if (piggybacked) {
+      encode(w, gossip->sender);
+      encode_depth_rows(w, gossip->piggyback);
+    }
+  } else if (const auto* digest =
+                 dynamic_cast<const MembershipDigestMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::MembershipDigest));
+    encode(w, digest->sender);
+    w.varint(digest->sender_pid);
+    w.varint(digest->digests.size());
+    for (const auto& d : digest->digests) {
+      w.varint(d.depth);
+      w.varint(d.infix);
+      w.varint(d.version);
+    }
+  } else if (const auto* update =
+                 dynamic_cast<const MembershipUpdateMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::MembershipUpdate));
+    encode(w, update->sender);
+    encode_depth_rows(w, update->rows);
+  } else if (const auto* join = dynamic_cast<const JoinRequestMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::JoinRequest));
+    encode(w, join->joiner);
+    w.varint(join->joiner_pid);
+    encode(w, join->subscription);
+    w.varint(join->hops);
+  } else if (const auto* transfer =
+                 dynamic_cast<const ViewTransferMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::ViewTransfer));
+    encode(w, transfer->sender);
+    encode_depth_rows(w, transfer->rows);
+  } else if (const auto* leave = dynamic_cast<const LeaveMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::Leave));
+    encode(w, leave->leaver);
+  } else if (const auto* flood = dynamic_cast<const FloodGossipMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::FloodGossip));
+    encode(w, *flood->event);
+    w.varint(flood->round);
+  } else if (const auto* genuine =
+                 dynamic_cast<const GenuineGossipMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::GenuineGossip));
+    encode(w, *genuine->event);
+    w.varint(genuine->round);
+  } else if (const auto* query =
+                 dynamic_cast<const SuspectQueryMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::SuspectQuery));
+    encode(w, query->sender);
+    encode(w, query->suspect);
+  } else if (const auto* reply =
+                 dynamic_cast<const SuspectReplyMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::SuspectReply));
+    encode(w, reply->sender);
+    encode(w, reply->suspect);
+    w.boolean(reply->heard_recently);
+  } else if (const auto* digest2 =
+                 dynamic_cast<const EventDigestMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::EventDigest));
+    w.varint(digest2->ids.size());
+    for (const auto& id : digest2->ids) {
+      w.varint(id.publisher);
+      w.varint(id.sequence);
+    }
+  } else if (const auto* request =
+                 dynamic_cast<const EventRequestMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::EventRequest));
+    w.varint(request->ids.size());
+    for (const auto& id : request->ids) {
+      w.varint(id.publisher);
+      w.varint(id.sequence);
+    }
+  } else if (const auto* payload =
+                 dynamic_cast<const EventPayloadMsg*>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageTag::EventPayload));
+    w.varint(payload->events.size());
+    for (const auto& event : payload->events) encode(w, *event);
+  } else {
+    throw std::logic_error("encode_message: unknown message type");
+  }
+  return std::move(w).take();
+}
+
+MessagePtr decode_message(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  const auto tag = static_cast<MessageTag>(r.u8());
+  MessagePtr out;
+  switch (tag) {
+    case MessageTag::Gossip: {
+      auto msg = std::make_shared<GossipMsg>();
+      msg->event = std::make_shared<const Event>(decode_event(r));
+      msg->rate = r.f64();
+      if (!(msg->rate >= 0.0 && msg->rate <= 1.0))
+        throw DecodeError("rate out of range");
+      msg->round = static_cast<std::uint32_t>(r.varint());
+      const std::uint64_t depth = r.varint();
+      if (depth == 0 || depth > 0xff) throw DecodeError("bad gossip depth");
+      msg->depth = static_cast<std::uint32_t>(depth);
+      if (r.boolean()) {
+        msg->sender = decode_address(r);
+        msg->piggyback = decode_depth_rows(r);
+      }
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::MembershipDigest: {
+      auto msg = std::make_shared<MembershipDigestMsg>();
+      msg->sender = decode_address(r);
+      msg->sender_pid = static_cast<ProcessId>(r.varint());
+      const auto n = checked_count(r);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        RowDigest d;
+        d.depth = static_cast<std::uint32_t>(r.varint());
+        const std::uint64_t infix = r.varint();
+        if (infix > std::numeric_limits<AddrComponent>::max())
+          throw DecodeError("digest infix out of range");
+        d.infix = static_cast<AddrComponent>(infix);
+        d.version = r.varint();
+        msg->digests.push_back(d);
+      }
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::MembershipUpdate: {
+      auto msg = std::make_shared<MembershipUpdateMsg>();
+      msg->sender = decode_address(r);
+      msg->rows = decode_depth_rows(r);
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::JoinRequest: {
+      auto msg = std::make_shared<JoinRequestMsg>();
+      msg->joiner = decode_address(r);
+      msg->joiner_pid = static_cast<ProcessId>(r.varint());
+      msg->subscription = decode_subscription(r);
+      msg->hops = static_cast<std::uint32_t>(r.varint());
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::ViewTransfer: {
+      auto msg = std::make_shared<ViewTransferMsg>();
+      msg->sender = decode_address(r);
+      msg->rows = decode_depth_rows(r);
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::Leave: {
+      auto msg = std::make_shared<LeaveMsg>();
+      msg->leaver = decode_address(r);
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::FloodGossip: {
+      auto msg = std::make_shared<FloodGossipMsg>();
+      msg->event = std::make_shared<const Event>(decode_event(r));
+      msg->round = static_cast<std::uint32_t>(r.varint());
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::GenuineGossip: {
+      auto msg = std::make_shared<GenuineGossipMsg>();
+      msg->event = std::make_shared<const Event>(decode_event(r));
+      msg->round = static_cast<std::uint32_t>(r.varint());
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::SuspectQuery: {
+      auto msg = std::make_shared<SuspectQueryMsg>();
+      msg->sender = decode_address(r);
+      msg->suspect = decode_address(r);
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::SuspectReply: {
+      auto msg = std::make_shared<SuspectReplyMsg>();
+      msg->sender = decode_address(r);
+      msg->suspect = decode_address(r);
+      msg->heard_recently = r.boolean();
+      out = std::move(msg);
+      break;
+    }
+    case MessageTag::EventDigest:
+    case MessageTag::EventRequest: {
+      const auto n = checked_count(r);
+      std::vector<EventId> ids;
+      ids.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EventId id;
+        id.publisher = r.varint();
+        id.sequence = r.varint();
+        ids.push_back(id);
+      }
+      if (tag == MessageTag::EventDigest) {
+        auto msg = std::make_shared<EventDigestMsg>();
+        msg->ids = std::move(ids);
+        out = std::move(msg);
+      } else {
+        auto msg = std::make_shared<EventRequestMsg>();
+        msg->ids = std::move(ids);
+        out = std::move(msg);
+      }
+      break;
+    }
+    case MessageTag::EventPayload: {
+      auto msg = std::make_shared<EventPayloadMsg>();
+      const auto n = checked_count(r);
+      for (std::uint64_t i = 0; i < n; ++i)
+        msg->events.push_back(
+            std::make_shared<const Event>(decode_event(r)));
+      out = std::move(msg);
+      break;
+    }
+    default: throw DecodeError("unknown message tag");
+  }
+  r.expect_end();
+  return out;
+}
+
+}  // namespace pmc::wire

@@ -1,0 +1,77 @@
+// Wire encoding of pmcast's domain types and protocol messages.
+//
+// Every protocol message (gossip, membership digest/update, join/leave,
+// baseline gossips) round-trips through encode_message/decode_message with
+// a one-byte type tag. Decoders validate everything (bounds, tags, depth
+// limits on predicate trees) and throw DecodeError on malformed input.
+#pragma once
+
+#include <memory>
+
+#include "baselines/flooding.hpp"
+#include "baselines/genuine.hpp"
+#include "membership/sync.hpp"
+#include "pmcast/node.hpp"
+#include "wire/codec.hpp"
+
+namespace pmc::wire {
+
+// -- Domain types -----------------------------------------------------------
+
+void encode(Writer& w, const Value& v);
+Value decode_value(Reader& r);
+
+void encode(Writer& w, const Event& e);
+Event decode_event(Reader& r);
+
+void encode(Writer& w, const PredicatePtr& p);
+/// `max_depth` bounds AST recursion against adversarial input.
+PredicatePtr decode_predicate(Reader& r, std::size_t max_depth = 64);
+
+void encode(Writer& w, const Subscription& s);
+Subscription decode_subscription(Reader& r);
+
+void encode(Writer& w, const Interval& iv);
+Interval decode_interval(Reader& r);
+
+void encode(Writer& w, const IntervalSet& set);
+IntervalSet decode_interval_set(Reader& r);
+
+void encode(Writer& w, const Clause& c);
+Clause decode_clause(Reader& r);
+
+void encode(Writer& w, const InterestSummary& s);
+InterestSummary decode_summary(Reader& r);
+
+void encode(Writer& w, const Address& a);
+Address decode_address(Reader& r);
+
+void encode(Writer& w, const ViewRow& row);
+ViewRow decode_view_row(Reader& r);
+
+// -- Protocol envelope ------------------------------------------------------
+
+enum class MessageTag : std::uint8_t {
+  Gossip = 1,
+  MembershipDigest = 2,
+  MembershipUpdate = 3,
+  JoinRequest = 4,
+  ViewTransfer = 5,
+  Leave = 6,
+  FloodGossip = 7,
+  GenuineGossip = 8,
+  SuspectQuery = 9,
+  SuspectReply = 10,
+  EventDigest = 11,
+  EventRequest = 12,
+  EventPayload = 13,
+};
+
+/// Serializes any of the known protocol messages; throws std::logic_error
+/// for unknown MessageBase subclasses.
+std::vector<std::uint8_t> encode_message(const MessageBase& msg);
+
+/// Parses a message envelope; throws DecodeError on malformed input.
+MessagePtr decode_message(std::span<const std::uint8_t> data);
+
+}  // namespace pmc::wire

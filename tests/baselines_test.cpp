@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/flooding.hpp"
+#include "baselines/genuine.hpp"
+#include "harness/workload.hpp"
+
+namespace pmc {
+namespace {
+
+std::vector<Member> make_members(std::size_t n, double pd,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  return uniform_interest_members(
+      AddressSpace::regular(static_cast<AddrComponent>(n), 1), pd, rng);
+}
+
+struct FloodCluster {
+  std::unique_ptr<Runtime> rt;
+  std::vector<std::unique_ptr<FloodingNode>> nodes;
+};
+
+FloodCluster make_flooding(const std::vector<Member>& members,
+                           std::uint64_t seed = 2) {
+  FloodCluster c;
+  c.rt = std::make_unique<Runtime>(NetworkConfig{}, seed);
+  auto peers = std::make_shared<std::vector<ProcessId>>();
+  for (std::size_t i = 0; i < members.size(); ++i)
+    peers->push_back(static_cast<ProcessId>(i));
+  FloodingConfig config;
+  config.fanout = 3;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    c.nodes.push_back(std::make_unique<FloodingNode>(
+        *c.rt, static_cast<ProcessId>(i), config, members[i].subscription,
+        peers));
+  return c;
+}
+
+TEST(Flooding, DeliversToAllInterested) {
+  const auto members = make_members(30, 0.5, 7);
+  auto c = make_flooding(members);
+  const Event e = make_event_at(0, 0, 0.4);
+  c.nodes[0]->broadcast(e);
+  c.rt->run_until_idle();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].subscription.match(e)) {
+      EXPECT_TRUE(c.nodes[i]->has_delivered(e.id())) << i;
+    }
+  }
+}
+
+TEST(Flooding, UninterestedReceiveAnyway) {
+  // The defining weakness: reception probability ~1 regardless of interest.
+  const auto members = make_members(30, 0.2, 8);
+  auto c = make_flooding(members);
+  const Event e = make_event_at(0, 0, 0.9);
+  c.nodes[0]->broadcast(e);
+  c.rt->run_until_idle();
+  std::size_t uninterested = 0, received = 0;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (members[i].subscription.match(e)) continue;
+    ++uninterested;
+    if (c.nodes[i]->has_received(e.id())) ++received;
+  }
+  ASSERT_GT(uninterested, 0u);
+  EXPECT_GE(static_cast<double>(received),
+            0.95 * static_cast<double>(uninterested));
+}
+
+TEST(Flooding, NeverDeliversToUninterested) {
+  const auto members = make_members(20, 0.3, 9);
+  auto c = make_flooding(members);
+  const Event e = make_event_at(0, 0, 0.5);
+  c.nodes[0]->broadcast(e);
+  c.rt->run_until_idle();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!members[i].subscription.match(e)) {
+      EXPECT_FALSE(c.nodes[i]->has_delivered(e.id())) << i;
+    }
+  }
+}
+
+TEST(Flooding, Quiesces) {
+  const auto members = make_members(25, 1.0, 10);
+  auto c = make_flooding(members);
+  c.nodes[0]->broadcast(make_event_at(0, 0, 0.5));
+  c.rt->run_until_idle();
+  EXPECT_TRUE(c.rt->scheduler().empty());
+}
+
+struct GenuineCluster {
+  std::unique_ptr<Runtime> rt;
+  std::vector<std::unique_ptr<GenuineNode>> nodes;
+};
+
+GenuineCluster make_genuine(const std::vector<Member>& members,
+                            std::size_t view_size, std::uint64_t seed = 3) {
+  GenuineCluster c;
+  c.rt = std::make_unique<Runtime>(NetworkConfig{}, seed);
+  GenuineConfig config;
+  config.fanout = 3;
+  config.group_size_hint = members.size();
+  Rng rng(seed ^ 0xbeef);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::vector<GenuineNode::Peer> view;
+    for (const auto p : rng.sample_without_replacement(
+             members.size(), std::min(view_size, members.size()))) {
+      if (p == i) continue;
+      view.push_back(GenuineNode::Peer{static_cast<ProcessId>(p),
+                                       members[p].subscription});
+    }
+    c.nodes.push_back(std::make_unique<GenuineNode>(
+        *c.rt, static_cast<ProcessId>(i), config, members[i].subscription,
+        std::move(view)));
+  }
+  return c;
+}
+
+TEST(Genuine, UninterestedNeverContacted) {
+  // The strict invariant of a genuine multicast.
+  const auto members = make_members(40, 0.3, 11);
+  auto c = make_genuine(members, 15);
+  const Event e = make_event_at(0, 0, 0.25);
+  c.nodes[0]->multicast(e);
+  c.rt->run_until_idle();
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (!members[i].subscription.match(e)) {
+      EXPECT_FALSE(c.nodes[i]->has_received(e.id())) << i;
+    }
+  }
+}
+
+TEST(Genuine, FullViewsAndHighInterestDeliverWell) {
+  const auto members = make_members(30, 0.9, 12);
+  auto c = make_genuine(members, 30);
+  const Event e = make_event_at(0, 0, 0.5);
+  c.nodes[0]->multicast(e);
+  c.rt->run_until_idle();
+  std::size_t interested = 0, delivered = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!members[i].subscription.match(e)) continue;
+    ++interested;
+    if (c.nodes[i]->has_delivered(e.id())) ++delivered;
+  }
+  EXPECT_GE(delivered, interested - 1);
+}
+
+TEST(Genuine, SmallMatchingRateCausesIsolation) {
+  // With small partial views and few interested processes, interested
+  // processes get isolated — the reliability failure the paper predicts.
+  // Aggregate across seeds so the expectation is statistically robust.
+  std::size_t total_interested = 0, total_delivered = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto members = make_members(60, 0.08, 100 + seed);
+    auto c = make_genuine(members, 6, seed);
+    const Event e = make_event_at(0, 0, 0.5);
+    c.nodes[0]->multicast(e);
+    c.rt->run_until_idle();
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (!members[i].subscription.match(e)) continue;
+      ++total_interested;
+      if (c.nodes[i]->has_delivered(e.id())) ++total_delivered;
+    }
+  }
+  ASSERT_GT(total_interested, 0u);
+  EXPECT_LT(total_delivered, total_interested);  // some isolation occurred
+}
+
+TEST(Genuine, Quiesces) {
+  const auto members = make_members(30, 0.5, 13);
+  auto c = make_genuine(members, 10);
+  c.nodes[0]->multicast(make_event_at(0, 0, 0.5));
+  c.rt->run_until_idle();
+  EXPECT_TRUE(c.rt->scheduler().empty());
+}
+
+TEST(Genuine, EmptyViewPublisherOnlyDeliversLocally) {
+  const auto members = make_members(5, 1.0, 14);
+  auto c = make_genuine(members, 0);
+  const Event e = make_event_at(0, 0, 0.5);
+  c.nodes[0]->multicast(e);
+  c.rt->run_until_idle();
+  EXPECT_TRUE(c.nodes[0]->has_delivered(e.id()));
+  for (std::size_t i = 1; i < members.size(); ++i)
+    EXPECT_FALSE(c.nodes[i]->has_received(e.id()));
+}
+
+}  // namespace
+}  // namespace pmc

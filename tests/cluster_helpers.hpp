@@ -1,0 +1,69 @@
+// Shared helpers for tests that spin up a full pmcast cluster in the
+// simulator: builds the population, the group tree, the directory and one
+// PmcastNode per process.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "pmcast/node.hpp"
+
+namespace pmc::testing {
+
+struct Cluster {
+  std::vector<Member> members;
+  std::unique_ptr<GroupTree> tree;
+  std::unique_ptr<Runtime> runtime;
+  std::unique_ptr<TreeViewProvider> views;
+  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  std::vector<std::unique_ptr<PmcastNode>> nodes;
+
+  PmcastNode::Directory directory_fn() const {
+    return [this](const Address& a) {
+      const auto it = directory.find(a);
+      return it == directory.end() ? kNoProcess : it->second;
+    };
+  }
+};
+
+inline Cluster make_cluster(std::size_t a, std::size_t d, std::size_t r,
+                            double pd, PmcastConfig config,
+                            double loss = 0.0, std::uint64_t seed = 1) {
+  Cluster c;
+  Rng rng(seed);
+  const auto space =
+      AddressSpace::regular(static_cast<AddrComponent>(a), d);
+  c.members = uniform_interest_members(space, pd, rng);
+
+  TreeConfig tc;
+  tc.depth = d;
+  tc.redundancy = r;
+  c.tree = std::make_unique<GroupTree>(tc, c.members);
+  c.views = std::make_unique<TreeViewProvider>(*c.tree);
+
+  NetworkConfig net;
+  net.loss_probability = loss;
+  c.runtime = std::make_unique<Runtime>(net, seed ^ 0x5a5a5a5aULL);
+
+  config.tree = tc;
+  for (std::size_t i = 0; i < c.members.size(); ++i)
+    c.directory.emplace(c.members[i].address, static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    c.nodes.push_back(std::make_unique<PmcastNode>(
+        *c.runtime, static_cast<ProcessId>(i), config,
+        c.members[i].address, c.members[i].subscription, *c.views,
+        c.directory_fn()));
+  }
+  return c;
+}
+
+inline PmcastConfig default_config() {
+  PmcastConfig config;
+  config.fanout = 3;
+  config.period = sim_ms(100);
+  return config;
+}
+
+}  // namespace pmc::testing

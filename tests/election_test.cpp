@@ -1,0 +1,73 @@
+#include "membership/election.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmc {
+namespace {
+
+std::vector<Address> addrs(std::initializer_list<const char*> texts) {
+  std::vector<Address> out;
+  for (const auto* t : texts) out.push_back(Address::parse(t));
+  return out;
+}
+
+TEST(Election, SmallestAddressesChosen) {
+  const auto members = addrs({"1.5", "1.2", "1.9", "1.1", "1.7"});
+  const auto delegates = elect_delegates(members, 2);
+  ASSERT_EQ(delegates.size(), 2u);
+  EXPECT_EQ(delegates[0].to_string(), "1.1");
+  EXPECT_EQ(delegates[1].to_string(), "1.2");
+}
+
+TEST(Election, FewerMembersThanRKeepsAll) {
+  const auto members = addrs({"1.5", "1.2"});
+  const auto delegates = elect_delegates(members, 4);
+  ASSERT_EQ(delegates.size(), 2u);
+  EXPECT_EQ(delegates[0].to_string(), "1.2");
+}
+
+TEST(Election, ExactlyR) {
+  const auto members = addrs({"3.1", "2.1", "1.1"});
+  const auto delegates = elect_delegates(members, 3);
+  ASSERT_EQ(delegates.size(), 3u);
+  EXPECT_EQ(delegates[0].to_string(), "1.1");
+  EXPECT_EQ(delegates[2].to_string(), "3.1");
+}
+
+TEST(Election, DeterministicAcrossInputOrder) {
+  // All subgroup members must elect identical delegates from any ordering —
+  // the paper's "without explicit agreement" requirement.
+  auto m1 = addrs({"1.5", "1.2", "1.9", "1.1"});
+  auto m2 = addrs({"1.9", "1.1", "1.5", "1.2"});
+  EXPECT_EQ(elect_delegates(m1, 2), elect_delegates(m2, 2));
+}
+
+TEST(Election, CustomRankCriterion) {
+  // Sec. 2.3: alternative criteria are pluggable — e.g. prefer the largest
+  // last component (a stand-in for "most resources").
+  const auto members = addrs({"1.5", "1.2", "1.9"});
+  const auto rank = [](const Address& a, const Address& b) {
+    return a.component(1) > b.component(1);
+  };
+  const auto delegates = elect_delegates(members, 1, rank);
+  ASSERT_EQ(delegates.size(), 1u);
+  EXPECT_EQ(delegates[0].to_string(), "1.9");
+}
+
+TEST(Election, EmptyMembership) {
+  EXPECT_TRUE(elect_delegates(std::vector<Address>{}, 3).empty());
+}
+
+TEST(Election, ZeroRRejected) {
+  EXPECT_THROW(elect_delegates(addrs({"1.1"}), 0), std::logic_error);
+}
+
+TEST(Election, ResultSortedByRank) {
+  const auto members = addrs({"9.9", "1.1", "5.5", "3.3", "7.7"});
+  const auto delegates = elect_delegates(members, 4);
+  for (std::size_t i = 1; i < delegates.size(); ++i)
+    EXPECT_LT(delegates[i - 1], delegates[i]);
+}
+
+}  // namespace
+}  // namespace pmc

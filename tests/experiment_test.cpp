@@ -1,0 +1,163 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/table.hpp"
+
+namespace pmc {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig c;
+  c.a = 4;
+  c.d = 2;
+  c.r = 2;
+  c.fanout = 3;
+  c.pd = 0.5;
+  c.loss = 0.0;
+  c.runs = 5;
+  c.seed = 11;
+  return c;
+}
+
+TEST(ExperimentConfig, GroupSizeIsAPowD) {
+  EXPECT_EQ(tiny_config().group_size(), 16u);
+  ExperimentConfig big;
+  big.a = 22;
+  big.d = 3;
+  EXPECT_EQ(big.group_size(), 10648u);
+}
+
+TEST(ExperimentConfig, AnalysisParamsMirrorConfig) {
+  const auto c = tiny_config();
+  const auto p = c.analysis_params();
+  EXPECT_EQ(p.a, c.a);
+  EXPECT_EQ(p.d, c.d);
+  EXPECT_EQ(p.r, c.r);
+  EXPECT_DOUBLE_EQ(p.pd, c.pd);
+  EXPECT_DOUBLE_EQ(p.env.loss, c.loss);
+}
+
+TEST(ExperimentConfig, PmcastConfigMirrorsConfig) {
+  const auto c = tiny_config();
+  const auto pc = c.pmcast_config();
+  EXPECT_EQ(pc.tree.depth, c.d);
+  EXPECT_EQ(pc.tree.redundancy, c.r);
+  EXPECT_EQ(pc.fanout, c.fanout);
+}
+
+TEST(Experiment, PmcastMetricsInRange) {
+  const auto result = run_pmcast_experiment(tiny_config());
+  EXPECT_EQ(result.delivery.count(), 5u);
+  EXPECT_GE(result.delivery.min(), 0.0);
+  EXPECT_LE(result.delivery.max(), 1.0);
+  EXPECT_GE(result.false_reception.min(), 0.0);
+  EXPECT_LE(result.false_reception.max(), 1.0);
+  EXPECT_GT(result.messages_per_process.mean(), 0.0);
+}
+
+TEST(Experiment, PmcastHighPdDeliversWell) {
+  auto c = tiny_config();
+  c.pd = 1.0;
+  c.runs = 3;
+  const auto result = run_pmcast_experiment(c);
+  EXPECT_GT(result.delivery.mean(), 0.9);
+}
+
+TEST(Experiment, InterestedFractionTracksPd) {
+  auto c = tiny_config();
+  c.a = 8;  // 64 processes for a tighter estimate
+  c.pd = 0.4;
+  c.runs = 30;
+  const auto result = run_pmcast_experiment(c);
+  EXPECT_NEAR(result.interested_fraction.mean(), 0.4, 0.12);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto r1 = run_pmcast_experiment(tiny_config());
+  const auto r2 = run_pmcast_experiment(tiny_config());
+  EXPECT_DOUBLE_EQ(r1.delivery.mean(), r2.delivery.mean());
+  EXPECT_DOUBLE_EQ(r1.messages_per_process.mean(),
+                   r2.messages_per_process.mean());
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto c2 = tiny_config();
+  c2.seed = 999;
+  const auto r1 = run_pmcast_experiment(tiny_config());
+  const auto r2 = run_pmcast_experiment(c2);
+  // Message counts are fine-grained enough to almost surely differ.
+  EXPECT_NE(r1.messages_per_process.mean(), r2.messages_per_process.mean());
+}
+
+TEST(Experiment, FloodingHasNearTotalReception) {
+  auto c = tiny_config();
+  c.pd = 0.3;
+  const auto result = run_flooding_experiment(c);
+  EXPECT_GT(result.false_reception.mean(), 0.8);
+  EXPECT_GT(result.delivery.mean(), 0.9);
+}
+
+TEST(Experiment, GenuineHasZeroFalseReception) {
+  auto c = tiny_config();
+  c.pd = 0.3;
+  const auto result = run_genuine_experiment(c, /*view_size=*/8);
+  EXPECT_DOUBLE_EQ(result.false_reception.mean(), 0.0);
+}
+
+TEST(Experiment, PmcastFalseReceptionBetweenBaselines) {
+  auto c = tiny_config();
+  c.a = 5;
+  c.pd = 0.3;
+  c.runs = 10;
+  const auto pm = run_pmcast_experiment(c);
+  const auto fl = run_flooding_experiment(c);
+  const auto ge = run_genuine_experiment(c, 10);
+  EXPECT_LE(pm.false_reception.mean(), fl.false_reception.mean());
+  EXPECT_GE(pm.false_reception.mean(), ge.false_reception.mean());
+}
+
+TEST(Experiment, CrashFractionLowersDeliveryAtMost) {
+  auto safe = tiny_config();
+  safe.runs = 10;
+  auto crashy = safe;
+  crashy.crash_fraction = 0.3;
+  const auto r_safe = run_pmcast_experiment(safe);
+  const auto r_crashy = run_pmcast_experiment(crashy);
+  // Crashes cannot *help*; allow noise.
+  EXPECT_GE(r_safe.delivery.mean() + 0.15, r_crashy.delivery.mean());
+}
+
+TEST(EnvSizeT, ParsesAndFallsBack) {
+  ::unsetenv("PMC_TEST_ENVVAR");
+  EXPECT_EQ(env_size_t("PMC_TEST_ENVVAR", 7), 7u);
+  ::setenv("PMC_TEST_ENVVAR", "42", 1);
+  EXPECT_EQ(env_size_t("PMC_TEST_ENVVAR", 7), 42u);
+  ::setenv("PMC_TEST_ENVVAR", "-3", 1);
+  EXPECT_EQ(env_size_t("PMC_TEST_ENVVAR", 7), 7u);
+  ::setenv("PMC_TEST_ENVVAR", "abc", 1);
+  EXPECT_EQ(env_size_t("PMC_TEST_ENVVAR", 7), 7u);
+  ::unsetenv("PMC_TEST_ENVVAR");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  Table t({"x", "value"});
+  t.add_row({"1", Table::num(0.5, 2)});
+  t.add_row({"22", Table::num(1.25, 2)});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("0.50"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pmc

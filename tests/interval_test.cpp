@@ -1,0 +1,221 @@
+#include "filter/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmc {
+namespace {
+
+TEST(Interval, ContainsRespectsBounds) {
+  const auto iv = Interval::closed(1.0, 2.0);
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(2.001));
+}
+
+TEST(Interval, OpenBoundsExcludeEndpoints) {
+  const auto iv = Interval::open(1.0, 2.0);
+  EXPECT_FALSE(iv.contains(1.0));
+  EXPECT_FALSE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(1.5));
+}
+
+TEST(Interval, HalfOpen) {
+  const auto iv = Interval::half_open(0.25, 0.75);
+  EXPECT_TRUE(iv.contains(0.25));
+  EXPECT_FALSE(iv.contains(0.75));
+}
+
+TEST(Interval, PointInterval) {
+  const auto iv = Interval::point(3.0);
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_FALSE(iv.contains(3.0000001));
+  EXPECT_FALSE(iv.empty());
+}
+
+TEST(Interval, EmptyIntervals) {
+  EXPECT_TRUE((Interval{2.0, 1.0, false, false}).empty());
+  EXPECT_TRUE((Interval{1.0, 1.0, true, false}).empty());
+  EXPECT_TRUE((Interval{1.0, 1.0, false, true}).empty());
+  EXPECT_FALSE(Interval::point(1.0).empty());
+}
+
+TEST(Interval, Rays) {
+  const auto ge = Interval::at_least(5.0);
+  EXPECT_TRUE(ge.contains(5.0));
+  EXPECT_TRUE(ge.contains(1e18));
+  EXPECT_FALSE(ge.contains(4.999));
+  const auto lt = Interval::at_most(5.0, /*open=*/true);
+  EXPECT_FALSE(lt.contains(5.0));
+  EXPECT_TRUE(lt.contains(-1e18));
+}
+
+TEST(Interval, AllContainsEverything) {
+  const auto all = Interval::all();
+  EXPECT_TRUE(all.contains(0.0));
+  EXPECT_TRUE(all.contains(1e308));
+  EXPECT_TRUE(all.contains(-1e308));
+  EXPECT_TRUE(all.unbounded_above());
+  EXPECT_TRUE(all.unbounded_below());
+}
+
+TEST(Interval, Intersect) {
+  const auto a = Interval::closed(1.0, 5.0);
+  const auto b = Interval::closed(3.0, 7.0);
+  const auto i = a.intersect(b);
+  EXPECT_DOUBLE_EQ(i.lo, 3.0);
+  EXPECT_DOUBLE_EQ(i.hi, 5.0);
+  EXPECT_FALSE(i.empty());
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(Interval::closed(1.0, 2.0)
+                  .intersect(Interval::closed(3.0, 4.0))
+                  .empty());
+}
+
+TEST(Interval, IntersectOpenClosedBoundary) {
+  const auto a = Interval::half_open(0.0, 1.0);  // [0,1)
+  const auto b = Interval::at_least(1.0);        // [1,inf)
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Interval, Covers) {
+  EXPECT_TRUE(Interval::closed(0.0, 10.0).covers(Interval::closed(1.0, 2.0)));
+  EXPECT_FALSE(Interval::closed(0.0, 10.0).covers(Interval::closed(1.0, 11.0)));
+  EXPECT_TRUE(Interval::closed(0.0, 1.0).covers(Interval::open(0.0, 1.0)));
+  EXPECT_FALSE(Interval::open(0.0, 1.0).covers(Interval::closed(0.0, 1.0)));
+}
+
+TEST(Interval, MergeableTouchingClosed) {
+  // [1,2] and [2,3] share the closed point 2.
+  EXPECT_TRUE(Interval::closed(1.0, 2.0).mergeable(Interval::closed(2.0, 3.0)));
+  // [1,2) and (2,3] leave 2 out.
+  EXPECT_FALSE(Interval::half_open(1.0, 2.0)
+                   .mergeable(Interval{2.0, 3.0, true, false}));
+  // [1,2) and [2,3] together cover [1,3].
+  EXPECT_TRUE(Interval::half_open(1.0, 2.0)
+                  .mergeable(Interval::closed(2.0, 3.0)));
+}
+
+TEST(Interval, MergeProducesHull) {
+  const auto m =
+      Interval::closed(1.0, 2.0).merge(Interval::closed(1.5, 4.0));
+  EXPECT_DOUBLE_EQ(m.lo, 1.0);
+  EXPECT_DOUBLE_EQ(m.hi, 4.0);
+}
+
+TEST(IntervalSet, InsertDisjointKeepsBoth) {
+  IntervalSet s;
+  s.insert(Interval::closed(0.0, 1.0));
+  s.insert(Interval::closed(2.0, 3.0));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(0.5));
+  EXPECT_FALSE(s.contains(1.5));
+  EXPECT_TRUE(s.contains(2.5));
+}
+
+TEST(IntervalSet, InsertMergesOverlap) {
+  IntervalSet s;
+  s.insert(Interval::closed(0.0, 2.0));
+  s.insert(Interval::closed(1.0, 3.0));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(2.5));
+}
+
+TEST(IntervalSet, InsertBridgesGap) {
+  IntervalSet s;
+  s.insert(Interval::closed(0.0, 1.0));
+  s.insert(Interval::closed(2.0, 3.0));
+  s.insert(Interval::closed(0.5, 2.5));  // bridges both
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(1.5));
+}
+
+TEST(IntervalSet, EmptyIntervalIgnored) {
+  IntervalSet s;
+  s.insert(Interval{2.0, 1.0, false, false});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, KeepsSortedOrder) {
+  IntervalSet s;
+  s.insert(Interval::closed(10.0, 11.0));
+  s.insert(Interval::closed(0.0, 1.0));
+  s.insert(Interval::closed(5.0, 6.0));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[1].lo, 5.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[2].lo, 10.0);
+}
+
+TEST(IntervalSet, ContainsBinarySearchEdges) {
+  IntervalSet s;
+  s.insert(Interval::half_open(0.0, 0.5));
+  s.insert(Interval::half_open(0.75, 1.0));
+  EXPECT_TRUE(s.contains(0.0));
+  EXPECT_FALSE(s.contains(0.5));
+  EXPECT_FALSE(s.contains(0.6));
+  EXPECT_TRUE(s.contains(0.75));
+  EXPECT_FALSE(s.contains(1.0));
+  EXPECT_FALSE(s.contains(-0.1));
+}
+
+TEST(IntervalSet, InsertAllUnions) {
+  IntervalSet a, b;
+  a.insert(Interval::closed(0.0, 1.0));
+  b.insert(Interval::closed(0.5, 2.0));
+  b.insert(Interval::closed(5.0, 6.0));
+  a.insert_all(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.contains(1.7));
+  EXPECT_TRUE(a.contains(5.5));
+}
+
+TEST(IntervalSet, CoversSet) {
+  IntervalSet big;
+  big.insert(Interval::closed(0.0, 10.0));
+  IntervalSet small;
+  small.insert(Interval::closed(1.0, 2.0));
+  small.insert(Interval::closed(8.0, 9.0));
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+}
+
+TEST(IntervalSet, CoverageAcrossGapIsRejected) {
+  IntervalSet gappy;
+  gappy.insert(Interval::closed(0.0, 1.0));
+  gappy.insert(Interval::closed(2.0, 3.0));
+  // [0,3] is not covered: the gap (1,2) leaks.
+  EXPECT_FALSE(gappy.covers(Interval::closed(0.0, 3.0)));
+  EXPECT_TRUE(gappy.covers(Interval::closed(0.2, 0.8)));
+}
+
+TEST(IntervalSet, BoundingHull) {
+  IntervalSet s;
+  s.insert(Interval::closed(1.0, 2.0));
+  s.insert(Interval::half_open(5.0, 7.0));
+  const auto b = s.bounding();
+  EXPECT_DOUBLE_EQ(b.lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.hi, 7.0);
+  EXPECT_TRUE(b.hi_open);
+}
+
+TEST(IntervalSet, IsAll) {
+  IntervalSet s;
+  EXPECT_FALSE(s.is_all());
+  s.insert(Interval::all());
+  EXPECT_TRUE(s.is_all());
+}
+
+TEST(IntervalSet, EqualityIsCanonical) {
+  IntervalSet a, b;
+  a.insert(Interval::closed(0.0, 1.0));
+  a.insert(Interval::closed(1.0, 2.0));
+  b.insert(Interval::closed(0.0, 2.0));
+  EXPECT_EQ(a, b);  // both canonicalize to [0,2]
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,106 @@
+#include "addr/netmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmc {
+namespace {
+
+TEST(Ipv4, RoundTrip) {
+  const auto a = from_ipv4("128.178.73.3");
+  EXPECT_EQ(a.depth(), 4u);
+  EXPECT_EQ(to_ipv4(a), "128.178.73.3");
+  EXPECT_TRUE(ipv4_space().valid(a));
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_THROW(from_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(from_ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(from_ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(from_ipv4("1.2.3.x"), std::invalid_argument);
+}
+
+TEST(Ipv4, SubnetsShareShortDistance) {
+  // Same /24: distance 1. Different first octet: distance 4.
+  const auto a = from_ipv4("128.178.73.3");
+  const auto b = from_ipv4("128.178.73.17");
+  const auto c = from_ipv4("129.178.73.3");
+  EXPECT_EQ(a.distance(b), 1u);
+  EXPECT_EQ(a.distance(c), 4u);
+}
+
+TEST(Ipv4, PortBucketsExtendDepth) {
+  const auto a = from_ipv4_port("10.0.0.1", 8080);
+  EXPECT_EQ(a.depth(), 5u);
+  EXPECT_EQ(a.component(4), 8080 >> 4);
+  // Nearby ports share the bucket (same process host granularity).
+  const auto b = from_ipv4_port("10.0.0.1", 8081);
+  EXPECT_EQ(a, b);
+  const auto far = from_ipv4_port("10.0.0.1", 9000);
+  EXPECT_NE(a, far);
+}
+
+TEST(Ipv4, ToIpv4Preconditions) {
+  EXPECT_THROW(to_ipv4(Address::parse("1.2.3")), std::logic_error);
+  EXPECT_THROW(to_ipv4(Address::parse("1.2.3.4000")), std::logic_error);
+}
+
+TEST(Dns, SameDomainSharesPrefix) {
+  const auto space = AddressSpace::regular(32, 3);
+  const auto a = from_dns("lpdmail.epfl.ch", space);
+  const auto b = from_dns("dslabsrv.epfl.ch", space);
+  const auto c = from_dns("www.mit.edu", space);
+  // Reversed labels: ch.epfl.* share the first two components.
+  EXPECT_GE(a.common_prefix_length(b), 2u);
+  EXPECT_EQ(a.common_prefix_length(c), 0u);
+}
+
+TEST(Dns, Deterministic) {
+  const auto space = AddressSpace::regular(16, 4);
+  EXPECT_EQ(from_dns("host.example.org", space),
+            from_dns("host.example.org", space));
+}
+
+TEST(Dns, ComponentsWithinArity) {
+  const AddressSpace space({7, 13, 31});
+  const auto a = from_dns("very.deep.sub.domain.example.net", space);
+  EXPECT_TRUE(space.valid(a));
+}
+
+TEST(Dns, ShortNamesPadded) {
+  const auto space = AddressSpace::regular(16, 4);
+  const auto a = from_dns("localhost", space);
+  EXPECT_EQ(a.depth(), 4u);
+  EXPECT_TRUE(space.valid(a));
+}
+
+TEST(Dns, ExtraLabelsStillDistinguish) {
+  // Deeper-than-tree names must not collide just because their first
+  // `depth` labels agree.
+  const auto space = AddressSpace::regular(64, 2);
+  const auto a = from_dns("a.x.example.com", space);
+  const auto b = from_dns("b.x.example.com", space);
+  EXPECT_NE(a, b);
+}
+
+TEST(Dns, EmptyNameRejected) {
+  const auto space = AddressSpace::regular(4, 2);
+  EXPECT_THROW(from_dns("", space), std::invalid_argument);
+  EXPECT_THROW(from_dns("...", space), std::invalid_argument);
+}
+
+TEST(Dns, SpreadsAcrossSpace) {
+  // 200 distinct hosts under distinct TLDs should not funnel into a
+  // handful of addresses.
+  const auto space = AddressSpace::regular(32, 3);
+  std::set<Address> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(from_dns("host" + std::to_string(i) + ".dom" +
+                             std::to_string(i) + ".tld" + std::to_string(i),
+                         space));
+  EXPECT_GT(seen.size(), 150u);
+}
+
+}  // namespace
+}  // namespace pmc

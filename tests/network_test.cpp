@@ -1,0 +1,177 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmc {
+namespace {
+
+struct TestMsg final : MessageBase {
+  int payload = 0;
+  explicit TestMsg(int p) : payload(p) {}
+};
+
+struct Fixture {
+  Scheduler sched;
+  NetworkConfig config;
+  explicit Fixture(double loss = 0.0) {
+    config.loss_probability = loss;
+    config.latency_min = sim_us(100);
+    config.latency_max = sim_us(500);
+  }
+  Network make() { return Network(sched, config, Rng(77)); }
+};
+
+TEST(Network, DeliversToAttachedHandler) {
+  Fixture f;
+  auto net = f.make();
+  int received = -1;
+  ProcessId from_seen = kNoProcess;
+  net.attach(1, [&](ProcessId from, const MessagePtr& m) {
+    from_seen = from;
+    received = dynamic_cast<const TestMsg&>(*m).payload;
+  });
+  net.send(0, 1, std::make_shared<TestMsg>(42));
+  f.sched.run();
+  EXPECT_EQ(received, 42);
+  EXPECT_EQ(from_seen, 0u);
+  EXPECT_EQ(net.counters().sent, 1u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(Network, LatencyWithinConfiguredBounds) {
+  Fixture f;
+  auto net = f.make();
+  SimTime delivered_at = -1;
+  net.attach(1, [&](ProcessId, const MessagePtr&) {
+    delivered_at = f.sched.now();
+  });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  f.sched.run();
+  EXPECT_GE(delivered_at, sim_us(100));
+  EXPECT_LE(delivered_at, sim_us(500));
+}
+
+TEST(Network, UnattachedTargetCountsDead) {
+  Fixture f;
+  auto net = f.make();
+  net.send(0, 9, std::make_shared<TestMsg>(1));
+  f.sched.run();
+  EXPECT_EQ(net.counters().dead_target, 1u);
+  EXPECT_EQ(net.counters().delivered, 0u);
+}
+
+TEST(Network, DetachStopsDelivery) {
+  Fixture f;
+  auto net = f.make();
+  int received = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++received; });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  net.detach(1);
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.counters().dead_target, 1u);
+  EXPECT_FALSE(net.attached(1));
+}
+
+TEST(Network, DetachAfterDeliveryInFlight) {
+  // Crash between send and delivery: the message must be dropped.
+  Fixture f;
+  auto net = f.make();
+  int received = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++received; });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  f.sched.schedule_at(sim_us(50), [&] { net.detach(1); });  // before latency
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  Fixture f(1.0);
+  auto net = f.make();
+  int received = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++received; });
+  for (int i = 0; i < 100; ++i) net.send(0, 1, std::make_shared<TestMsg>(i));
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.counters().lost, 100u);
+}
+
+TEST(Network, PartialLossApproximatesEpsilon) {
+  Fixture f(0.3);
+  auto net = f.make();
+  int received = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++received; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, std::make_shared<TestMsg>(i));
+  f.sched.run();
+  EXPECT_NEAR(received / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Network, LinkFilterModelsPartition) {
+  Fixture f;
+  auto net = f.make();
+  int received = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++received; });
+  net.attach(2, [&](ProcessId, const MessagePtr&) { ++received; });
+  net.set_link_filter([](ProcessId from, ProcessId to) {
+    return !(from == 0 && to == 1);  // 0 -> 1 partitioned
+  });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  net.send(0, 2, std::make_shared<TestMsg>(2));
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.counters().filtered, 1u);
+  net.set_link_filter(nullptr);
+  net.send(0, 1, std::make_shared<TestMsg>(3));
+  f.sched.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Network, ReattachOverridesHandler) {
+  Fixture f;
+  auto net = f.make();
+  int a = 0, b = 0;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++a; });
+  net.attach(1, [&](ProcessId, const MessagePtr&) { ++b; });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  f.sched.run();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Network, ResetCounters) {
+  Fixture f;
+  auto net = f.make();
+  net.attach(1, [](ProcessId, const MessagePtr&) {});
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  f.sched.run();
+  net.reset_counters();
+  EXPECT_EQ(net.counters().sent, 0u);
+  EXPECT_EQ(net.counters().delivered, 0u);
+}
+
+TEST(Network, BadConfigRejected) {
+  Scheduler sched;
+  NetworkConfig bad;
+  bad.loss_probability = 1.5;
+  EXPECT_THROW(Network(sched, bad, Rng(1)), std::logic_error);
+  NetworkConfig bad2;
+  bad2.latency_min = sim_us(500);
+  bad2.latency_max = sim_us(100);
+  EXPECT_THROW(Network(sched, bad2, Rng(1)), std::logic_error);
+}
+
+TEST(Network, ZeroLatencySpanIsFixedDelay) {
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.latency_min = cfg.latency_max = sim_us(250);
+  Network net(sched, cfg, Rng(1));
+  SimTime at = -1;
+  net.attach(1, [&](ProcessId, const MessagePtr&) { at = sched.now(); });
+  net.send(0, 1, std::make_shared<TestMsg>(1));
+  sched.run();
+  EXPECT_EQ(at, sim_us(250));
+}
+
+}  // namespace
+}  // namespace pmc

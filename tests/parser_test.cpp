@@ -1,0 +1,189 @@
+#include "filter/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "filter/subscription.hpp"
+
+namespace pmc {
+namespace {
+
+Event fig2_event() {
+  // An event in the style of the paper's Fig. 2 attribute space.
+  Event e;
+  e.with("b", 2).with("c", 41.5).with("e", "Bob").with("z", 20000);
+  return e;
+}
+
+TEST(Parser, SimpleComparison) {
+  EXPECT_TRUE(Subscription::parse("b == 2").match(fig2_event()));
+  EXPECT_FALSE(Subscription::parse("b == 3").match(fig2_event()));
+}
+
+TEST(Parser, SingleEqualsAlias) {
+  EXPECT_TRUE(Subscription::parse("b = 2").match(fig2_event()));
+}
+
+TEST(Parser, AllOperators) {
+  const auto e = fig2_event();
+  EXPECT_TRUE(Subscription::parse("b != 3").match(e));
+  EXPECT_TRUE(Subscription::parse("b < 3").match(e));
+  EXPECT_TRUE(Subscription::parse("b <= 2").match(e));
+  EXPECT_TRUE(Subscription::parse("b > 1").match(e));
+  EXPECT_TRUE(Subscription::parse("b >= 2").match(e));
+}
+
+TEST(Parser, FloatLiterals) {
+  const auto e = fig2_event();
+  EXPECT_TRUE(Subscription::parse("c > 40.0").match(e));
+  EXPECT_TRUE(Subscription::parse("c >= 35.997").match(e));
+  EXPECT_TRUE(Subscription::parse("c < 1e3").match(e));
+  EXPECT_FALSE(Subscription::parse("c < 4.15e1").match(e));
+}
+
+TEST(Parser, NegativeNumbers) {
+  Event e;
+  e.with("t", -5);
+  EXPECT_TRUE(Subscription::parse("t == -5").match(e));
+  EXPECT_TRUE(Subscription::parse("t > -10").match(e));
+}
+
+TEST(Parser, StringLiterals) {
+  const auto e = fig2_event();
+  EXPECT_TRUE(Subscription::parse("e == \"Bob\"").match(e));
+  EXPECT_FALSE(Subscription::parse("e == \"Tom\"").match(e));
+}
+
+TEST(Parser, StringEscapes) {
+  Event e;
+  e.with("s", "a\"b");
+  EXPECT_TRUE(Subscription::parse("s == \"a\\\"b\"").match(e));
+}
+
+TEST(Parser, PaperStyleConjunction) {
+  // Fig. 2, depth-4 row 19: "b > 1, 20.0 < c < 30.0, z <= 50000".
+  const auto sub =
+      Subscription::parse("b > 1 && 20.0 < c && c < 30.0 && z <= 50000");
+  Event hit;
+  hit.with("b", 2).with("c", 25.0).with("z", 1000);
+  EXPECT_TRUE(sub.match(hit));
+  Event miss = hit;
+  miss.with("c", 31.0);
+  EXPECT_FALSE(sub.match(miss));
+}
+
+TEST(Parser, ChainedComparison) {
+  const auto sub = Subscription::parse("20.0 < c < 30.0");
+  Event in;
+  in.with("c", 25.0);
+  Event out;
+  out.with("c", 30.0);
+  EXPECT_TRUE(sub.match(in));
+  EXPECT_FALSE(sub.match(out));
+}
+
+TEST(Parser, MirroredLiteralOnLeft) {
+  const auto sub = Subscription::parse("10.0 < c");
+  Event e;
+  e.with("c", 10.5);
+  EXPECT_TRUE(sub.match(e));
+  e.with("c", 9.0);
+  EXPECT_FALSE(sub.match(e));
+}
+
+TEST(Parser, DisjunctionOfStrings) {
+  // Fig. 2, depth-2 row 18: e = "Bob" ∨ "Tom".
+  const auto sub =
+      Subscription::parse("e == \"Bob\" || e == \"Tom\"");
+  EXPECT_TRUE(sub.match(fig2_event()));
+  Event tom;
+  tom.with("e", "Tom");
+  EXPECT_TRUE(sub.match(tom));
+  Event ann;
+  ann.with("e", "Ann");
+  EXPECT_FALSE(sub.match(ann));
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  // a==1 || a==2 && b==3 parses as a==1 || (a==2 && b==3).
+  const auto sub = Subscription::parse("a == 1 || a == 2 && b == 3");
+  Event a1;
+  a1.with("a", 1);
+  EXPECT_TRUE(sub.match(a1));
+  Event a2_no_b;
+  a2_no_b.with("a", 2);
+  EXPECT_FALSE(sub.match(a2_no_b));
+  Event a2_b3;
+  a2_b3.with("a", 2).with("b", 3);
+  EXPECT_TRUE(sub.match(a2_b3));
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const auto sub = Subscription::parse("(a == 1 || a == 2) && b == 3");
+  Event a1_b3;
+  a1_b3.with("a", 1).with("b", 3);
+  EXPECT_TRUE(sub.match(a1_b3));
+  Event a1_only;
+  a1_only.with("a", 1);
+  EXPECT_FALSE(sub.match(a1_only));
+}
+
+TEST(Parser, Negation) {
+  const auto sub = Subscription::parse("!(b == 2)");
+  EXPECT_FALSE(sub.match(fig2_event()));
+  Event other;
+  other.with("b", 3);
+  EXPECT_TRUE(sub.match(other));
+}
+
+TEST(Parser, BangEqualsVersusNotExpression) {
+  const auto a = Subscription::parse("b != 2");
+  const auto b = Subscription::parse("!(b = 2)");
+  Event e3;
+  e3.with("b", 3);
+  EXPECT_TRUE(a.match(e3));
+  EXPECT_TRUE(b.match(e3));
+}
+
+TEST(Parser, TrueFalseKeywords) {
+  EXPECT_TRUE(Subscription::parse("true").match(Event{}));
+  EXPECT_FALSE(Subscription::parse("false").match(Event{}));
+  EXPECT_TRUE(Subscription::parse("true").is_wildcard());
+}
+
+TEST(Parser, WhitespaceTolerant) {
+  EXPECT_TRUE(
+      Subscription::parse("  b\t==   2  \n&& c>40.0 ").match(fig2_event()));
+}
+
+TEST(Parser, ErrorsThrow) {
+  EXPECT_THROW(Subscription::parse(""), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("b =="), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("b == 2 &&"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("(b == 2"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("b == 2 extra"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("b @ 2"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("b & 2"), std::invalid_argument);
+}
+
+TEST(Parser, AttributeToAttributeRejected) {
+  EXPECT_THROW(Subscription::parse("a == b"), std::invalid_argument);
+  EXPECT_THROW(Subscription::parse("1 == 2"), std::invalid_argument);
+}
+
+TEST(Parser, Fig2DepthFourRows) {
+  // Every interest row of the paper's Fig. 2 depth-4 table parses.
+  const char* rows[] = {
+      "b == 2 && c > 40.0 && z == 20000",
+      "b == 5 && c > 53.5",
+      "b > 1 && 20.0 < c && c < 30.0 && z <= 50000",
+      "b > 0 && c > 20.0",
+      "b == 4 && 2000 < z && z < 30000",
+      "b == 3 && c >= 35.997",
+      "b == 2",
+  };
+  for (const auto* row : rows) EXPECT_NO_THROW(Subscription::parse(row));
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,309 @@
+#include "filter/regroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "filter/subscription.hpp"
+
+namespace pmc {
+namespace {
+
+Event ev(double c) {
+  Event e;
+  e.with("c", c);
+  return e;
+}
+
+TEST(Clause, UnconstrainedMatchesEverything) {
+  Clause c;
+  EXPECT_TRUE(c.unconstrained());
+  EXPECT_TRUE(c.match(Event{}));
+}
+
+TEST(Clause, NumericConstraint) {
+  Clause c;
+  c.constrain_numeric("b", Interval::closed(1.0, 5.0));
+  Event in;
+  in.with("b", 3);
+  Event out;
+  out.with("b", 6);
+  EXPECT_TRUE(c.match(in));
+  EXPECT_FALSE(c.match(out));
+  EXPECT_FALSE(c.match(Event{}));  // missing attribute
+}
+
+TEST(Clause, IntersectingConstraintsNarrow) {
+  Clause c;
+  c.constrain_numeric("b", Interval::at_least(1.0));
+  c.constrain_numeric("b", Interval::at_most(5.0));
+  Event in;
+  in.with("b", 3);
+  EXPECT_TRUE(c.match(in));
+  Event out;
+  out.with("b", 0);
+  EXPECT_FALSE(c.match(out));
+}
+
+TEST(Clause, ContradictionDetected) {
+  Clause c;
+  c.constrain_numeric("b", Interval::at_most(1.0, true));
+  c.constrain_numeric("b", Interval::at_least(2.0));
+  EXPECT_TRUE(c.contradictory());
+  Event e;
+  e.with("b", 1.5);
+  EXPECT_FALSE(c.match(e));
+}
+
+TEST(Clause, StringWhitelist) {
+  Clause c;
+  c.constrain_string("e", {"Bob", "Tom"});
+  Event bob;
+  bob.with("e", "Bob");
+  Event ann;
+  ann.with("e", "Ann");
+  EXPECT_TRUE(c.match(bob));
+  EXPECT_FALSE(c.match(ann));
+}
+
+TEST(Clause, StringIntersection) {
+  Clause c;
+  c.constrain_string("e", {"Bob", "Tom"});
+  c.constrain_string("e", {"Tom", "Ann"});
+  Event tom;
+  tom.with("e", "Tom");
+  Event bob;
+  bob.with("e", "Bob");
+  EXPECT_TRUE(c.match(tom));
+  EXPECT_FALSE(c.match(bob));
+}
+
+TEST(Clause, MixedKindSameAttrContradicts) {
+  Clause c;
+  c.constrain_numeric("x", Interval::point(1.0));
+  c.constrain_string("x", {"one"});
+  EXPECT_TRUE(c.contradictory());
+}
+
+TEST(Clause, Subsumption) {
+  Clause weak;
+  weak.constrain_numeric("b", Interval::closed(0.0, 10.0));
+  Clause strong;
+  strong.constrain_numeric("b", Interval::closed(2.0, 3.0));
+  strong.constrain_numeric("c", Interval::at_least(1.0));
+  EXPECT_TRUE(weak.subsumes(strong));
+  EXPECT_FALSE(strong.subsumes(weak));
+  EXPECT_TRUE(weak.subsumes(weak));
+}
+
+TEST(ToDnf, SimpleComparison) {
+  const auto clauses =
+      to_dnf(Subscription::parse("b > 3").predicate(), 64);
+  ASSERT_TRUE(clauses.has_value());
+  ASSERT_EQ(clauses->size(), 1u);
+}
+
+TEST(ToDnf, NumericNeSplitsIntoTwoClauses) {
+  const auto clauses =
+      to_dnf(Subscription::parse("b != 3").predicate(), 64);
+  ASSERT_TRUE(clauses.has_value());
+  EXPECT_EQ(clauses->size(), 2u);
+}
+
+TEST(ToDnf, AndDistributesOverOr) {
+  const auto clauses = to_dnf(
+      Subscription::parse("(a == 1 || a == 2) && (b == 3 || b == 4)")
+          .predicate(),
+      64);
+  ASSERT_TRUE(clauses.has_value());
+  EXPECT_EQ(clauses->size(), 4u);
+}
+
+TEST(ToDnf, ContradictionsDropped) {
+  const auto clauses =
+      to_dnf(Subscription::parse("b > 5 && b < 3").predicate(), 64);
+  ASSERT_TRUE(clauses.has_value());
+  EXPECT_TRUE(clauses->empty());
+}
+
+TEST(ToDnf, BudgetExhaustionReturnsNullopt) {
+  // 2^7 = 128 clauses > 64 budget.
+  std::string text = "(a0 == 0 || a0 == 1)";
+  for (int i = 1; i < 7; ++i) {
+    text += " && (a" + std::to_string(i) + " == 0 || a" + std::to_string(i) +
+            " == 1)";
+  }
+  EXPECT_FALSE(to_dnf(Subscription::parse(text).predicate(), 64).has_value());
+}
+
+TEST(ToDnf, StringInequalityNotRepresentable) {
+  EXPECT_FALSE(
+      to_dnf(Subscription::parse("e != \"Bob\"").predicate(), 64).has_value());
+}
+
+TEST(InterestSummary, WildcardSubscription) {
+  const auto s = InterestSummary::from(Subscription());
+  EXPECT_TRUE(s.is_wildcard());
+  EXPECT_TRUE(s.match(Event{}));
+  EXPECT_EQ(s.complexity(), 0u);
+}
+
+TEST(InterestSummary, SingleRangeMatches) {
+  const auto s =
+      InterestSummary::from(Subscription::parse("c > 155.6"));
+  EXPECT_TRUE(s.match(ev(156.0)));
+  EXPECT_FALSE(s.match(ev(155.6)));
+}
+
+TEST(InterestSummary, UnionOfRangesMergesIntervals) {
+  auto s = InterestSummary::from(Subscription::parse("c > 10.0 && c < 20.0"));
+  s.merge(InterestSummary::from(Subscription::parse("c >= 15.0 && c < 30.0")));
+  // One attribute, intervals merged into a single (10, 30).
+  ASSERT_EQ(s.numeric_unions().size(), 1u);
+  EXPECT_EQ(s.numeric_unions().at("c").size(), 1u);
+  EXPECT_TRUE(s.match(ev(25.0)));
+  EXPECT_TRUE(s.match(ev(12.0)));
+  EXPECT_FALSE(s.match(ev(30.0)));
+}
+
+TEST(InterestSummary, NoFalseNegativesOverMergedSubscriptions) {
+  // Core soundness property (paper Sec. 2.3): the regrouped interest of a
+  // subgroup must match every event any member's subscription matches.
+  Rng rng(7);
+  std::vector<Subscription> subs;
+  for (int i = 0; i < 40; ++i) {
+    const double lo = rng.next_double();
+    const double w = rng.next_double() * 0.3;
+    subs.push_back(Subscription::parse(
+        "c >= " + std::to_string(lo) + " && c < " + std::to_string(lo + w)));
+  }
+  InterestSummary summary;
+  for (const auto& s : subs) summary.merge(InterestSummary::from(s));
+  for (int i = 0; i < 2000; ++i) {
+    const Event e = ev(rng.next_double() * 1.4);
+    bool any = false;
+    for (const auto& s : subs) any = any || s.match(e);
+    if (any) {
+      EXPECT_TRUE(summary.match(e)) << "false negative at " << i;
+    }
+  }
+}
+
+TEST(InterestSummary, ExactForIntervalUnions) {
+  // For pure single-attribute range subscriptions the summary is *exact*:
+  // no false positives either.
+  Rng rng(11);
+  std::vector<Subscription> subs;
+  for (int i = 0; i < 25; ++i) {
+    const double lo = rng.next_double() * 0.8;
+    subs.push_back(Subscription::parse(
+        "c >= " + std::to_string(lo) + " && c < " + std::to_string(lo + 0.1)));
+  }
+  InterestSummary summary;
+  for (const auto& s : subs) summary.merge(InterestSummary::from(s));
+  for (int i = 0; i < 2000; ++i) {
+    const Event e = ev(rng.next_double());
+    bool any = false;
+    for (const auto& s : subs) any = any || s.match(e);
+    EXPECT_EQ(summary.match(e), any);
+  }
+}
+
+TEST(InterestSummary, MultiAttributeClausesKept) {
+  const auto s = InterestSummary::from(
+      Subscription::parse("b > 3 && 10.0 < c && c < 220.0"));
+  Event in;
+  in.with("b", 4).with("c", 100.0);
+  Event wrong_b;
+  wrong_b.with("b", 2).with("c", 100.0);
+  EXPECT_TRUE(s.match(in));
+  EXPECT_FALSE(s.match(wrong_b));
+  EXPECT_EQ(s.clauses().size(), 1u);
+}
+
+TEST(InterestSummary, MergeWithWildcardBecomesWildcard) {
+  auto s = InterestSummary::from(Subscription::parse("b > 3"));
+  s.merge(InterestSummary::from(Subscription()));
+  EXPECT_TRUE(s.is_wildcard());
+  EXPECT_TRUE(s.match(Event{}));
+}
+
+TEST(InterestSummary, SubsumedClauseDropped) {
+  auto s = InterestSummary::from(
+      Subscription::parse("b > 3 && c > 10.0"));
+  // (b > 3 && c > 5) is weaker; merging it should leave a single clause.
+  s.merge(InterestSummary::from(Subscription::parse("b > 3 && c > 5.0")));
+  EXPECT_EQ(s.clauses().size(), 1u);
+  Event e;
+  e.with("b", 4).with("c", 7.0);
+  EXPECT_TRUE(s.match(e));
+}
+
+TEST(InterestSummary, ClauseCoveredBySingleAttrUnionDropped) {
+  auto s = InterestSummary::from(Subscription::parse("b > 0"));
+  s.merge(InterestSummary::from(Subscription::parse("b > 3 && c > 10.0")));
+  // b > 0 already covers every event the two-attribute clause matches.
+  EXPECT_TRUE(s.clauses().empty());
+  Event e;
+  e.with("b", 4).with("c", 20.0);
+  EXPECT_TRUE(s.match(e));
+}
+
+TEST(InterestSummary, OpaquePredicatesStillMatch) {
+  const auto s = InterestSummary::from(
+      Subscription::parse("e != \"Bob\""));  // not DNF-representable
+  Event tom;
+  tom.with("e", "Tom");
+  Event bob;
+  bob.with("e", "Bob");
+  EXPECT_TRUE(s.match(tom));
+  EXPECT_FALSE(s.match(bob));
+}
+
+TEST(InterestSummary, CoarsenIsMonotone) {
+  // Coarsening may only add matches, never lose them.
+  Rng rng(13);
+  auto s = InterestSummary::from(
+      Subscription::parse("b > 3 && c > 10.0 && c < 20.0"));
+  s.merge(InterestSummary::from(Subscription::parse("c >= 100.0 && c < 101.0")));
+  s.merge(InterestSummary::from(Subscription::parse("c >= 0.0 && c < 0.5")));
+  auto coarse = s;
+  coarse.coarsen();
+  for (int i = 0; i < 1000; ++i) {
+    Event e;
+    e.with("b", static_cast<std::int64_t>(rng.next_below(10)))
+        .with("c", rng.next_double() * 120.0);
+    if (s.match(e)) {
+      EXPECT_TRUE(coarse.match(e));
+    }
+  }
+  EXPECT_LE(coarse.complexity(), s.complexity());
+}
+
+TEST(InterestSummary, StringUnions) {
+  auto s = InterestSummary::from(Subscription::parse("e == \"Bob\""));
+  s.merge(InterestSummary::from(Subscription::parse("e == \"Tom\"")));
+  Event bob;
+  bob.with("e", "Bob");
+  Event tom;
+  tom.with("e", "Tom");
+  Event ann;
+  ann.with("e", "Ann");
+  EXPECT_TRUE(s.match(bob));
+  EXPECT_TRUE(s.match(tom));
+  EXPECT_FALSE(s.match(ann));
+}
+
+TEST(InterestSummary, ComplexityReflectsCompaction) {
+  // 20 overlapping ranges collapse into one interval: complexity 1, far
+  // below the naive disjunction of 20 subscriptions.
+  InterestSummary s;
+  for (int i = 0; i < 20; ++i) {
+    const double lo = 0.1 * i;
+    s.merge(InterestSummary::from(Subscription::parse(
+        "c >= " + std::to_string(lo) + " && c <= " + std::to_string(lo + 0.2))));
+  }
+  EXPECT_EQ(s.complexity(), 1u);
+}
+
+}  // namespace
+}  // namespace pmc

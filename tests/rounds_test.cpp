@@ -1,0 +1,102 @@
+#include "analysis/rounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pmc {
+namespace {
+
+TEST(RoundEstimator, MatchesPittelClosedForm) {
+  const RoundEstimator est(0.0);
+  const double n = 10000, f = 2;
+  const double expected =
+      std::log(n) * (1.0 / f + 1.0 / std::log(f + 1.0));
+  EXPECT_NEAR(est.pittel(n, f), expected, 1e-12);
+}
+
+TEST(RoundEstimator, ZeroForDegenerateGroups) {
+  const RoundEstimator est;
+  EXPECT_DOUBLE_EQ(est.pittel(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.pittel(0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.pittel(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.pittel(100.0, 0.0), 0.0);
+}
+
+TEST(RoundEstimator, MonotoneInGroupSize) {
+  const RoundEstimator est;
+  EXPECT_LT(est.pittel(100, 3), est.pittel(1000, 3));
+  EXPECT_LT(est.pittel(1000, 3), est.pittel(10000, 3));
+}
+
+TEST(RoundEstimator, DecreasingInFanout) {
+  const RoundEstimator est;
+  EXPECT_GT(est.pittel(10000, 1), est.pittel(10000, 2));
+  EXPECT_GT(est.pittel(10000, 2), est.pittel(10000, 4));
+}
+
+TEST(RoundEstimator, ConstantShifts) {
+  const RoundEstimator base(0.0), shifted(2.5);
+  EXPECT_NEAR(shifted.pittel(1000, 2) - base.pittel(1000, 2), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(shifted.constant(), 2.5);
+}
+
+TEST(RoundEstimator, NegativeTotalClampedToZero) {
+  const RoundEstimator est(-100.0);
+  EXPECT_DOUBLE_EQ(est.pittel(10, 2), 0.0);
+}
+
+TEST(RoundEstimator, FaultyDiscountsPopulationAndFanout) {
+  const RoundEstimator est;
+  EnvParams env;
+  env.loss = 0.2;
+  env.crash = 0.1;
+  const double keep = 0.8 * 0.9;
+  EXPECT_NEAR(est.faulty(1000, 3, env),
+              est.pittel(1000 * keep, 3 * keep), 1e-12);
+}
+
+TEST(RoundEstimator, FaultyNoFaultsEqualsPittel) {
+  const RoundEstimator est;
+  EXPECT_DOUBLE_EQ(est.faulty(500, 2, EnvParams{}), est.pittel(500, 2));
+}
+
+TEST(RoundEstimator, FaultyMoreLossMoreRounds) {
+  // More loss shrinks the effective fanout, so the bound cannot shrink
+  // whenever the effective population is still > 1... but Eq. 11 also
+  // shrinks n. The paper's net effect at realistic sizes: more rounds.
+  const RoundEstimator est;
+  EnvParams lossy;
+  lossy.loss = 0.3;
+  EXPECT_GT(est.faulty(10000, 2, lossy), est.faulty(10000, 2, EnvParams{}));
+}
+
+TEST(RoundEstimator, InvalidEnvRejected) {
+  const RoundEstimator est;
+  EnvParams bad;
+  bad.loss = 1.0;
+  EXPECT_THROW(est.faulty(10, 2, bad), std::logic_error);
+  EnvParams bad2;
+  bad2.crash = -0.1;
+  EXPECT_THROW(est.faulty(10, 2, bad2), std::logic_error);
+}
+
+TEST(RoundEstimator, ExecutedRoundsCeil) {
+  EXPECT_EQ(RoundEstimator::executed_rounds(0.0), 0u);
+  EXPECT_EQ(RoundEstimator::executed_rounds(-1.0), 0u);
+  EXPECT_EQ(RoundEstimator::executed_rounds(0.1), 1u);
+  EXPECT_EQ(RoundEstimator::executed_rounds(3.0), 3u);
+  EXPECT_EQ(RoundEstimator::executed_rounds(3.2), 4u);
+}
+
+TEST(RoundEstimator, SmallPopulationAnomalyReproduced) {
+  // Sec. 5.1: towards n*pd -> 1 the estimate collapses to 0, which is the
+  // root cause of the small-matching-rate reliability loss.
+  const RoundEstimator est;
+  EXPECT_GT(est.pittel(50, 2), est.pittel(2, 2));
+  EXPECT_GT(est.pittel(2, 2), est.pittel(1, 2));
+  EXPECT_DOUBLE_EQ(est.pittel(1, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace pmc

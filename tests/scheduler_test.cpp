@@ -1,0 +1,135 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmc {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(sim_ms(30), [&] { order.push_back(3); });
+  s.schedule_at(sim_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(sim_ms(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), sim_ms(30));
+}
+
+TEST(Scheduler, SameTimeFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    s.schedule_at(sim_ms(10), [&order, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesNow) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(sim_ms(5), [&] {
+    s.schedule_after(sim_ms(10), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, sim_ms(15));
+}
+
+TEST(Scheduler, SchedulingInPastThrows) {
+  Scheduler s;
+  s.schedule_at(sim_ms(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(sim_ms(5), [] {}), std::logic_error);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const auto token = s.schedule_at(sim_ms(10), [&] { ran = true; });
+  s.cancel(token);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, CancelOneOfMany) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(sim_ms(1), [&] { ++count; });
+  const auto token = s.schedule_at(sim_ms(2), [&] { ++count; });
+  s.schedule_at(sim_ms(3), [&] { ++count; });
+  s.cancel(token);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, PendingCountsLiveEvents) {
+  Scheduler s;
+  const auto t1 = s.schedule_at(sim_ms(1), [] {});
+  s.schedule_at(sim_ms(2), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(t1);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(sim_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(sim_ms(20), [&] { order.push_back(2); });
+  s.run_until(sim_ms(15));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.now(), sim_ms(15));  // time advances to the deadline
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.schedule_after(sim_ms(1), recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.now(), sim_ms(9));
+}
+
+TEST(Scheduler, MaxEventsGuard) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.schedule_after(1, forever); };
+  s.schedule_at(0, forever);
+  EXPECT_THROW(s.run(/*max_events=*/100), std::runtime_error);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, StepRunsExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(1, [&] { ++count; });
+  s.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, NullFunctionRejected) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(1, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pmc

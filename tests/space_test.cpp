@@ -1,0 +1,83 @@
+#include "addr/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmc {
+namespace {
+
+TEST(AddressSpace, RegularCapacity) {
+  EXPECT_EQ(AddressSpace::regular(3, 2).capacity(), 9u);
+  EXPECT_EQ(AddressSpace::regular(22, 3).capacity(), 10648u);
+  EXPECT_EQ(AddressSpace::regular(1, 5).capacity(), 1u);
+}
+
+TEST(AddressSpace, MixedArities) {
+  const AddressSpace space({2, 3, 4});
+  EXPECT_EQ(space.capacity(), 24u);
+  EXPECT_EQ(space.depth(), 3u);
+  EXPECT_EQ(space.arity(1), 3);
+}
+
+TEST(AddressSpace, CapacitySaturates) {
+  // 2^16 components, many levels: must saturate, not overflow.
+  const AddressSpace space(std::vector<AddrComponent>(8, 65535));
+  EXPECT_EQ(space.capacity(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(AddressSpace, AtDecodesMixedRadix) {
+  const AddressSpace space({2, 3});
+  EXPECT_EQ(space.at(0).to_string(), "0.0");
+  EXPECT_EQ(space.at(1).to_string(), "0.1");
+  EXPECT_EQ(space.at(2).to_string(), "0.2");
+  EXPECT_EQ(space.at(3).to_string(), "1.0");
+  EXPECT_EQ(space.at(5).to_string(), "1.2");
+  EXPECT_THROW(space.at(6), std::logic_error);
+}
+
+TEST(AddressSpace, EnumerateLexicographicAndComplete) {
+  const auto space = AddressSpace::regular(3, 2);
+  const auto all = space.enumerate();
+  ASSERT_EQ(all.size(), 9u);
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+  for (const auto& a : all) EXPECT_TRUE(space.valid(a));
+}
+
+TEST(AddressSpace, Valid) {
+  const auto space = AddressSpace::regular(3, 2);
+  EXPECT_TRUE(space.valid(Address::parse("2.2")));
+  EXPECT_FALSE(space.valid(Address::parse("3.0")));   // component too big
+  EXPECT_FALSE(space.valid(Address::parse("1.1.1")));  // wrong depth
+}
+
+TEST(AddressSpace, SampleDistinctAndValid) {
+  const auto space = AddressSpace::regular(5, 3);
+  Rng rng(9);
+  const auto sample = space.sample(50, rng);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<Address> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 50u);
+  for (const auto& a : sample) EXPECT_TRUE(space.valid(a));
+}
+
+TEST(AddressSpace, SampleAllIsWholeSpace) {
+  const auto space = AddressSpace::regular(3, 2);
+  Rng rng(10);
+  auto sample = space.sample(9, rng);
+  EXPECT_EQ(std::set<Address>(sample.begin(), sample.end()).size(), 9u);
+}
+
+TEST(AddressSpace, SampleTooManyThrows) {
+  const auto space = AddressSpace::regular(2, 2);
+  Rng rng(1);
+  EXPECT_THROW(space.sample(5, rng), std::logic_error);
+}
+
+TEST(AddressSpace, ZeroArityRejected) {
+  EXPECT_THROW(AddressSpace({2, 0, 2}), std::logic_error);
+  EXPECT_THROW(AddressSpace({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pmc

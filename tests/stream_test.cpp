@@ -1,0 +1,109 @@
+// Sustained multi-event stream behaviour: overlapping disseminations must
+// keep per-event reliability, bounded buffers, and proportional cost.
+#include <gtest/gtest.h>
+
+#include "analysis/markov.hpp"
+#include "harness/experiment.hpp"
+
+namespace pmc {
+namespace {
+
+StreamConfig small_stream() {
+  StreamConfig s;
+  s.base.a = 5;
+  s.base.d = 2;
+  s.base.r = 2;
+  s.base.fanout = 3;
+  s.base.pd = 0.6;
+  s.base.loss = 0.05;
+  s.base.seed = 17;
+  s.events = 30;
+  s.inter_arrival = sim_ms(150);
+  return s;
+}
+
+TEST(Stream, PerEventDeliveryStaysHigh) {
+  const auto result = run_stream_experiment(small_stream());
+  EXPECT_EQ(result.per_event_delivery.count(), 30u);
+  EXPECT_GT(result.per_event_delivery.mean(), 0.9);
+  // Even the worst event of the stream delivers to most interested.
+  EXPECT_GT(result.per_event_delivery.quantile(0.05), 0.6);
+}
+
+TEST(Stream, CostScalesPerEvent) {
+  // Messages per event per process should be in the same band as a
+  // single-event run — concurrent events don't multiply each other's cost.
+  auto stream = small_stream();
+  const auto multi = run_stream_experiment(stream);
+
+  auto single = stream;
+  single.events = 1;
+  const auto one = run_stream_experiment(single);
+  EXPECT_LT(multi.messages_per_event_per_process,
+            one.messages_per_event_per_process * 2.0);
+}
+
+TEST(Stream, DrainsPromptlyAfterLastPublish) {
+  const auto result = run_stream_experiment(small_stream());
+  // Quiescence within a round-bound's worth of periods after the last
+  // publish (no unbounded backlog accumulation).
+  EXPECT_LT(result.drain_periods, 40.0);
+}
+
+TEST(Stream, BackToBackBurst) {
+  // All events published in the same period: the per-depth buffers hold
+  // many events at once and still drain.
+  auto stream = small_stream();
+  stream.inter_arrival = sim_us(1);
+  stream.events = 20;
+  const auto result = run_stream_experiment(stream);
+  EXPECT_GT(result.per_event_delivery.mean(), 0.85);
+}
+
+TEST(Stream, DeterministicAcrossInvocations) {
+  const auto a = run_stream_experiment(small_stream());
+  const auto b = run_stream_experiment(small_stream());
+  EXPECT_DOUBLE_EQ(a.per_event_delivery.mean(), b.per_event_delivery.mean());
+  EXPECT_DOUBLE_EQ(a.messages_per_event_per_process,
+                   b.messages_per_event_per_process);
+}
+
+// --- Monte-Carlo cross-validation of the Sec. 4.2 chain --------------------
+
+TEST(ModelValidation, FlatGossipMatchesMarkovChain) {
+  // Simulate flat-group gossip (d=1) many times; the mean infected count
+  // after the full run must sit near the chain's prediction at the round
+  // the algorithm stops (ceil of Pittel's bound).
+  const std::size_t n = 40;
+  const double fanout = 3.0;
+  const double loss = 0.1;
+
+  Accumulator simulated;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    ExperimentConfig c;
+    c.a = n;
+    c.d = 1;
+    c.r = 1;
+    c.fanout = 3;
+    c.pd = 1.0;
+    c.loss = loss;
+    c.runs = 1;
+    c.seed = 900 + seed;
+    const auto r = run_pmcast_experiment(c);
+    simulated.add(r.delivery.mean());
+  }
+
+  EnvParams env;
+  env.loss = loss;
+  const RoundEstimator estimator;
+  const auto rounds = RoundEstimator::executed_rounds(
+      estimator.faulty(n, fanout, env));
+  const auto chain = InfectionChain::flat(n, fanout, env);
+  const double predicted =
+      chain.expected_infected(rounds) / static_cast<double>(n);
+
+  EXPECT_NEAR(simulated.mean(), predicted, 0.08);
+}
+
+}  // namespace
+}  // namespace pmc

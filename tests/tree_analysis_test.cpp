@@ -1,0 +1,154 @@
+#include "analysis/tree_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pmc {
+namespace {
+
+TreeAnalysisParams fig4_params(double pd) {
+  TreeAnalysisParams p;
+  p.a = 22;
+  p.d = 3;
+  p.r = 3;
+  p.fanout = 2.0;
+  p.pd = pd;
+  p.env.loss = 0.05;
+  return p;
+}
+
+TEST(TreeAnalysis, PiMatchesEq7) {
+  const auto r = analyze_tree(fig4_params(0.3));
+  ASSERT_EQ(r.depths.size(), 3u);
+  // p_i = 1-(1-pd)^(a^(d-i)).
+  EXPECT_NEAR(r.depths[0].pi, 1.0 - std::pow(0.7, 484.0), 1e-12);
+  EXPECT_NEAR(r.depths[1].pi, 1.0 - std::pow(0.7, 22.0), 1e-12);
+  EXPECT_NEAR(r.depths[2].pi, 0.3, 1e-12);
+}
+
+TEST(TreeAnalysis, ViewSizesMatchEq12) {
+  const auto r = analyze_tree(fig4_params(0.5));
+  EXPECT_DOUBLE_EQ(r.depths[0].mi, 66.0);  // R*a
+  EXPECT_DOUBLE_EQ(r.depths[1].mi, 66.0);
+  EXPECT_DOUBLE_EQ(r.depths[2].mi, 22.0);  // a at the leaves
+}
+
+TEST(TreeAnalysis, PiDecreasesWithDepth) {
+  const auto r = analyze_tree(fig4_params(0.2));
+  EXPECT_GE(r.depths[0].pi, r.depths[1].pi);
+  EXPECT_GE(r.depths[1].pi, r.depths[2].pi);
+}
+
+TEST(TreeAnalysis, HighMatchingRateHighReliability) {
+  // The Sec. 4 expressions are deliberately pessimistic (they ignore that
+  // subgroups usually start with all R delegates infected), so "high"
+  // means > 0.9 rather than ~1.
+  const auto r = analyze_tree(fig4_params(0.8));
+  EXPECT_GT(r.reliability, 0.9);
+}
+
+TEST(TreeAnalysis, ReliabilityDegradesForSmallPd) {
+  // The paper's Fig. 4 anomaly: Pittel's asymptote starves tiny audiences.
+  const auto high = analyze_tree(fig4_params(0.5));
+  const auto low = analyze_tree(fig4_params(0.01));
+  EXPECT_GT(high.reliability, low.reliability);
+}
+
+TEST(TreeAnalysis, ReliabilityInUnitInterval) {
+  for (const double pd : {0.01, 0.05, 0.2, 0.5, 0.9, 1.0}) {
+    const auto r = analyze_tree(fig4_params(pd));
+    EXPECT_GE(r.reliability, 0.0) << pd;
+    EXPECT_LE(r.reliability, 1.0) << pd;
+  }
+}
+
+TEST(TreeAnalysis, ExpectedInfectedBoundedByInterested) {
+  const auto r = analyze_tree(fig4_params(0.4));
+  const double n_pd = std::pow(22.0, 3.0) * 0.4;
+  EXPECT_LE(r.expected_infected, n_pd * 1.0001);
+}
+
+TEST(TreeAnalysis, TotalRoundsIsSumOfDepthRounds) {
+  const auto r = analyze_tree(fig4_params(0.5));
+  double sum = 0;
+  for (const auto& d : r.depths) sum += d.rounds;
+  EXPECT_NEAR(r.total_rounds, sum, 1e-12);
+}
+
+TEST(TreeAnalysis, MoreLossLowerReliability) {
+  auto clean = fig4_params(0.3);
+  clean.env.loss = 0.0;
+  auto lossy = fig4_params(0.3);
+  lossy.env.loss = 0.3;
+  // The algorithm compensates rounds, but reliability still suffers a bit;
+  // at minimum it must not *improve* with loss.
+  EXPECT_GE(analyze_tree(clean).reliability,
+            analyze_tree(lossy).reliability - 1e-9);
+}
+
+TEST(TreeAnalysis, CrashesReduceReliability) {
+  auto safe = fig4_params(0.3);
+  auto crashy = fig4_params(0.3);
+  crashy.env.crash = 0.2;
+  EXPECT_GE(analyze_tree(safe).reliability,
+            analyze_tree(crashy).reliability - 1e-9);
+}
+
+TEST(TreeAnalysis, DepthOneIsFlatGossip) {
+  TreeAnalysisParams p;
+  p.a = 50;
+  p.d = 1;
+  p.r = 1;
+  p.fanout = 3.0;
+  p.pd = 1.0;
+  const auto r = analyze_tree(p);
+  ASSERT_EQ(r.depths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.depths[0].pi, 1.0);
+  EXPECT_DOUBLE_EQ(r.depths[0].mi, 50.0);
+  EXPECT_GT(r.reliability, 0.9);
+}
+
+TEST(TreeAnalysis, FullInterestNearPerfect) {
+  auto p = fig4_params(1.0);
+  p.env.loss = 0.0;
+  const auto r = analyze_tree(p);
+  EXPECT_GT(r.reliability, 0.96);
+}
+
+TEST(TreeAnalysis, RiExponentIsRForInnerDepthsOneForLeaf) {
+  // With expected fraction f at a depth, r_i = 1-(1-f)^R for inner depths.
+  const auto r = analyze_tree(fig4_params(0.6));
+  for (const auto& d : r.depths) {
+    const double frac = d.interested > 0
+                            ? std::min(1.0, d.expected_infected / d.interested)
+                            : 0.0;
+    const double exponent = d.depth < 3 ? 3.0 : 1.0;
+    EXPECT_NEAR(d.ri, 1.0 - std::pow(1.0 - frac, exponent), 1e-9);
+  }
+}
+
+TEST(TreeAnalysis, InvalidParamsRejected) {
+  TreeAnalysisParams p;
+  p.a = 0;
+  EXPECT_THROW(analyze_tree(p), std::logic_error);
+  TreeAnalysisParams q;
+  q.pd = 1.5;
+  EXPECT_THROW(analyze_tree(q), std::logic_error);
+}
+
+TEST(RegularViewSize, MatchesEq2) {
+  EXPECT_EQ(regular_view_size(22, 3, 3), 3u * 22 * 2 + 22);
+  EXPECT_EQ(regular_view_size(10, 1, 5), 10u);  // single depth: neighbors only
+  EXPECT_EQ(regular_view_size(4, 2, 2), 2u * 4 + 4);
+}
+
+TEST(RegularViewSize, SublinearInGroupSize) {
+  // O(d R n^(1/d)): quadrupling n at d=2 only doubles the view.
+  const auto v1 = regular_view_size(10, 2, 3);
+  const auto v2 = regular_view_size(20, 2, 3);
+  EXPECT_LT(v2, 2 * v1 + 21);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,128 @@
+#include "membership/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "filter/subscription.hpp"
+
+namespace pmc {
+namespace {
+
+ViewRow row(AddrComponent infix, std::uint64_t version,
+            std::uint64_t count = 1, bool alive = true) {
+  ViewRow r;
+  r.infix = infix;
+  r.version = version;
+  r.process_count = count;
+  r.alive = alive;
+  r.delegates = {Address::parse(std::to_string(infix) + ".0.0")};
+  r.interests = InterestSummary::from(Subscription());
+  return r;
+}
+
+TEST(DepthView, UpsertInsertsSorted) {
+  DepthView v;
+  EXPECT_TRUE(v.upsert(row(5, 1)));
+  EXPECT_TRUE(v.upsert(row(1, 1)));
+  EXPECT_TRUE(v.upsert(row(3, 1)));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.rows()[0].infix, 1);
+  EXPECT_EQ(v.rows()[1].infix, 3);
+  EXPECT_EQ(v.rows()[2].infix, 5);
+}
+
+TEST(DepthView, NewerVersionWins) {
+  DepthView v;
+  v.upsert(row(1, 1, 10));
+  EXPECT_TRUE(v.upsert(row(1, 2, 20)));
+  EXPECT_EQ(v.find(1)->process_count, 20u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(DepthView, OlderOrEqualVersionIgnored) {
+  DepthView v;
+  v.upsert(row(1, 5, 10));
+  EXPECT_FALSE(v.upsert(row(1, 5, 99)));
+  EXPECT_FALSE(v.upsert(row(1, 3, 99)));
+  EXPECT_EQ(v.find(1)->process_count, 10u);
+}
+
+TEST(DepthView, FindMissingReturnsNull) {
+  DepthView v;
+  v.upsert(row(2, 1));
+  EXPECT_EQ(v.find(3), nullptr);
+  EXPECT_NE(v.find(2), nullptr);
+}
+
+TEST(DepthView, Erase) {
+  DepthView v;
+  v.upsert(row(1, 1));
+  v.upsert(row(2, 1));
+  EXPECT_TRUE(v.erase(1));
+  EXPECT_FALSE(v.erase(1));
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.find(1), nullptr);
+}
+
+TEST(DepthView, LiveCountSkipsTombstones) {
+  DepthView v;
+  v.upsert(row(1, 1, 1, true));
+  v.upsert(row(2, 1, 1, false));
+  v.upsert(row(3, 1, 1, true));
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.live_count(), 2u);
+}
+
+TEST(DepthView, TotalProcessesSumsLiveRows) {
+  DepthView v;
+  v.upsert(row(1, 1, 10, true));
+  v.upsert(row(2, 1, 20, false));  // tombstoned, not counted
+  v.upsert(row(3, 1, 5, true));
+  EXPECT_EQ(v.total_processes(), 15u);
+}
+
+TEST(MembershipView, DepthIndexingOneBased) {
+  const auto self = Address::parse("1.2.3");
+  TreeConfig cfg;
+  cfg.depth = 3;
+  cfg.redundancy = 2;
+  MembershipView mv(self, cfg);
+  mv.view(1).upsert(row(0, 1));
+  mv.view(3).upsert(row(7, 1));
+  EXPECT_EQ(mv.view(1).size(), 1u);
+  EXPECT_EQ(mv.view(2).size(), 0u);
+  EXPECT_EQ(mv.view(3).size(), 1u);
+  EXPECT_THROW(mv.view(0), std::logic_error);
+  EXPECT_THROW(mv.view(4), std::logic_error);
+}
+
+TEST(MembershipView, SelfDepthMustMatchConfig) {
+  TreeConfig cfg;
+  cfg.depth = 3;
+  EXPECT_THROW(MembershipView(Address::parse("1.2"), cfg), std::logic_error);
+}
+
+TEST(MembershipView, KnownProcessesCountsDelegatesPerAppearance) {
+  const auto self = Address::parse("1.2.3");
+  TreeConfig cfg;
+  cfg.depth = 3;
+  MembershipView mv(self, cfg);
+  ViewRow r1 = row(0, 1);
+  r1.delegates = {Address::parse("0.0.0"), Address::parse("0.0.1")};
+  mv.view(1).upsert(r1);
+  ViewRow r2 = row(4, 1);
+  r2.delegates = {Address::parse("1.4.0")};
+  mv.view(2).upsert(r2);
+  ViewRow dead = row(9, 1, 1, false);
+  mv.view(2).upsert(dead);
+  EXPECT_EQ(mv.known_processes(), 3u);  // 2 + 1, tombstone excluded
+}
+
+TEST(MembershipView, ToStringMentionsSelf) {
+  TreeConfig cfg;
+  cfg.depth = 2;
+  MembershipView mv(Address::parse("3.1"), cfg);
+  EXPECT_NE(mv.to_string().find("3.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,180 @@
+// pmcast_sim — command-line experiment driver.
+//
+// Runs pmcast (or a baseline) on a regular tree with the uniform-interest
+// workload and prints delivery/reception/cost metrics next to the Sec. 4
+// analysis prediction. Everything the figure benches sweep is exposed as a
+// flag, so new parameter points can be explored without recompiling:
+//
+//   pmcast_sim --a 22 --d 3 --R 3 --F 2 --pd 0.5 --loss 0.05 --runs 20
+//   pmcast_sim --algorithm flooding --a 12 --d 3 --pd 0.2
+//   pmcast_sim --analysis-only --a 22 --d 3 --pd 0.1
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/tree_analysis.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace pmc;
+
+struct Options {
+  ExperimentConfig experiment;
+  std::string algorithm = "pmcast";  // pmcast | flooding | genuine
+  std::size_t genuine_view = 20;
+  bool analysis_only = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "pmcast_sim — probabilistic multicast experiment driver\n\n"
+      "usage: pmcast_sim [flags]\n\n"
+      "tree / workload:\n"
+      "  --a N            subgroups per node (default 22)\n"
+      "  --d N            tree depth, n = a^d (default 3)\n"
+      "  --R N            delegates per subgroup (default 3)\n"
+      "  --pd X           fraction of interested processes (default 0.5)\n"
+      "  --clustered      per-leaf clustered interests instead of uniform\n"
+      "environment:\n"
+      "  --loss X         message loss probability eps (default 0.05)\n"
+      "  --crash X        fraction crashing during a run (default 0)\n"
+      "algorithm:\n"
+      "  --algorithm S    pmcast | flooding | genuine (default pmcast)\n"
+      "  --F N            gossip fanout (default 2)\n"
+      "  --c X            Pittel constant (default 0)\n"
+      "  --h N            tuning threshold, 0 = untuned (default 0)\n"
+      "  --flood X        leaf-flood density threshold, >1 = off\n"
+      "  --coarsen N      coarsen rows at depth <= N (default 0 = off)\n"
+      "  --no-shortcut    disable the local-interest shortcut\n"
+      "  --view N         genuine baseline partial-view size (default 20)\n"
+      "measurement:\n"
+      "  --runs N         independent runs (default 20)\n"
+      "  --seed N         base seed (default 42)\n"
+      "  --analysis-only  print only the Sec. 4 prediction (no simulation)\n";
+}
+
+bool parse_args(int argc, char** argv, Options& out) {
+  auto& e = out.experiment;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") out.help = true;
+    else if (flag == "--a") e.a = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--d") e.d = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--R") e.r = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--F") e.fanout = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--pd") e.pd = std::strtod(next(), nullptr);
+    else if (flag == "--loss") e.loss = std::strtod(next(), nullptr);
+    else if (flag == "--crash")
+      e.crash_fraction = std::strtod(next(), nullptr);
+    else if (flag == "--c") e.pittel_c = std::strtod(next(), nullptr);
+    else if (flag == "--h")
+      e.tuning_threshold = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--flood")
+      e.leaf_flood_density = std::strtod(next(), nullptr);
+    else if (flag == "--coarsen")
+      e.coarsen_depth_leq = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--no-shortcut") e.local_interest_shortcut = false;
+    else if (flag == "--clustered") e.clustered = true;
+    else if (flag == "--runs") e.runs = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--seed") e.seed = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--algorithm") out.algorithm = next();
+    else if (flag == "--view")
+      out.genuine_view = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--analysis-only") out.analysis_only = true;
+    else {
+      std::cerr << "unknown flag: " << flag << " (try --help)\n";
+      return false;
+    }
+  }
+  if (e.a < 1 || e.d < 1 || e.r < 1 || e.fanout < 1 || e.runs < 1 ||
+      e.pd < 0.0 || e.pd > 1.0 || e.loss < 0.0 || e.loss >= 1.0 ||
+      e.crash_fraction < 0.0 || e.crash_fraction >= 1.0) {
+    std::cerr << "invalid parameter values (try --help)\n";
+    return false;
+  }
+  if (out.algorithm != "pmcast" && out.algorithm != "flooding" &&
+      out.algorithm != "genuine") {
+    std::cerr << "unknown algorithm: " << out.algorithm << "\n";
+    return false;
+  }
+  return true;
+}
+
+void print_analysis(const ExperimentConfig& e) {
+  const auto result = analyze_tree(e.analysis_params());
+  std::cout << "\nSec. 4 analysis:\n";
+  Table t({"depth", "p_i", "m_i", "T_i", "E[s_Ti]", "r_i", "E[g_i]"});
+  for (const auto& d : result.depths) {
+    t.add_row({Table::integer(d.depth), Table::num(d.pi),
+               Table::num(d.mi, 0), Table::num(d.rounds, 2),
+               Table::num(d.expected_infected, 2), Table::num(d.ri),
+               Table::num(d.expected_gi, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "total rounds (Eq. 13):   " << Table::num(result.total_rounds, 2)
+            << "\nexpected infected:       "
+            << Table::num(result.expected_infected, 1)
+            << "\npredicted reliability:   "
+            << Table::num(result.reliability) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return 2;
+  if (options.help) {
+    print_usage();
+    return 0;
+  }
+  const auto& e = options.experiment;
+
+  std::cout << "pmcast_sim: n = " << e.group_size() << " (a=" << e.a
+            << ", d=" << e.d << "), R=" << e.r << ", F=" << e.fanout
+            << ", pd=" << e.pd << ", eps=" << e.loss
+            << ", tau=" << e.crash_fraction << ", algorithm="
+            << options.algorithm << "\n";
+
+  if (options.analysis_only) {
+    print_analysis(e);
+    return 0;
+  }
+
+  ExperimentResult result;
+  if (options.algorithm == "pmcast") {
+    result = run_pmcast_experiment(e);
+  } else if (options.algorithm == "flooding") {
+    result = run_flooding_experiment(e);
+  } else {
+    result = run_genuine_experiment(e, options.genuine_view);
+  }
+
+  std::cout << "\nsimulation (" << e.runs << " runs):\n";
+  Table t({"metric", "mean", "ci95", "min", "max"});
+  const auto row = [&](const char* name, const Summary& s, int precision) {
+    t.add_row({name, Table::num(s.mean(), precision),
+               Table::num(s.ci95_halfwidth(), precision),
+               Table::num(s.min(), precision),
+               Table::num(s.max(), precision)});
+  };
+  row("delivery", result.delivery, 4);
+  row("false reception", result.false_reception, 4);
+  row("rounds", result.rounds, 1);
+  row("messages/process", result.messages_per_process, 2);
+  row("interested fraction", result.interested_fraction, 3);
+  t.print(std::cout);
+
+  if (options.algorithm == "pmcast") print_analysis(e);
+  return 0;
+}
