@@ -8,11 +8,17 @@
 //  * one full simulated dissemination at a mid-size scale.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
 #include "analysis/markov.hpp"
 #include "analysis/tree_analysis.hpp"
 #include "harness/experiment.hpp"
 #include "membership/election.hpp"
 #include "membership/tree.hpp"
+#include "pmcast/node.hpp"
+#include "sim/scheduler.hpp"
 
 namespace {
 
@@ -112,6 +118,175 @@ void BM_GroupTreeChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupTreeChurn);
+
+// --- Scheduler: indexed heap vs the seed's tombstone priority_queue --------
+
+/// Replica of the scheduler this repo shipped with before the indexed-heap
+/// rewrite: std::priority_queue + two side hash-sets, lazy tombstones for
+/// cancel, one std::function allocation per event. Kept here verbatim (minus
+/// contracts) as the baseline BM_SchedulerIndexedHeap* is measured against.
+class LegacyScheduler {
+ public:
+  using Token = std::uint64_t;
+
+  Token schedule_at(SimTime at, std::function<void()> fn) {
+    const Token token = next_token_++;
+    queue_.push(Item{at, token, std::move(fn)});
+    live_.insert(token);
+    return token;
+  }
+  void cancel(Token token) {
+    if (live_.erase(token) != 0) cancelled_.insert(token);
+  }
+  bool step() {
+    while (!queue_.empty()) {
+      Item item = std::move(const_cast<Item&>(queue_.top()));
+      queue_.pop();
+      const auto it = cancelled_.find(item.token);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      live_.erase(item.token);
+      now_ = item.at;
+      item.fn();
+      return true;
+    }
+    return false;
+  }
+  void run() {
+    while (step()) {
+    }
+  }
+  SimTime now() const noexcept { return now_; }
+
+ private:
+  struct Item {
+    SimTime at;
+    Token token;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.token > b.token;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<Token> live_;
+  std::unordered_set<Token> cancelled_;
+  SimTime now_ = 0;
+  Token next_token_ = 1;
+};
+
+/// The simulator's dominant scheduler workload: every in-flight message is
+/// one schedule+run, and every periodic timer is a schedule/cancel/reschedule
+/// churn. Models both: `n` events scheduled at pseudo-random times, every
+/// second one cancelled and replaced, then the queue drained.
+template <class SchedulerT>
+void scheduler_churn(SchedulerT& sched, std::size_t n,
+                     std::uint64_t& sink) {
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(n);
+  Rng rng(42);
+  const SimTime base = sched.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime at = base + static_cast<SimTime>(rng.next_below(1000));
+    tokens.push_back(
+        sched.schedule_at(at, [&sink] { benchmark::DoNotOptimize(++sink); }));
+  }
+  for (std::size_t i = 0; i < n; i += 2) {
+    sched.cancel(tokens[i]);
+    const SimTime at = base + static_cast<SimTime>(rng.next_below(1000));
+    sched.schedule_at(at, [&sink] { benchmark::DoNotOptimize(++sink); });
+  }
+  sched.run();
+}
+
+void BM_SchedulerLegacyTombstones(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    LegacyScheduler sched;
+    scheduler_churn(sched, n, sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n + n / 2));
+}
+BENCHMARK(BM_SchedulerLegacyTombstones)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_SchedulerIndexedHeap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    scheduler_churn(sched, n, sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n + n / 2));
+}
+BENCHMARK(BM_SchedulerIndexedHeap)->Arg(1024)->Arg(16384)->Arg(131072);
+
+// --- Message dispatch: dynamic_cast chain vs MsgKind switch ----------------
+
+std::vector<MessagePtr> mixed_messages(std::size_t n) {
+  std::vector<MessagePtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0: {
+        auto m = std::make_shared<GossipMsg>();
+        m->event = std::make_shared<const Event>(EventId{1, i});
+        out.push_back(std::move(m));
+        break;
+      }
+      case 1: out.push_back(std::make_shared<EventDigestMsg>()); break;
+      case 2: out.push_back(std::make_shared<EventRequestMsg>()); break;
+      default: out.push_back(std::make_shared<EventPayloadMsg>()); break;
+    }
+  }
+  return out;
+}
+
+void BM_DispatchDynamicCast(benchmark::State& state) {
+  // The seed's PmcastNode::on_message dispatch: try each subclass in turn.
+  const auto msgs = mixed_messages(1024);
+  for (auto _ : state) {
+    std::size_t matched = 0;
+    for (const auto& msg : msgs) {
+      if (dynamic_cast<const EventDigestMsg*>(msg.get()) != nullptr)
+        matched += 1;
+      else if (dynamic_cast<const EventRequestMsg*>(msg.get()) != nullptr)
+        matched += 2;
+      else if (dynamic_cast<const EventPayloadMsg*>(msg.get()) != nullptr)
+        matched += 3;
+      else if (dynamic_cast<const GossipMsg*>(msg.get()) != nullptr)
+        matched += 4;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DispatchDynamicCast);
+
+void BM_DispatchKindSwitch(benchmark::State& state) {
+  const auto msgs = mixed_messages(1024);
+  for (auto _ : state) {
+    std::size_t matched = 0;
+    for (const auto& msg : msgs) {
+      switch (msg->kind) {
+        case MsgKind::EventDigest: matched += 1; break;
+        case MsgKind::EventRequest: matched += 2; break;
+        case MsgKind::EventPayload: matched += 3; break;
+        case MsgKind::Gossip: matched += 4; break;
+        default: break;
+      }
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DispatchKindSwitch);
 
 void BM_PittelEstimate(benchmark::State& state) {
   const RoundEstimator est;

@@ -26,12 +26,12 @@ void FloodingNode::broadcast(Event event) {
 }
 
 void FloodingNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
-  const auto* gossip = dynamic_cast<const FloodGossipMsg*>(msg.get());
-  if (gossip == nullptr) return;
-  if (!seen_.insert(gossip->event->id()).second) return;
+  if (msg->kind != MsgKind::FloodGossip) return;
+  const auto& gossip = static_cast<const FloodGossipMsg&>(*msg);
+  if (!seen_.insert(gossip.event->id()).second) return;
   ++stats_.received;
-  deliver_if_interested(*gossip->event);
-  buffer(Entry{gossip->event, gossip->round});
+  deliver_if_interested(*gossip.event);
+  buffer(Entry{gossip.event, gossip.round});
 }
 
 void FloodingNode::on_period() {

@@ -19,6 +19,8 @@
 namespace pmc {
 
 struct FloodGossipMsg final : MessageBase {
+  FloodGossipMsg() noexcept : MessageBase(MsgKind::FloodGossip) {}
+
   std::shared_ptr<const Event> event;
   std::uint32_t round = 0;
 };

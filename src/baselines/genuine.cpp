@@ -24,12 +24,12 @@ void GenuineNode::multicast(Event event) {
 }
 
 void GenuineNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
-  const auto* gossip = dynamic_cast<const GenuineGossipMsg*>(msg.get());
-  if (gossip == nullptr) return;
-  if (!seen_.insert(gossip->event->id()).second) return;
+  if (msg->kind != MsgKind::GenuineGossip) return;
+  const auto& gossip = static_cast<const GenuineGossipMsg&>(*msg);
+  if (!seen_.insert(gossip.event->id()).second) return;
   ++stats_.received;
-  deliver_if_interested(*gossip->event);
-  buffer(Entry{gossip->event, gossip->round});
+  deliver_if_interested(*gossip.event);
+  buffer(Entry{gossip.event, gossip.round});
 }
 
 void GenuineNode::on_period() {

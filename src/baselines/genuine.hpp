@@ -21,6 +21,8 @@
 namespace pmc {
 
 struct GenuineGossipMsg final : MessageBase {
+  GenuineGossipMsg() noexcept : MessageBase(MsgKind::GenuineGossip) {}
+
   std::shared_ptr<const Event> event;
   std::uint32_t round = 0;
 };

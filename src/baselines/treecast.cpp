@@ -27,13 +27,13 @@ void TreecastNode::multicast(Event event) {
 }
 
 void TreecastNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
-  const auto* m = dynamic_cast<const TreecastMsg*>(msg.get());
-  if (m == nullptr) return;
-  PMC_EXPECTS(m->event != nullptr);
-  if (!seen_.insert(m->event->id()).second) return;
+  if (msg->kind != MsgKind::Treecast) return;
+  const auto& m = static_cast<const TreecastMsg&>(*msg);
+  PMC_EXPECTS(m.event != nullptr);
+  if (!seen_.insert(m.event->id()).second) return;
   ++stats_.received;
-  deliver_if_interested(*m->event);
-  if (m->depth <= config_.tree.depth) forward_from(m->event, m->depth);
+  deliver_if_interested(*m.event);
+  if (m.depth <= config_.tree.depth) forward_from(m.event, m.depth);
 }
 
 void TreecastNode::forward_from(const std::shared_ptr<const Event>& event,

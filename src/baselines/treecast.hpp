@@ -24,6 +24,8 @@
 namespace pmc {
 
 struct TreecastMsg final : MessageBase {
+  TreecastMsg() noexcept : MessageBase(MsgKind::Treecast) {}
+
   std::shared_ptr<const Event> event;
   /// The receiver is responsible for its subtree from this depth on.
   std::uint32_t depth = 0;

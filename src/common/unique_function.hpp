@@ -1,0 +1,128 @@
+// Move-only type-erased callable (a C++20 stand-in for C++23's
+// std::move_only_function, which the simulator cannot use yet).
+//
+// The scheduler stores one callback per pending event, so this type is built
+// for that hot path: callables up to kInlineSize bytes with a nothrow move
+// constructor live inline (no allocation per scheduled event); larger or
+// throwing-move callables fall back to the heap. Unlike std::function it
+// accepts non-copyable callables (e.g. lambdas owning a unique_ptr), which
+// is what lets the scheduler move payloads through without const_cast.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pmc {
+
+template <class Signature>
+class UniqueFunction;
+
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, UniqueFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(runtime/explicit)
+    // Match std::function: wrapping a null function pointer or an empty
+    // std::function yields an *empty* UniqueFunction, so callers' null
+    // checks (e.g. the scheduler's precondition) still fire at wrap time
+    // rather than as bad_function_call when the callable is invoked.
+    if constexpr (requires { f == nullptr; }) {
+      if (f == nullptr) return;
+    }
+    if constexpr (kInlinable<D>) {
+      ::new (storage_) D(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* self, void* other) noexcept {
+        auto* d = static_cast<D*>(self);
+        if (op == Op::Move) ::new (other) D(std::move(*d));
+        d->~D();
+      };
+    } else {
+      ::new (storage_) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* self, void* other) noexcept {
+        auto*& p = *static_cast<D**>(self);
+        if (op == Op::Move)
+          ::new (other) D*(p);
+        else
+          delete p;
+        p = nullptr;
+      };
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& rhs) noexcept { steal(rhs); }
+  UniqueFunction& operator=(UniqueFunction&& rhs) noexcept {
+    if (this != &rhs) {
+      reset();
+      steal(rhs);
+    }
+    return *this;
+  }
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+  friend bool operator==(const UniqueFunction& f, std::nullptr_t) noexcept {
+    return f.invoke_ == nullptr;
+  }
+  friend bool operator!=(const UniqueFunction& f, std::nullptr_t) noexcept {
+    return f.invoke_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    if (invoke_ == nullptr) throw std::bad_function_call();
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { Move, Destroy };
+
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+  template <class D>
+  static constexpr bool kInlinable = sizeof(D) <= kInlineSize &&
+                                     alignof(D) <= kInlineAlign &&
+                                     std::is_nothrow_move_constructible_v<D>;
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::Destroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void steal(UniqueFunction& rhs) noexcept {
+    if (rhs.manage_ != nullptr)
+      rhs.manage_(Op::Move, rhs.storage_, storage_);
+    invoke_ = rhs.invoke_;
+    manage_ = rhs.manage_;
+    rhs.invoke_ = nullptr;
+    rhs.manage_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) noexcept = nullptr;
+};
+
+}  // namespace pmc

@@ -49,24 +49,31 @@ void SyncNode::leave() {
 }
 
 void SyncNode::on_message(ProcessId from, const MessagePtr& msg) {
-  if (const auto* digest = dynamic_cast<const MembershipDigestMsg*>(msg.get()))
-    handle_digest(from, *digest);
-  else if (const auto* update =
-               dynamic_cast<const MembershipUpdateMsg*>(msg.get()))
-    handle_update(*update);
-  else if (const auto* join = dynamic_cast<const JoinRequestMsg*>(msg.get()))
-    handle_join(from, *join);
-  else if (const auto* transfer =
-               dynamic_cast<const ViewTransferMsg*>(msg.get()))
-    handle_view_transfer(*transfer);
-  else if (const auto* lv = dynamic_cast<const LeaveMsg*>(msg.get()))
-    handle_leave(*lv);
-  else if (const auto* query =
-               dynamic_cast<const SuspectQueryMsg*>(msg.get()))
-    handle_suspect_query(from, *query);
-  else if (const auto* reply =
-               dynamic_cast<const SuspectReplyMsg*>(msg.get()))
-    handle_suspect_reply(*reply);
+  switch (msg->kind) {
+    case MsgKind::MembershipDigest:
+      handle_digest(from, static_cast<const MembershipDigestMsg&>(*msg));
+      break;
+    case MsgKind::MembershipUpdate:
+      handle_update(static_cast<const MembershipUpdateMsg&>(*msg));
+      break;
+    case MsgKind::JoinRequest:
+      handle_join(from, static_cast<const JoinRequestMsg&>(*msg));
+      break;
+    case MsgKind::ViewTransfer:
+      handle_view_transfer(static_cast<const ViewTransferMsg&>(*msg));
+      break;
+    case MsgKind::Leave:
+      handle_leave(static_cast<const LeaveMsg&>(*msg));
+      break;
+    case MsgKind::SuspectQuery:
+      handle_suspect_query(from, static_cast<const SuspectQueryMsg&>(*msg));
+      break;
+    case MsgKind::SuspectReply:
+      handle_suspect_reply(static_cast<const SuspectReplyMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
 }
 
 void SyncNode::on_period() {

@@ -46,17 +46,23 @@ struct RowDigest {
 };
 
 struct MembershipDigestMsg final : MessageBase {
+  MembershipDigestMsg() noexcept : MessageBase(MsgKind::MembershipDigest) {}
+
   Address sender;
   ProcessId sender_pid = kNoProcess;
   std::vector<RowDigest> digests;
 };
 
 struct MembershipUpdateMsg final : MessageBase {
+  MembershipUpdateMsg() noexcept : MessageBase(MsgKind::MembershipUpdate) {}
+
   Address sender;
   std::vector<DepthRow> rows;
 };
 
 struct JoinRequestMsg final : MessageBase {
+  JoinRequestMsg() noexcept : MessageBase(MsgKind::JoinRequest) {}
+
   Address joiner;
   ProcessId joiner_pid = kNoProcess;
   Subscription subscription;
@@ -64,11 +70,15 @@ struct JoinRequestMsg final : MessageBase {
 };
 
 struct ViewTransferMsg final : MessageBase {
+  ViewTransferMsg() noexcept : MessageBase(MsgKind::ViewTransfer) {}
+
   Address sender;
   std::vector<DepthRow> rows;  ///< rows valid for the joiner
 };
 
 struct LeaveMsg final : MessageBase {
+  LeaveMsg() noexcept : MessageBase(MsgKind::Leave) {}
+
   Address leaver;
 };
 
@@ -76,11 +86,15 @@ struct LeaveMsg final : MessageBase {
 /// ask another leaf neighbor whether it has heard from the suspect — a
 /// lightweight agreement that filters one-sided connectivity glitches.
 struct SuspectQueryMsg final : MessageBase {
+  SuspectQueryMsg() noexcept : MessageBase(MsgKind::SuspectQuery) {}
+
   Address sender;
   Address suspect;
 };
 
 struct SuspectReplyMsg final : MessageBase {
+  SuspectReplyMsg() noexcept : MessageBase(MsgKind::SuspectReply) {}
+
   Address sender;
   Address suspect;
   bool heard_recently = false;

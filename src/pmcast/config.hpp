@@ -28,8 +28,10 @@ struct PmcastConfig {
   EnvParams env_estimate;
 
   /// Small-matching-rate tuning threshold h (Sec. 5.3). When fewer than h
-  /// view members are interested at a depth, the first h members of the view
-  /// are treated as interested too. 0 disables the tuning.
+  /// view members are interested at a depth, additional members are treated
+  /// as interested until h are, walking the view circularly from an
+  /// event-derived start index (see tuning_start_index: deterministic across
+  /// processes, unbiased across events). 0 disables the tuning.
   std::size_t tuning_threshold = 0;
 
   /// Sec. 3.2's shortcut: a freshly multicast event whose interest at a

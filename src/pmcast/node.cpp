@@ -55,32 +55,33 @@ void PmcastNode::pmcast(Event event) {
 }
 
 void PmcastNode::on_message(ProcessId from, const MessagePtr& msg) {
-  if (const auto* digest = dynamic_cast<const EventDigestMsg*>(msg.get())) {
-    handle_digest(from, *digest);
-    return;
+  switch (msg->kind) {
+    case MsgKind::EventDigest:
+      handle_digest(from, static_cast<const EventDigestMsg&>(*msg));
+      return;
+    case MsgKind::EventRequest:
+      handle_request(from, static_cast<const EventRequestMsg&>(*msg));
+      return;
+    case MsgKind::EventPayload:
+      handle_payload(static_cast<const EventPayloadMsg&>(*msg));
+      return;
+    case MsgKind::Gossip:
+      break;
+    default:
+      return;
   }
-  if (const auto* request = dynamic_cast<const EventRequestMsg*>(msg.get())) {
-    handle_request(from, *request);
-    return;
-  }
-  if (const auto* payload = dynamic_cast<const EventPayloadMsg*>(msg.get())) {
-    handle_payload(*payload);
-    return;
-  }
-  const auto* gossip = dynamic_cast<const GossipMsg*>(msg.get());
-  if (gossip == nullptr) return;
-  PMC_EXPECTS(gossip->event != nullptr);
-  PMC_EXPECTS(gossip->depth >= 1 && gossip->depth <= config_.tree.depth);
+  const auto& gossip = static_cast<const GossipMsg&>(*msg);
+  PMC_EXPECTS(gossip.event != nullptr);
+  PMC_EXPECTS(gossip.depth >= 1 && gossip.depth <= config_.tree.depth);
 
-  if (piggyback_sink_ && !gossip->piggyback.empty())
-    piggyback_sink_(gossip->sender, gossip->piggyback);
+  if (piggyback_sink_ && !gossip.piggyback.empty())
+    piggyback_sink_(gossip.sender, gossip.piggyback);
 
   // Fig. 3 lines 20-23 (with whole-lifetime dedup, see header).
-  if (!seen_.insert(gossip->event->id()).second) return;
+  if (!seen_.insert(gossip.event->id()).second) return;
   ++stats_.received;
-  buffer_event(gossip->depth,
-               Entry{gossip->event, gossip->rate, gossip->round});
-  deliver_if_interested(*gossip->event);
+  buffer_event(gossip.depth, Entry{gossip.event, gossip.rate, gossip.round});
+  deliver_if_interested(*gossip.event);
 }
 
 void PmcastNode::on_period() {
@@ -99,7 +100,8 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
   while (it != entries.end()) {
     Entry& entry = *it;
     double local_rate = 0.0;  // recomputed, used only by the candidate list
-    const auto candidates = candidates_at(depth, *entry.event, local_rate);
+    candidates_at(depth, *entry.event, gossip_scratch_, local_rate);
+    const auto& candidates = gossip_scratch_;
 
     // Sec. 6 mechanism: dense interest at the leaf depth — flood the
     // subgroup once instead of running probabilistic rounds.
@@ -173,10 +175,15 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
   for (auto& entry : promoted) buffer_event(depth + 1, std::move(entry));
 }
 
-std::vector<PmcastNode::Candidate> PmcastNode::candidates_at(
-    std::size_t depth, const Event& e, double& rate_out) const {
+std::size_t tuning_start_index(const EventId& id, std::size_t n) {
+  return n == 0 ? 0 : EventIdHash{}(id) % n;
+}
+
+void PmcastNode::candidates_at(std::size_t depth, const Event& e,
+                               std::vector<Candidate>& out,
+                               double& rate_out) const {
   const DepthView& view = views_->view(self_, depth);
-  std::vector<Candidate> out;
+  out.clear();
   std::size_t interested = 0;
   for (const auto& row : view.rows()) {
     if (!row.alive) continue;
@@ -189,13 +196,18 @@ std::vector<PmcastNode::Candidate> PmcastNode::candidates_at(
   }
 
   // Sec. 5.3 tuning: too small an audience starves Pittel's estimate, so
-  // treat the first h view members as interested as well.
-  if (config_.tuning_threshold > 0 &&
-      interested < config_.tuning_threshold) {
-    interested = 0;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      if (i < config_.tuning_threshold) out[i].interested = true;
-      if (out[i].interested) ++interested;
+  // pad the interested set up to h members. The padding walks the view
+  // circularly from an event-derived start index — deterministic (every
+  // process promotes the same members) but unbiased across events, unlike
+  // always promoting the first h rows.
+  if (config_.tuning_threshold > 0 && interested < config_.tuning_threshold) {
+    const std::size_t start = tuning_start_index(e.id(), out.size());
+    for (std::size_t step = 0;
+         step < out.size() && interested < config_.tuning_threshold; ++step) {
+      Candidate& cand = out[(start + step) % out.size()];
+      if (cand.interested) continue;
+      cand.interested = true;
+      ++interested;
     }
   }
 
@@ -203,12 +215,11 @@ std::vector<PmcastNode::Candidate> PmcastNode::candidates_at(
                  ? 0.0
                  : static_cast<double>(interested) /
                        static_cast<double>(out.size());
-  return out;
 }
 
 double PmcastNode::rate_at(std::size_t depth, const Event& e) const {
   double rate = 0.0;
-  (void)candidates_at(depth, e, rate);
+  candidates_at(depth, e, rate_scratch_, rate);
   return rate;
 }
 

@@ -36,6 +36,8 @@ namespace pmc {
 /// `piggyback` optionally carries membership rows (Sec. 2.3) together with
 /// the sender's address so the receiver can scope them.
 struct GossipMsg final : MessageBase {
+  GossipMsg() noexcept : MessageBase(MsgKind::Gossip) {}
+
   std::shared_ptr<const Event> event;
   double rate = 0.0;
   std::uint32_t round = 0;
@@ -47,18 +49,32 @@ struct GossipMsg final : MessageBase {
 /// Recovery digests (optional, PmcastConfig::recovery_rounds): ids of
 /// retained events the sender believes the target is interested in.
 struct EventDigestMsg final : MessageBase {
+  EventDigestMsg() noexcept : MessageBase(MsgKind::EventDigest) {}
+
   std::vector<EventId> ids;
 };
 
 /// Request for retransmission of events missing at the requester.
 struct EventRequestMsg final : MessageBase {
+  EventRequestMsg() noexcept : MessageBase(MsgKind::EventRequest) {}
+
   std::vector<EventId> ids;
 };
 
 /// Retransmitted payloads answering an EventRequestMsg.
 struct EventPayloadMsg final : MessageBase {
+  EventPayloadMsg() noexcept : MessageBase(MsgKind::EventPayload) {}
+
   std::vector<std::shared_ptr<const Event>> events;
 };
+
+/// Deterministic, event-derived start index for the Sec. 5.3 tuning padding:
+/// when fewer than h view members are interested, members starting at this
+/// index are promoted. Every process computes the same index from the event
+/// id alone (so a subgroup pads consistently without agreement), but the
+/// index varies across events, so the padding does not systematically favor
+/// the low-index view rows.
+std::size_t tuning_start_index(const EventId& id, std::size_t n);
 
 class PmcastNode final : public Process {
  public:
@@ -131,11 +147,13 @@ class PmcastNode final : public Process {
     bool interested = false;
   };
 
-  /// Enumerates the view members at `depth` (excluding self), marking each
-  /// as interested per its row's regrouped interests, with the Sec. 5.3
-  /// tuning applied. Returns the effective matching rate via `rate_out`.
-  std::vector<Candidate> candidates_at(std::size_t depth, const Event& e,
-                                       double& rate_out) const;
+  /// Enumerates the view members at `depth` (excluding self) into `out`
+  /// (cleared first), marking each as interested per its row's regrouped
+  /// interests, with the Sec. 5.3 tuning applied. Returns the effective
+  /// matching rate via `rate_out`. Callers pass a long-lived scratch buffer
+  /// so the candidate vector is not reallocated every round at every depth.
+  void candidates_at(std::size_t depth, const Event& e,
+                     std::vector<Candidate>& out, double& rate_out) const;
 
   /// Fig. 3's GETRATE: effective matching rate at `depth`.
   double rate_at(std::size_t depth, const Event& e) const;
@@ -164,6 +182,14 @@ class PmcastNode final : public Process {
   PiggybackSink piggyback_sink_;
 
   std::vector<std::vector<Entry>> gossips_;  // index 0 <-> depth 1
+
+  /// Reusable candidate buffers: one for the gossip loop, one for the
+  /// nested rate_at() calls (promotion computes the next depth's rate while
+  /// the gossip loop's candidates are still in scope, so the two must not
+  /// alias). mutable because rate_at() is logically const.
+  mutable std::vector<Candidate> gossip_scratch_;
+  mutable std::vector<Candidate> rate_scratch_;
+
   std::unordered_set<EventId, EventIdHash> seen_;
   std::unordered_set<EventId, EventIdHash> delivered_ids_;
 

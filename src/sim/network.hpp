@@ -17,11 +17,39 @@ namespace pmc {
 using ProcessId = std::uint32_t;
 constexpr ProcessId kNoProcess = 0xffffffffU;
 
+/// Kind tag carried by every message so receivers dispatch with a switch
+/// instead of a dynamic_cast chain. Values 1..13 deliberately mirror
+/// wire::MessageTag so the codec can reuse the same discriminator
+/// (static_asserted in wire/messages.cpp). Treecast (14) is sim-only: it
+/// has no wire encoding, and encode_message rejects it.
+enum class MsgKind : std::uint8_t {
+  Other = 0,  ///< untagged payloads (tests, ad-hoc messages)
+  Gossip = 1,
+  MembershipDigest = 2,
+  MembershipUpdate = 3,
+  JoinRequest = 4,
+  ViewTransfer = 5,
+  Leave = 6,
+  FloodGossip = 7,
+  GenuineGossip = 8,
+  SuspectQuery = 9,
+  SuspectReply = 10,
+  EventDigest = 11,
+  EventRequest = 12,
+  EventPayload = 13,
+  Treecast = 14,
+};
+
 /// Base class for simulated message payloads. Payloads are immutable and
 /// shared between in-flight copies (a gossip to F destinations enqueues F
-/// references, not F copies).
+/// references, not F copies). Subclasses stamp their kind in their default
+/// constructor; receivers trust the tag and static_cast down.
 struct MessageBase {
+  constexpr explicit MessageBase(MsgKind k = MsgKind::Other) noexcept
+      : kind(k) {}
   virtual ~MessageBase() = default;
+
+  const MsgKind kind;
 };
 using MessagePtr = std::shared_ptr<const MessageBase>;
 

@@ -1,14 +1,21 @@
 // Discrete-event scheduler: a time-ordered queue of callbacks with stable
 // FIFO tie-breaking (same-time events run in scheduling order, which keeps
-// runs reproducible). Events can be cancelled by id (lazy tombstones).
+// runs reproducible).
+//
+// The queue is an *indexed* binary heap: every pending event owns a slot in
+// a side table that tracks its current heap position, so cancel() removes
+// the event from the heap in place in O(log n) — no tombstones linger, and
+// pending() is exactly the heap size. Tokens are (generation, slot) pairs;
+// a slot's generation is bumped when its event runs or is cancelled, so
+// stale tokens (including the running event's own token) are recognized and
+// ignored. Callbacks are move-only UniqueFunctions: non-copyable payloads
+// move through the scheduler without copies or const_cast.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/unique_function.hpp"
 #include "sim/time.hpp"
 
 namespace pmc {
@@ -17,21 +24,24 @@ using EventToken = std::uint64_t;
 
 class Scheduler {
  public:
+  using Callback = UniqueFunction<void()>;
+
   /// Schedules `fn` at absolute time `at` (>= now). Returns a token usable
   /// with cancel().
-  EventToken schedule_at(SimTime at, std::function<void()> fn);
+  EventToken schedule_at(SimTime at, Callback fn);
   /// Schedules `fn` `delay` after now.
-  EventToken schedule_after(SimTime delay, std::function<void()> fn) {
+  EventToken schedule_after(SimTime delay, Callback fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event; a no-op for tokens that already ran or were
-  /// already cancelled (safe to call from inside the running event itself).
+  /// Cancels a pending event in O(log n); a no-op for tokens that already
+  /// ran or were already cancelled (safe to call from inside the running
+  /// event itself).
   void cancel(EventToken token);
 
   SimTime now() const noexcept { return now_; }
-  bool empty() const noexcept { return live_.empty(); }
-  std::size_t pending() const noexcept { return live_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
   std::uint64_t executed() const noexcept { return executed_; }
 
   /// Runs the next event; returns false when the queue is empty.
@@ -43,25 +53,45 @@ class Scheduler {
   void run(std::uint64_t max_events = 1'000'000'000ULL);
 
  private:
-  struct Item {
+  struct Entry {
     SimTime at;
-    EventToken token;
-    std::function<void()> fn;
+    std::uint64_t seq;   // FIFO tie-break among same-time events
+    std::uint32_t slot;  // owning slot in slots_
+    Callback fn;
   };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.token > b.token;  // FIFO among same-time events
-    }
+  struct Slot {
+    std::uint32_t pos = 0;  // heap index while busy; next free slot otherwise
+    std::uint32_t generation = 1;  // bumped on release; stale tokens miss
+    bool busy = false;
   };
 
-  bool pop_one();
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
 
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
-  std::unordered_set<EventToken> live_;       // scheduled, not yet run/cancelled
-  std::unordered_set<EventToken> cancelled_;  // tombstones still in the queue
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  EventToken token_for(std::uint32_t slot) const noexcept {
+    return (static_cast<EventToken>(slots_[slot].generation) << 32) | slot;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  void place(std::size_t i, Entry entry) noexcept;
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  /// Removes heap_[i] (its slot must already be released) and restores the
+  /// heap property.
+  void erase_at(std::size_t i) noexcept;
+  /// Pops the minimum entry, releasing its slot before returning it.
+  Entry extract_top() noexcept;
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   SimTime now_ = 0;
-  EventToken next_token_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
 

@@ -329,93 +329,134 @@ std::vector<DepthRow> decode_depth_rows(Reader& r) {
 
 }  // namespace
 
+// The in-memory kind tag doubles as the wire discriminator; if either enum
+// drifts, these fire rather than the decoder mis-routing bytes.
+#define PMC_ASSERT_TAG_MIRRORS_KIND(name)                  \
+  static_assert(static_cast<std::uint8_t>(MessageTag::name) == \
+                static_cast<std::uint8_t>(MsgKind::name))
+PMC_ASSERT_TAG_MIRRORS_KIND(Gossip);
+PMC_ASSERT_TAG_MIRRORS_KIND(MembershipDigest);
+PMC_ASSERT_TAG_MIRRORS_KIND(MembershipUpdate);
+PMC_ASSERT_TAG_MIRRORS_KIND(JoinRequest);
+PMC_ASSERT_TAG_MIRRORS_KIND(ViewTransfer);
+PMC_ASSERT_TAG_MIRRORS_KIND(Leave);
+PMC_ASSERT_TAG_MIRRORS_KIND(FloodGossip);
+PMC_ASSERT_TAG_MIRRORS_KIND(GenuineGossip);
+PMC_ASSERT_TAG_MIRRORS_KIND(SuspectQuery);
+PMC_ASSERT_TAG_MIRRORS_KIND(SuspectReply);
+PMC_ASSERT_TAG_MIRRORS_KIND(EventDigest);
+PMC_ASSERT_TAG_MIRRORS_KIND(EventRequest);
+PMC_ASSERT_TAG_MIRRORS_KIND(EventPayload);
+#undef PMC_ASSERT_TAG_MIRRORS_KIND
+
 std::vector<std::uint8_t> encode_message(const MessageBase& msg) {
   Writer w;
-  if (const auto* gossip = dynamic_cast<const GossipMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::Gossip));
-    encode(w, *gossip->event);
-    w.f64(gossip->rate);
-    w.varint(gossip->round);
-    w.varint(gossip->depth);
-    const bool piggybacked = !gossip->piggyback.empty();
-    w.boolean(piggybacked);
-    if (piggybacked) {
-      encode(w, gossip->sender);
-      encode_depth_rows(w, gossip->piggyback);
+  // One shared discriminator write (the asserts above guarantee the kind
+  // byte IS the MessageTag byte); the per-kind cases only encode bodies.
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  switch (msg.kind) {
+    case MsgKind::Gossip: {
+      const auto& gossip = static_cast<const GossipMsg&>(msg);
+      encode(w, *gossip.event);
+      w.f64(gossip.rate);
+      w.varint(gossip.round);
+      w.varint(gossip.depth);
+      const bool piggybacked = !gossip.piggyback.empty();
+      w.boolean(piggybacked);
+      if (piggybacked) {
+        encode(w, gossip.sender);
+        encode_depth_rows(w, gossip.piggyback);
+      }
+      break;
     }
-  } else if (const auto* digest =
-                 dynamic_cast<const MembershipDigestMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::MembershipDigest));
-    encode(w, digest->sender);
-    w.varint(digest->sender_pid);
-    w.varint(digest->digests.size());
-    for (const auto& d : digest->digests) {
-      w.varint(d.depth);
-      w.varint(d.infix);
-      w.varint(d.version);
+    case MsgKind::MembershipDigest: {
+      const auto& digest = static_cast<const MembershipDigestMsg&>(msg);
+      encode(w, digest.sender);
+      w.varint(digest.sender_pid);
+      w.varint(digest.digests.size());
+      for (const auto& d : digest.digests) {
+        w.varint(d.depth);
+        w.varint(d.infix);
+        w.varint(d.version);
+      }
+      break;
     }
-  } else if (const auto* update =
-                 dynamic_cast<const MembershipUpdateMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::MembershipUpdate));
-    encode(w, update->sender);
-    encode_depth_rows(w, update->rows);
-  } else if (const auto* join = dynamic_cast<const JoinRequestMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::JoinRequest));
-    encode(w, join->joiner);
-    w.varint(join->joiner_pid);
-    encode(w, join->subscription);
-    w.varint(join->hops);
-  } else if (const auto* transfer =
-                 dynamic_cast<const ViewTransferMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::ViewTransfer));
-    encode(w, transfer->sender);
-    encode_depth_rows(w, transfer->rows);
-  } else if (const auto* leave = dynamic_cast<const LeaveMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::Leave));
-    encode(w, leave->leaver);
-  } else if (const auto* flood = dynamic_cast<const FloodGossipMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::FloodGossip));
-    encode(w, *flood->event);
-    w.varint(flood->round);
-  } else if (const auto* genuine =
-                 dynamic_cast<const GenuineGossipMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::GenuineGossip));
-    encode(w, *genuine->event);
-    w.varint(genuine->round);
-  } else if (const auto* query =
-                 dynamic_cast<const SuspectQueryMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::SuspectQuery));
-    encode(w, query->sender);
-    encode(w, query->suspect);
-  } else if (const auto* reply =
-                 dynamic_cast<const SuspectReplyMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::SuspectReply));
-    encode(w, reply->sender);
-    encode(w, reply->suspect);
-    w.boolean(reply->heard_recently);
-  } else if (const auto* digest2 =
-                 dynamic_cast<const EventDigestMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::EventDigest));
-    w.varint(digest2->ids.size());
-    for (const auto& id : digest2->ids) {
-      w.varint(id.publisher);
-      w.varint(id.sequence);
+    case MsgKind::MembershipUpdate: {
+      const auto& update = static_cast<const MembershipUpdateMsg&>(msg);
+      encode(w, update.sender);
+      encode_depth_rows(w, update.rows);
+      break;
     }
-  } else if (const auto* request =
-                 dynamic_cast<const EventRequestMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::EventRequest));
-    w.varint(request->ids.size());
-    for (const auto& id : request->ids) {
-      w.varint(id.publisher);
-      w.varint(id.sequence);
+    case MsgKind::JoinRequest: {
+      const auto& join = static_cast<const JoinRequestMsg&>(msg);
+      encode(w, join.joiner);
+      w.varint(join.joiner_pid);
+      encode(w, join.subscription);
+      w.varint(join.hops);
+      break;
     }
-  } else if (const auto* payload =
-                 dynamic_cast<const EventPayloadMsg*>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageTag::EventPayload));
-    w.varint(payload->events.size());
-    for (const auto& event : payload->events) encode(w, *event);
-  } else {
-    throw std::logic_error("encode_message: unknown message type");
+    case MsgKind::ViewTransfer: {
+      const auto& transfer = static_cast<const ViewTransferMsg&>(msg);
+      encode(w, transfer.sender);
+      encode_depth_rows(w, transfer.rows);
+      break;
+    }
+    case MsgKind::Leave: {
+      const auto& leave = static_cast<const LeaveMsg&>(msg);
+      encode(w, leave.leaver);
+      break;
+    }
+    case MsgKind::FloodGossip: {
+      const auto& flood = static_cast<const FloodGossipMsg&>(msg);
+      encode(w, *flood.event);
+      w.varint(flood.round);
+      break;
+    }
+    case MsgKind::GenuineGossip: {
+      const auto& genuine = static_cast<const GenuineGossipMsg&>(msg);
+      encode(w, *genuine.event);
+      w.varint(genuine.round);
+      break;
+    }
+    case MsgKind::SuspectQuery: {
+      const auto& query = static_cast<const SuspectQueryMsg&>(msg);
+      encode(w, query.sender);
+      encode(w, query.suspect);
+      break;
+    }
+    case MsgKind::SuspectReply: {
+      const auto& reply = static_cast<const SuspectReplyMsg&>(msg);
+      encode(w, reply.sender);
+      encode(w, reply.suspect);
+      w.boolean(reply.heard_recently);
+      break;
+    }
+    case MsgKind::EventDigest: {
+      const auto& digest = static_cast<const EventDigestMsg&>(msg);
+      w.varint(digest.ids.size());
+      for (const auto& id : digest.ids) {
+        w.varint(id.publisher);
+        w.varint(id.sequence);
+      }
+      break;
+    }
+    case MsgKind::EventRequest: {
+      const auto& request = static_cast<const EventRequestMsg&>(msg);
+      w.varint(request.ids.size());
+      for (const auto& id : request.ids) {
+        w.varint(id.publisher);
+        w.varint(id.sequence);
+      }
+      break;
+    }
+    case MsgKind::EventPayload: {
+      const auto& payload = static_cast<const EventPayloadMsg&>(msg);
+      w.varint(payload.events.size());
+      for (const auto& event : payload.events) encode(w, *event);
+      break;
+    }
+    default:
+      throw std::logic_error("encode_message: unknown message type");
   }
   return std::move(w).take();
 }

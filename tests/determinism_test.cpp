@@ -1,0 +1,104 @@
+// End-to-end determinism: the simulator promises bit-identical runs for a
+// given seed (fully specified RNG streams, FIFO tie-breaking in the
+// scheduler), so two runs with the same seed must produce identical
+// per-node statistics — and a different seed must not.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cluster_helpers.hpp"
+#include "harness/experiment.hpp"
+
+namespace pmc {
+namespace {
+
+using testing::default_config;
+using testing::make_cluster;
+
+struct RunTrace {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::uint64_t, std::uint64_t>>
+      per_node;
+  std::uint64_t network_sent = 0;
+  std::uint64_t network_delivered = 0;
+  std::uint64_t scheduler_executed = 0;
+
+  friend bool operator==(const RunTrace&, const RunTrace&) = default;
+};
+
+RunTrace run_once(std::uint64_t seed) {
+  PmcastConfig config = default_config();
+  config.tuning_threshold = 4;  // exercise the padding path too
+  auto cluster = make_cluster(/*a=*/4, /*d=*/3, /*r=*/2, /*pd=*/0.4, config,
+                              /*loss=*/0.05, seed);
+
+  Event e;
+  e.set_id(EventId{/*publisher=*/7, /*sequence=*/1});
+  e.with("temperature", 21.5);
+  cluster.nodes.front()->pmcast(std::move(e));
+  cluster.runtime->run_until_idle();
+
+  RunTrace trace;
+  for (const auto& node : cluster.nodes) {
+    const auto& s = node->stats();
+    trace.per_node.emplace_back(s.received, s.delivered, s.gossips_sent,
+                                s.rounds_run, s.leaf_floods);
+  }
+  trace.network_sent = cluster.runtime->network().counters().sent;
+  trace.network_delivered = cluster.runtime->network().counters().delivered;
+  trace.scheduler_executed = cluster.runtime->scheduler().executed();
+  return trace;
+}
+
+TEST(Determinism, SameSeedSameStatsAcrossRuns) {
+  const RunTrace first = run_once(12345);
+  const RunTrace second = run_once(12345);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, DifferentSeedDiverges) {
+  // Sanity check that the equality above is not vacuous: another seed gives
+  // another workload, so at least the network totals should differ.
+  const RunTrace first = run_once(12345);
+  const RunTrace other = run_once(54321);
+  EXPECT_NE(first, other);
+}
+
+TEST(Determinism, ExperimentHarnessIsRepeatable) {
+  ExperimentConfig config;
+  config.a = 5;
+  config.d = 2;
+  config.r = 2;
+  config.runs = 3;
+  config.seed = 99;
+  const ExperimentResult a = run_pmcast_experiment(config);
+  const ExperimentResult b = run_pmcast_experiment(config);
+  EXPECT_EQ(a.delivery.mean(), b.delivery.mean());
+  EXPECT_EQ(a.false_reception.mean(), b.false_reception.mean());
+  EXPECT_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_EQ(a.messages_per_process.mean(), b.messages_per_process.mean());
+}
+
+TEST(TuningStartIndex, DeterministicPerEventAndInBounds) {
+  const EventId id{3, 17};
+  const std::size_t n = 23;
+  const std::size_t first = tuning_start_index(id, n);
+  EXPECT_EQ(first, tuning_start_index(id, n));
+  EXPECT_LT(first, n);
+  EXPECT_EQ(tuning_start_index(id, 0), 0u);
+}
+
+TEST(TuningStartIndex, SpreadsAcrossEvents) {
+  // The padding start must not collapse onto index 0 for all events (the
+  // old implementation always promoted the first h view rows).
+  const std::size_t n = 16;
+  std::set<std::size_t> starts;
+  for (std::uint64_t seq = 0; seq < 64; ++seq)
+    starts.insert(tuning_start_index(EventId{1, seq}, n));
+  EXPECT_GT(starts.size(), n / 2);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace pmc {
@@ -129,6 +131,102 @@ TEST(Scheduler, StepRunsExactlyOne) {
 TEST(Scheduler, NullFunctionRejected) {
   Scheduler s;
   EXPECT_THROW(s.schedule_at(1, nullptr), std::logic_error);
+  // An *empty* std::function (an unset handler member, say) must be caught
+  // at schedule time too, not as bad_function_call when the event fires.
+  std::function<void()> empty;
+  EXPECT_THROW(s.schedule_at(1, std::move(empty)), std::logic_error);
+  void (*null_fn)() = nullptr;
+  EXPECT_THROW(s.schedule_at(1, null_fn), std::logic_error);
+}
+
+// Regression for the const_cast the old priority_queue implementation needed:
+// a non-copyable callback (owning a unique_ptr) must move through the
+// scheduler without any copy.
+TEST(Scheduler, MoveOnlyCallback) {
+  Scheduler s;
+  int value = 0;
+  auto payload = std::make_unique<int>(42);
+  s.schedule_at(sim_ms(1), [&value, p = std::move(payload)] { value = *p; });
+  s.run();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Scheduler, CancelThenRescheduleKeepsOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(sim_ms(10), [&] { order.push_back(1); });
+  const auto token = s.schedule_at(sim_ms(20), [&] { order.push_back(99); });
+  s.schedule_at(sim_ms(30), [&] { order.push_back(3); });
+  s.cancel(token);
+  s.schedule_at(sim_ms(20), [&] { order.push_back(2); });  // replacement
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, CancelInterleavedKeepsHeapOrder) {
+  // Cancelling from the middle of the heap must not disturb the ordering of
+  // the surviving events (in-place removal re-sifts the displaced entry).
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventToken> tokens;
+  for (int i = 0; i < 64; ++i) {
+    // Insert in a scrambled but deterministic time order.
+    const int t = (i * 37) % 64;
+    tokens.push_back(s.schedule_at(sim_ms(t), [&order, t] {
+      order.push_back(t);
+    }));
+  }
+  for (std::size_t i = 0; i < tokens.size(); i += 3) s.cancel(tokens[i]);
+  s.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 64; ++i) {
+    if ((i % 3) != 0) expected.push_back((i * 37) % 64);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Scheduler, CancelOwnTokenWhileRunningIsNoOp) {
+  Scheduler s;
+  EventToken token = 0;
+  token = s.schedule_at(sim_ms(1), [&] { s.cancel(token); });
+  s.run();
+  EXPECT_EQ(s.executed(), 1u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, StaleTokenAfterSlotReuseIsNoOp) {
+  Scheduler s;
+  bool second_ran = false;
+  const auto stale = s.schedule_at(sim_ms(1), [] {});
+  s.run();  // the event runs; its slot is recycled
+  s.schedule_at(sim_ms(2), [&] { second_ran = true; });
+  s.cancel(stale);  // must not hit the event now occupying the slot
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Scheduler, DoubleCancelIsNoOp) {
+  Scheduler s;
+  int count = 0;
+  const auto token = s.schedule_at(sim_ms(1), [&] { ++count; });
+  s.schedule_at(sim_ms(2), [&] { ++count; });
+  s.cancel(token);
+  s.cancel(token);
+  s.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, CancelPendingFromInsideEvent) {
+  Scheduler s;
+  bool cancelled_ran = false;
+  const auto victim =
+      s.schedule_at(sim_ms(20), [&] { cancelled_ran = true; });
+  s.schedule_at(sim_ms(10), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_EQ(s.executed(), 1u);
 }
 
 }  // namespace
