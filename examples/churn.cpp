@@ -1,109 +1,65 @@
-// Churn: the decentralized membership layer (Sec. 2.3) under joins, a
-// graceful leave and a crash — no global coordinator, only gossip-pull
-// anti-entropy between SyncNodes.
+// Churn: the scenario engine driving a dynamic group through the canonical
+// stress timeline — staggered joins, a crash burst, a partition that heals,
+// a loss spike, recoveries, a graceful leave and publish bursts throughout.
 //
-// A 4x4 group starts with one address vacant. The example:
-//   1. lets the founders' views converge,
-//   2. joins the missing process through a distant contact,
-//   3. gracefully leaves one process,
-//   4. crashes another and waits for failure detection to tombstone it,
-// printing the membership each phase as seen by an observer process.
+// Every live process runs the full stack (SyncNode anti-entropy membership
+// feeding a PmcastNode, with membership rows piggybacked on event gossip).
+// The same script and seed are then replayed on a second engine instance to
+// demonstrate the engine's reproducibility promise: byte-identical
+// summaries, fingerprint included.
 #include <iostream>
 
-#include "harness/workload.hpp"
-#include "pmcast/pmcast.hpp"
-
-namespace {
-
-void print_membership(const pmc::SyncNode& observer) {
-  using namespace pmc;
-  const auto& view = observer.view();
-  std::cout << "  as seen by " << observer.address().to_string() << ": ";
-  for (std::size_t depth = 1; depth <= view.config().depth; ++depth) {
-    std::cout << "depth" << depth << "=" << view.view(depth).live_count()
-              << "/" << view.view(depth).size() << " rows  ";
-  }
-  std::cout << "(knows " << view.known_processes() << " processes)\n";
-}
-
-}  // namespace
+#include "harness/scenario.hpp"
 
 int main() {
   using namespace pmc;
 
-  const Address vacant = Address::parse("3.3");
-  const auto space = AddressSpace::regular(4, 2);
-  Rng rng(3);
-  std::vector<Member> members;
-  for (auto& m : uniform_interest_members(space, 0.5, rng)) {
-    if (m.address == vacant) continue;
-    members.push_back(std::move(m));
-  }
-
-  SyncConfig config;
-  config.tree.depth = 2;
-  config.tree.redundancy = 2;
-  config.gossip_period = sim_ms(50);
-  config.gossip_fanout = 2;
+  ChurnConfig config;
+  config.a = 4;
+  config.d = 2;
+  config.r = 2;
+  config.pd = 0.5;
+  config.initial_fill = 0.75;  // 12 of 16 addresses founded, 4 vacant
+  config.loss = 0.02;
+  config.period = sim_ms(50);
   config.suspicion_timeout = sim_ms(500);
+  config.seed = 7;
 
-  GroupTree tree(config.tree, members);
-  Runtime runtime(NetworkConfig{}, 31);
+  const ScenarioScript script = ScenarioScript::demo();
+  std::cout << "Scenario (" << script.size() << " actions):\n"
+            << script.to_string() << "\n";
 
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
-  for (std::size_t i = 0; i < members.size(); ++i)
-    directory.emplace(members[i].address, static_cast<ProcessId>(i));
-  const ProcessId joiner_pid = static_cast<ProcessId>(members.size());
-  directory.emplace(vacant, joiner_pid);
-  const auto lookup = [&directory](const Address& a) {
-    const auto it = directory.find(a);
-    return it == directory.end() ? kNoProcess : it->second;
+  ChurnSim sim(config);
+  std::cout << "Founders: " << sim.live_count() << " of "
+            << config.capacity() << " addresses\n\n";
+  sim.play(script);
+
+  const auto phase = [&](SimTime until, const char* label) {
+    sim.run_until(until);
+    std::cout << "t=" << sim.now() / sim_ms(1) << "ms  " << label << "\n  "
+              << "live " << sim.live_count() << ", joined "
+              << sim.joined_count() << ", crashes "
+              << sim.counters().crashes << ", recoveries "
+              << sim.counters().recoveries << ", published "
+              << sim.counters().published << ", delivered "
+              << sim.counters().delivered << "\n";
   };
+  phase(sim_ms(500), "after the staggered joins");
+  phase(sim_ms(1100), "crash burst hit; partition 0,1 | 2,3 active");
+  phase(sim_ms(1900), "loss spike passed, partition healed");
+  phase(sim_ms(3500), "recoveries, leave and final publishes done");
 
-  std::vector<std::unique_ptr<SyncNode>> nodes;
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    nodes.push_back(std::make_unique<SyncNode>(
-        runtime, static_cast<ProcessId>(i), config,
-        tree.materialize_view(members[i].address),
-        members[i].subscription));
-    nodes.back()->set_directory(lookup);
-  }
-  const auto& observer = *nodes[5];  // process 1.1 watches the group
+  const ChurnSummary summary = sim.summary();
+  std::cout << "\nSummary:\n  " << summary.to_string() << "\n";
 
-  std::cout << "Phase 1 — " << members.size() << " founders converge:\n";
-  runtime.run_for(sim_ms(400));
-  print_membership(observer);
-
-  std::cout << "\nPhase 2 — " << vacant.to_string()
-            << " joins via contact 0.0:\n";
-  SyncNode joiner(runtime, joiner_pid, config, vacant,
-                  Subscription::parse("u < 0.4"), /*contact=*/0);
-  joiner.set_directory(lookup);
-  runtime.run_for(sim_ms(1000));
-  std::cout << "  joiner joined: " << (joiner.joined() ? "yes" : "no")
+  // Replay: same config, same script, fresh engine.
+  ChurnSim replay(config);
+  replay.play(script);
+  replay.run_until(sim_ms(3500));
+  const bool identical = replay.summary() == summary;
+  std::cout << "\nReplay with the same seed: "
+            << (identical ? "identical summary (deterministic)"
+                          : "MISMATCH — determinism bug!")
             << "\n";
-  print_membership(joiner);
-
-  std::cout << "\nPhase 3 — 2.1 leaves gracefully:\n";
-  nodes[9]->leave();  // address 2.1
-  runtime.run_for(sim_ms(1000));
-  print_membership(observer);
-
-  std::cout << "\nPhase 4 — 0.2 crashes; failure detection kicks in:\n";
-  nodes[2]->crash();  // address 0.2
-  runtime.run_for(sim_ms(3000));
-  // Its leaf neighbors should have tombstoned it.
-  const auto& neighbor = *nodes[0];  // 0.0 shares the leaf subgroup
-  const auto* row = neighbor.view().view(2).find(2);
-  std::cout << "  0.0's view of 0.2: "
-            << (row == nullptr ? "unknown"
-                               : (row->alive ? "alive (not yet detected)"
-                                             : "tombstoned"))
-            << "\n";
-  print_membership(observer);
-
-  std::cout << "\nAnti-entropy traffic: "
-            << runtime.network().counters().sent << " messages over "
-            << runtime.now() / sim_ms(1) << " ms simulated\n";
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -4,17 +4,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace pmc {
 
 namespace {
 
 std::size_t hash_components(std::span<const AddrComponent> comps) noexcept {
-  // FNV-1a over the component words.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto c : comps) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
+  std::uint64_t h = kFnv1aBasis;
+  for (const auto c : comps) h = fnv1a_u64(h, c);
   return static_cast<std::size_t>(h);
 }
 

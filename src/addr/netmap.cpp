@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 
 namespace pmc {
@@ -56,11 +57,9 @@ std::vector<std::string> split_labels(const std::string& name) {
 }
 
 std::uint64_t hash_label(const std::string& label, std::uint64_t salt) {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
-  for (const char c : label) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
+  std::uint64_t h = kFnv1aBasis ^ salt;
+  for (const char c : label)
+    h = fnv1a_byte(h, static_cast<unsigned char>(c));
   // Finalize through splitmix so low bits are well mixed for the modulo.
   return SplitMix64(h).next();
 }

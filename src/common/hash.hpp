@@ -1,0 +1,25 @@
+// Shared FNV-1a hashing. Several determinism-critical derivations (stable
+// per-address subscriptions, scenario action stream labels, run summary
+// fingerprints) hash through these helpers; keeping one definition ensures
+// they can never silently diverge.
+#pragma once
+
+#include <cstdint>
+
+namespace pmc {
+
+inline constexpr std::uint64_t kFnv1aBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnv1aPrime;
+}
+
+/// Mixes all 8 bytes of `v` (little-endian order) into `h`.
+constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    h = fnv1a_byte(h, static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  return h;
+}
+
+}  // namespace pmc

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
@@ -31,6 +32,22 @@ TreeAnalysisParams ExperimentConfig::analysis_params() const {
   return p;
 }
 
+void ExperimentConfig::validate() const {
+  PMC_EXPECTS(a >= 1 && d >= 1 && r >= 1);
+  // Arities are AddrComponent-sized; larger values would silently truncate
+  // when the address space is built.
+  PMC_EXPECTS(a <= std::numeric_limits<AddrComponent>::max());
+  PMC_EXPECTS(fanout >= 1);
+  PMC_EXPECTS(runs >= 1);
+  PMC_EXPECTS(pd >= 0.0 && pd <= 1.0);
+  PMC_EXPECTS(cluster_jitter >= 0.0 && cluster_jitter <= 1.0);
+  PMC_EXPECTS(loss >= 0.0 && loss < 1.0);
+  PMC_EXPECTS(crash_fraction >= 0.0 && crash_fraction < 1.0);
+  PMC_EXPECTS(period > 0);
+  PMC_EXPECTS(pittel_c >= 0.0);
+  PMC_EXPECTS(leaf_flood_density >= 0.0);
+}
+
 PmcastConfig ExperimentConfig::pmcast_config() const {
   PmcastConfig c;
   c.tree.depth = d;
@@ -57,6 +74,7 @@ struct Population {
   std::unordered_map<Address, ProcessId, AddressHash> directory;
 
   explicit Population(const ExperimentConfig& config, bool build_tree) {
+    config.validate();
     Rng rng(config.seed);
     const auto space = AddressSpace::regular(
         static_cast<AddrComponent>(config.a), config.d);
@@ -293,6 +311,8 @@ ExperimentResult run_treecast_experiment(const ExperimentConfig& config) {
 }
 
 StreamResult run_stream_experiment(const StreamConfig& stream) {
+  PMC_EXPECTS(stream.events >= 1);
+  PMC_EXPECTS(stream.inter_arrival >= 0);
   const ExperimentConfig& config = stream.base;
   const Population pop(config, /*build_tree=*/true);
   const TreeViewProvider views(*pop.tree);

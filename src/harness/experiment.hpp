@@ -47,6 +47,11 @@ struct ExperimentConfig {
   std::size_t group_size() const;
   TreeAnalysisParams analysis_params() const;
   PmcastConfig pmcast_config() const;
+
+  /// Rejects out-of-range parameters via PMC_EXPECTS (std::logic_error):
+  /// loss or crash_fraction outside [0, 1), pd outside [0, 1], zero sizes,
+  /// fanouts, run counts or periods. Every run_* entry point calls this.
+  void validate() const;
 };
 
 /// Per-point aggregated results (across config.runs independent runs).

@@ -1,0 +1,774 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "common/contract.hpp"
+#include "common/hash.hpp"
+#include "harness/workload.hpp"
+#include "wire/messages.hpp"
+
+namespace pmc {
+
+namespace {
+
+template <class... Ts>
+struct Overload : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overload(Ts...) -> Overload<Ts...>;
+
+// Labeled RNG stream tags (arbitrary distinct salts).
+constexpr std::uint64_t kFounderStream = 0xf0bdde55;
+constexpr std::uint64_t kActionStreamSalt = 0xac710095;
+
+SimTime parse_time_token(const std::string& token, std::size_t line) {
+  try {
+    return parse_sim_time(token);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("scenario line " + std::to_string(line) +
+                                ": " + e.what());
+  }
+}
+
+std::string format_time(SimTime t) {
+  if (t != 0 && t % sim_sec(1) == 0)
+    return std::to_string(t / sim_sec(1)) + "s";
+  if (t != 0 && t % sim_ms(1) == 0)
+    return std::to_string(t / sim_ms(1)) + "ms";
+  return std::to_string(t) + "us";
+}
+
+std::size_t parse_count(const std::string& token, std::size_t line) {
+  // Strict: every character must be a digit ("3ms" is a typo, not a 3).
+  const bool all_digits =
+      !token.empty() &&
+      std::all_of(token.begin(), token.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+  if (all_digits) {
+    try {
+      return static_cast<std::size_t>(std::stoull(token));
+    } catch (const std::exception&) {  // out_of_range
+    }
+  }
+  throw std::invalid_argument("scenario line " + std::to_string(line) +
+                              ": expected a count, got '" + token + "'");
+}
+
+AddressSpace make_space(const ChurnConfig& config) {
+  config.validate();
+  return AddressSpace::regular(static_cast<AddrComponent>(config.a),
+                               config.d);
+}
+
+}  // namespace
+
+SimTime parse_sim_time(const std::string& token) {
+  std::size_t digits = 0;
+  while (digits < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[digits])))
+    ++digits;
+  if (digits == 0)
+    throw std::invalid_argument("expected a time, got '" + token + "'");
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(token.substr(0, digits));
+  } catch (const std::exception&) {  // out_of_range on overflow
+    throw std::invalid_argument("time out of range: '" + token + "'");
+  }
+  const std::string unit = token.substr(digits);
+  // Guard the unit multiplication too: sim_ms/sim_sec must not overflow.
+  const std::int64_t scale =
+      (unit == "ms") ? 1000 : (unit == "s") ? 1000 * 1000 : 1;
+  if (value > std::numeric_limits<SimTime>::max() / scale)
+    throw std::invalid_argument("time out of range: '" + token + "'");
+  if (unit.empty() || unit == "us") return sim_us(value);
+  if (unit == "ms") return sim_ms(value);
+  if (unit == "s") return sim_sec(value);
+  throw std::invalid_argument("unknown time unit '" + unit + "'");
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioScript
+// ---------------------------------------------------------------------------
+
+ScenarioScript& ScenarioScript::add(SimTime at, ScenarioOp op) {
+  actions_.push_back(ScenarioAction{at, std::move(op)});
+  return *this;
+}
+
+void ScenarioScript::validate(std::uint64_t prior_crashes) const {
+  SimTime prev = 0;
+  std::uint64_t crashes = prior_crashes;
+  std::uint64_t recovers = 0;
+  SimTime loss_busy_until = 0;
+  for (const auto& action : actions_) {
+    PMC_EXPECTS(action.at >= 0);
+    PMC_EXPECTS(action.at >= prev);  // timeline must be sorted
+    prev = action.at;
+    std::visit(
+        Overload{
+            [&](const CrashNodes& op) {
+              PMC_EXPECTS(op.count >= 1);
+              crashes += op.count;
+            },
+            [&](const RecoverNodes& op) {
+              PMC_EXPECTS(op.count >= 1);
+              recovers += op.count;
+              PMC_EXPECTS(recovers <= crashes);  // recover-before-crash
+            },
+            [&](const Join& op) { PMC_EXPECTS(op.count >= 1); },
+            [&](const Leave& op) { PMC_EXPECTS(op.count >= 1); },
+            [&](const Partition& op) {
+              PMC_EXPECTS(!op.side.empty());
+              PMC_EXPECTS(op.heal_at > action.at);
+            },
+            [&](const LossBurst& op) {
+              PMC_EXPECTS(op.eps >= 0.0 && op.eps <= 1.0);
+              PMC_EXPECTS(op.duration > 0);
+              PMC_EXPECTS(op.duration <=
+                          std::numeric_limits<SimTime>::max() - action.at);
+              // Overlapping bursts would silently truncate each other when
+              // the earlier one's restore fires; reject them instead.
+              PMC_EXPECTS(action.at >= loss_busy_until);
+              loss_busy_until = action.at + op.duration;
+            },
+            [&](const PublishBurst& op) {
+              PMC_EXPECTS(op.count >= 1);
+              PMC_EXPECTS(op.spacing >= 0);
+              if (op.spacing > 0) {
+                // The whole spread must stay representable: the k-th
+                // publish fires at action.at + k * spacing.
+                const auto last = static_cast<std::uint64_t>(op.count - 1);
+                PMC_EXPECTS(
+                    last <= static_cast<std::uint64_t>(
+                                std::numeric_limits<SimTime>::max() /
+                                op.spacing));
+                const SimTime spread =
+                    static_cast<SimTime>(last) * op.spacing;
+                PMC_EXPECTS(action.at <=
+                            std::numeric_limits<SimTime>::max() - spread);
+              }
+            },
+        },
+        action.op);
+  }
+}
+
+ScenarioScript ScenarioScript::parse(const std::string& text) {
+  ScenarioScript script;
+  std::istringstream stream(text);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    const auto hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.resize(hash);
+    std::istringstream line(raw_line);
+    std::vector<std::string> tok;
+    for (std::string t; line >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    const auto fail = [&](const std::string& why) -> std::invalid_argument {
+      return std::invalid_argument("scenario line " +
+                                   std::to_string(line_no) + ": " + why);
+    };
+    if (tok[0] != "at" || tok.size() < 3) {
+      throw fail("expected 'at <time> <action> ...'");
+    }
+    const SimTime at = parse_time_token(tok[1], line_no);
+    const std::string& verb = tok[2];
+    const auto arg = [&](std::size_t i) -> const std::string& {
+      if (i >= tok.size()) throw fail("missing argument for '" + verb + "'");
+      return tok[i];
+    };
+
+    std::size_t expected = 4;  // "at <time> <verb> <count>"
+    if (verb == "join") {
+      script.add(at, Join{parse_count(arg(3), line_no)});
+    } else if (verb == "leave") {
+      script.add(at, Leave{parse_count(arg(3), line_no)});
+    } else if (verb == "crash") {
+      script.add(at, CrashNodes{parse_count(arg(3), line_no)});
+    } else if (verb == "recover") {
+      script.add(at, RecoverNodes{parse_count(arg(3), line_no)});
+    } else if (verb == "partition") {
+      Partition op;
+      std::istringstream sides(arg(3));
+      for (std::string part; std::getline(sides, part, ',');) {
+        const std::size_t c = parse_count(part, line_no);
+        if (c > std::numeric_limits<AddrComponent>::max())
+          throw fail("partition component out of range: '" + part + "'");
+        op.side.push_back(static_cast<AddrComponent>(c));
+      }
+      if (arg(4) != "heal") throw fail("expected 'heal <time>'");
+      op.heal_at = parse_time_token(arg(5), line_no);
+      script.add(at, std::move(op));
+      expected = 6;
+    } else if (verb == "loss") {
+      LossBurst op;
+      const std::string& eps = arg(3);
+      char* end = nullptr;
+      op.eps = std::strtod(eps.c_str(), &end);
+      if (eps.empty() || end != eps.c_str() + eps.size())
+        throw fail("expected a loss probability, got '" + eps + "'");
+      if (arg(4) != "for") throw fail("expected 'for <duration>'");
+      op.duration = parse_time_token(arg(5), line_no);
+      script.add(at, op);
+      expected = 6;
+    } else if (verb == "publish") {
+      PublishBurst op;
+      op.count = parse_count(arg(3), line_no);
+      if (tok.size() > 4) {
+        if (arg(4) != "every") throw fail("expected 'every <spacing>'");
+        op.spacing = parse_time_token(arg(5), line_no);
+        expected = 6;
+      }
+      script.add(at, op);
+    } else {
+      throw fail("unknown action '" + verb + "'");
+    }
+    // Anything left over means the line said more than the action can
+    // express — reject it rather than silently dropping qualifiers.
+    if (tok.size() > expected)
+      throw fail("unexpected trailing token '" + tok[expected] + "'");
+  }
+  return script;
+}
+
+ScenarioScript ScenarioScript::demo() {
+  ScenarioScript s;
+  s.add(sim_ms(200), Join{2});       // staggered joins...
+  s.add(sim_ms(350), Join{2});       // ...in two waves
+  s.add(sim_ms(600), PublishBurst{6, sim_ms(25)});
+  s.add(sim_ms(900), CrashNodes{3});  // crash burst
+  s.add(sim_ms(1000), Partition{{0, 1}, sim_ms(1800)});
+  s.add(sim_ms(1200), LossBurst{0.35, sim_ms(400)});  // loss spike
+  s.add(sim_ms(1400), PublishBurst{6, sim_ms(25)});
+  s.add(sim_ms(2000), RecoverNodes{2});
+  s.add(sim_ms(2300), Leave{1});
+  s.add(sim_ms(2500), PublishBurst{4, sim_ms(50)});
+  return s;
+}
+
+std::string ScenarioScript::to_string() const {
+  std::ostringstream out;
+  for (const auto& action : actions_) {
+    out << "at " << format_time(action.at) << ' ';
+    std::visit(
+        Overload{
+            [&](const CrashNodes& op) { out << "crash " << op.count; },
+            [&](const RecoverNodes& op) { out << "recover " << op.count; },
+            [&](const Join& op) { out << "join " << op.count; },
+            [&](const Leave& op) { out << "leave " << op.count; },
+            [&](const Partition& op) {
+              out << "partition ";
+              for (std::size_t i = 0; i < op.side.size(); ++i)
+                out << (i ? "," : "") << op.side[i];
+              out << " heal " << format_time(op.heal_at);
+            },
+            [&](const LossBurst& op) {
+              // Shortest representation that parses back to the same
+              // double, keeping parse(to_string()) exact.
+              char buf[32];
+              const auto res =
+                  std::to_chars(buf, buf + sizeof buf, op.eps);
+              out << "loss " << std::string_view(buf, res.ptr) << " for "
+                  << format_time(op.duration);
+            },
+            [&](const PublishBurst& op) {
+              out << "publish " << op.count;
+              if (op.spacing > 0) out << " every " << format_time(op.spacing);
+            },
+        },
+        action.op);
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// ChurnConfig
+// ---------------------------------------------------------------------------
+
+std::size_t ChurnConfig::capacity() const {
+  // Saturating a^d, so a nonsense shape cannot wrap into a plausible size.
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < d; ++i) {
+    if (a != 0 && n > std::numeric_limits<std::size_t>::max() / a)
+      return std::numeric_limits<std::size_t>::max();
+    n *= a;
+  }
+  return n;
+}
+
+void ChurnConfig::validate() const {
+  PMC_EXPECTS(a >= 1 && d >= 1 && r >= 1 && fanout >= 1);
+  // Arities are AddrComponent-sized; a larger value would silently
+  // truncate when the address space is built.
+  PMC_EXPECTS(a <= std::numeric_limits<AddrComponent>::max());
+  // The engine instantiates two protocol nodes per address up front;
+  // beyond ~4M addresses the config is nonsense, not a workload.
+  PMC_EXPECTS(capacity() <= (std::size_t{1} << 22));
+  PMC_EXPECTS(pd >= 0.0 && pd <= 1.0);
+  PMC_EXPECTS(initial_fill > 0.0 && initial_fill <= 1.0);
+  PMC_EXPECTS(loss >= 0.0 && loss < 1.0);
+  PMC_EXPECTS(latency_min >= 0 && latency_min <= latency_max);
+  PMC_EXPECTS(period > 0);
+  PMC_EXPECTS(suspicion_timeout > 0);
+  PMC_EXPECTS(capacity() >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// ChurnSummary
+// ---------------------------------------------------------------------------
+
+std::string ChurnSummary::to_string() const {
+  std::ostringstream out;
+  out << "live " << live << " (joined " << joined << ")"
+      << " | joins " << counters.joins_requested << " (served "
+      << joins_served << ")"
+      << " | crashes " << counters.crashes << " | leaves "
+      << counters.leaves << " | recoveries " << counters.recoveries
+      << " | partitions " << counters.partitions << "/" << counters.heals
+      << " healed"
+      << " | loss bursts " << counters.loss_bursts
+      << " | published " << counters.published << " | delivered "
+      << counters.delivered << " | tombstones " << membership_tombstones
+      << " | net sent " << network.sent << " lost " << network.lost
+      << " filtered " << network.filtered
+      << " | fingerprint " << std::hex << fingerprint << std::dec;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// ChurnSim
+// ---------------------------------------------------------------------------
+
+ChurnSim::ChurnSim(ChurnConfig config)
+    : config_(config), space_(make_space(config_)) {
+  NetworkConfig net;
+  net.loss_probability = config_.loss;
+  net.latency_min = config_.latency_min;
+  net.latency_max = config_.latency_max;
+  runtime_ = std::make_unique<Runtime>(net, config_.seed);
+  if (config_.wire_transcode) {
+    runtime_->network().set_transcoder([](const MessagePtr& msg) {
+      return wire::decode_message(wire::encode_message(*msg));
+    });
+  }
+
+  // Every address of the space owns a slot whose subscription depends only
+  // on (seed, address), so churn never re-shuffles anyone else's interests.
+  const auto addresses = space_.enumerate();
+  slots_.reserve(addresses.size());
+  index_.reserve(addresses.size());
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    Slot slot;
+    auto member = stable_member(addresses[i], config_.pd, config_.seed);
+    slot.address = std::move(member.address);
+    slot.subscription = std::move(member.subscription);
+    index_.emplace(slot.address, i);
+    slots_.push_back(std::move(slot));
+  }
+
+  // Founders: a random subset of initial_fill * capacity addresses.
+  const auto n = slots_.size();
+  const auto founders = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::llround(config_.initial_fill * static_cast<double>(n))));
+  Rng founder_rng = runtime_->make_stream(kFounderStream);
+  auto picks = founder_rng.sample_without_replacement(
+      n, std::min(founders, n));
+  std::sort(picks.begin(), picks.end());
+
+  std::vector<Member> members;
+  members.reserve(picks.size());
+  for (const auto i : picks)
+    members.push_back(Member{slots_[i].address, slots_[i].subscription});
+  TreeConfig tc;
+  tc.depth = config_.d;
+  tc.redundancy = config_.r;
+  oracle_ = std::make_unique<GroupTree>(tc, std::move(members));
+
+  for (const auto i : picks) spawn(i, /*founder=*/true, kNoProcess);
+}
+
+ChurnSim::~ChurnSim() = default;
+
+ProcessId ChurnSim::sync_pid(std::size_t slot) const noexcept {
+  return static_cast<ProcessId>(slot);
+}
+
+ProcessId ChurnSim::pm_pid(std::size_t slot) const noexcept {
+  return static_cast<ProcessId>(slots_.size() + slot);
+}
+
+SyncNode::Directory ChurnSim::sync_directory() {
+  return [this](const Address& a) {
+    const auto it = index_.find(a);
+    return it == index_.end() ? kNoProcess : sync_pid(it->second);
+  };
+}
+
+PmcastNode::Directory ChurnSim::pm_directory() {
+  return [this](const Address& a) {
+    const auto it = index_.find(a);
+    return it == index_.end() ? kNoProcess : pm_pid(it->second);
+  };
+}
+
+void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
+  Slot& slot = slots_[slot_idx];
+  // Destroy stale nodes first: a Process attaches its pid's network handler
+  // in its constructor, so the old incarnation must detach before the new
+  // one registers.
+  slot.pm.reset();
+  slot.provider.reset();
+  slot.sync.reset();
+
+  SyncConfig sc;
+  sc.tree.depth = config_.d;
+  sc.tree.redundancy = config_.r;
+  sc.gossip_period = config_.period;
+  sc.gossip_fanout = config_.fanout;
+  sc.suspicion_timeout = config_.suspicion_timeout;
+  sc.confirm_suspicion = config_.confirm_suspicion;
+
+  if (founder) {
+    slot.sync = std::make_unique<SyncNode>(
+        *runtime_, sync_pid(slot_idx), sc,
+        oracle_->materialize_view(slot.address), slot.subscription);
+  } else {
+    slot.sync = std::make_unique<SyncNode>(*runtime_, sync_pid(slot_idx), sc,
+                                           slot.address, slot.subscription,
+                                           contact);
+  }
+  slot.sync->set_directory(sync_directory());
+
+  slot.provider = std::make_unique<LocalViewProvider>(slot.sync->view());
+
+  PmcastConfig pc;
+  pc.tree = sc.tree;
+  pc.fanout = config_.fanout;
+  pc.period = config_.period;
+  pc.env_estimate.loss = config_.loss;
+  pc.recovery_rounds = config_.recovery_rounds;
+  slot.pm = std::make_unique<PmcastNode>(*runtime_, pm_pid(slot_idx), pc,
+                                         slot.address, slot.subscription,
+                                         *slot.provider, pm_directory());
+  slot.pm->set_deliver_handler(
+      [this](const Event&) { ++counters_.delivered; });
+  SyncNode* sync = slot.sync.get();
+  slot.pm->set_piggyback(
+      [sync](const Address& target) { return sync->rows_to_share(target); },
+      [sync](const Address& sender, const std::vector<DepthRow>& rows) {
+        sync->absorb_rows(sender, rows);
+      });
+
+  slot.live = true;
+}
+
+void ChurnSim::play(const ScenarioScript& script) {
+  script.validate(crash_credit_);
+  const SimTime start = runtime_->now();
+  // Engine-level validation the script alone cannot do. The whole script
+  // must be accepted before any state changes: a throw below would
+  // otherwise leave phantom crash credit or already-scheduled actions.
+  SimTime loss_busy_until = loss_busy_until_;
+  for (const auto& action : script.actions()) {
+    PMC_EXPECTS(action.at >= start);  // no actions scheduled in the past
+    if (const auto* part = std::get_if<Partition>(&action.op)) {
+      // A side component outside the address space would make the split a
+      // silent no-op; reject it instead.
+      for (const auto c : part->side) PMC_EXPECTS(c < space_.arity(0));
+    } else if (const auto* burst = std::get_if<LossBurst>(&action.op)) {
+      // Also reject bursts overlapping one scheduled by an earlier play().
+      PMC_EXPECTS(action.at >= loss_busy_until);
+      loss_busy_until = action.at + burst->duration;
+    }
+  }
+  // Accepted: account the crash credit appended timelines recover against,
+  // and the window the last scheduled loss burst occupies.
+  loss_busy_until_ = loss_busy_until;
+  for (const auto& action : script.actions()) {
+    if (const auto* crash = std::get_if<CrashNodes>(&action.op)) {
+      crash_credit_ += crash->count;
+    } else if (const auto* rec = std::get_if<RecoverNodes>(&action.op)) {
+      crash_credit_ -= rec->count;  // validate() guaranteed non-negative
+    }
+  }
+  // Stream labels: (time, kind, ordinal-within-time-and-kind), hashed with
+  // the run seed. Ordinals persist across play() calls so appended
+  // timelines never reuse a label.
+  static_assert(std::variant_size_v<ScenarioOp> == 7);
+  for (const auto& action : script.actions()) {
+    const auto key = std::make_pair(action.at, action.op.index());
+    const std::uint64_t ordinal = action_ordinals_[key]++;
+    const std::uint64_t tag =
+        fnv1a_u64(fnv1a_u64(fnv1a_u64(kFnv1aBasis ^ kActionStreamSalt,
+                          static_cast<std::uint64_t>(action.at)),
+                    action.op.index()),
+              ordinal);
+    auto rng = std::make_shared<Rng>(runtime_->make_stream(tag));
+    runtime_->scheduler().schedule_at(
+        action.at,
+        [this, action, rng] { apply(action, rng); });
+  }
+}
+
+void ChurnSim::run_for(SimTime duration) { runtime_->run_for(duration); }
+void ChurnSim::run_until(SimTime deadline) { runtime_->run_until(deadline); }
+SimTime ChurnSim::now() const noexcept { return runtime_->now(); }
+
+std::vector<std::size_t> ChurnSim::live_slots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].live) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> ChurnSim::contact_slots() const {
+  // Prefer fully joined processes as join contacts (a real joiner would be
+  // pointed at an established member); fall back to any live process.
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].live && slots_[i].sync->joined()) out.push_back(i);
+  return out.empty() ? live_slots() : out;
+}
+
+std::vector<std::size_t> ChurnSim::pick_live(std::size_t count, Rng& rng) {
+  const auto live = live_slots();
+  const std::size_t n = std::min(count, live.size());
+  counters_.skipped += count - n;
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (const auto i : rng.sample_without_replacement(live.size(), n))
+    out.push_back(live[i]);
+  return out;
+}
+
+void ChurnSim::retarget_pending_joiners(Rng& rng) {
+  // A contact that crashed or left strands its pending joiners (they would
+  // retry a dead pid until their budget runs out): point every live,
+  // unjoined process at a fresh contact.
+  const auto contacts = contact_slots();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live || slots_[i].sync->joined()) continue;
+    if (contacts.empty()) break;
+    const std::size_t pick = contacts[rng.next_below(contacts.size())];
+    if (pick == i) continue;  // nobody else to ask
+    slots_[i].sync->retarget_join(sync_pid(pick));
+  }
+}
+
+void ChurnSim::publish_one(Rng& rng) {
+  const auto live = live_slots();
+  if (live.empty()) {
+    ++counters_.skipped;
+    return;
+  }
+  const std::size_t slot =
+      live[rng.next_below(live.size())];
+  Event e = make_uniform_event(pm_pid(slot), publish_seq_++, rng);
+  ++counters_.published;
+  slots_[slot].pm->pmcast(std::move(e));
+}
+
+void ChurnSim::apply(const ScenarioAction& action,
+                     std::shared_ptr<Rng> rng) {
+  std::visit(
+      Overload{
+          [&](const CrashNodes& op) {
+            for (const auto idx : pick_live(op.count, *rng)) {
+              slots_[idx].sync->crash();
+              slots_[idx].pm->crash();
+              slots_[idx].live = false;
+              oracle_->remove_member(slots_[idx].address);
+              crashed_pool_.push_back(idx);
+              ++counters_.crashes;
+            }
+            retarget_pending_joiners(*rng);
+          },
+          [&](const RecoverNodes& op) {
+            const std::size_t n =
+                std::min(op.count, crashed_pool_.size());
+            counters_.skipped += op.count - n;
+            for (std::size_t k = 0; k < n; ++k) {
+              const std::size_t idx = crashed_pool_.front();
+              crashed_pool_.erase(crashed_pool_.begin());
+              if (slots_[idx].live) {
+                // A Join re-occupied the crashed address in the meantime;
+                // nothing left to recover.
+                ++counters_.skipped;
+                continue;
+              }
+              const auto contacts = contact_slots();
+              if (contacts.empty()) {
+                ++counters_.skipped;
+                continue;
+              }
+              const std::size_t contact =
+                  contacts[rng->next_below(contacts.size())];
+              spawn(idx, /*founder=*/false, sync_pid(contact));
+              oracle_->add_member(slots_[idx].address,
+                                  slots_[idx].subscription);
+              ++counters_.recoveries;
+              ++counters_.joins_requested;
+            }
+          },
+          [&](const Join& op) {
+            auto vacant = oracle_->vacancies(space_);
+            const std::size_t n = std::min(op.count, vacant.size());
+            counters_.skipped += op.count - n;
+            for (std::size_t k = 0; k < n; ++k) {
+              const std::size_t pick = static_cast<std::size_t>(
+                  rng->next_below(vacant.size()));
+              const Address address = vacant[pick];
+              vacant.erase(vacant.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+              const auto contacts = contact_slots();
+              if (contacts.empty()) {
+                ++counters_.skipped;
+                continue;
+              }
+              const std::size_t contact =
+                  contacts[rng->next_below(contacts.size())];
+              const std::size_t idx = index_.at(address);
+              spawn(idx, /*founder=*/false, sync_pid(contact));
+              oracle_->add_member(address, slots_[idx].subscription);
+              ++counters_.joins_requested;
+            }
+          },
+          [&](const Leave& op) {
+            for (const auto idx : pick_live(op.count, *rng)) {
+              slots_[idx].sync->leave();
+              slots_[idx].pm->crash();
+              slots_[idx].live = false;
+              oracle_->remove_member(slots_[idx].address);
+              ++counters_.leaves;
+            }
+            retarget_pending_joiners(*rng);
+          },
+          [&](const Partition& op) {
+            const std::vector<AddrComponent> side = op.side;
+            const std::size_t capacity = slots_.size();
+            const auto in_side = [this, side, capacity](ProcessId pid) {
+              const std::size_t slot =
+                  pid < capacity ? pid : pid - capacity;
+              const AddrComponent top = slots_[slot].address.component(0);
+              return std::find(side.begin(), side.end(), top) != side.end();
+            };
+            const auto token = runtime_->network().add_link_filter(
+                [in_side](ProcessId from, ProcessId to) {
+                  return in_side(from) == in_side(to);
+                });
+            ++counters_.partitions;
+            runtime_->scheduler().schedule_at(op.heal_at, [this, token] {
+              runtime_->network().remove_link_filter(token);
+              ++counters_.heals;
+            });
+          },
+          [&](const LossBurst& op) {
+            // Epoch-checked restore: for back-to-back bursts the scheduler
+            // runs the next burst's set_loss (scheduled early, in play())
+            // before this burst's same-time restore (FIFO tie-break), so
+            // an unconditional restore would clobber the new ε for its
+            // whole window. A stale epoch makes the restore a no-op.
+            const std::uint64_t epoch = ++loss_epoch_;
+            runtime_->network().set_loss(op.eps);
+            ++counters_.loss_bursts;
+            runtime_->scheduler().schedule_after(op.duration, [this, epoch] {
+              if (epoch != loss_epoch_) return;  // a newer burst took over
+              runtime_->network().set_loss(config_.loss);
+              ++counters_.loss_restores;
+            });
+          },
+          [&](const PublishBurst& op) {
+            for (std::size_t k = 0; k < op.count; ++k) {
+              const SimTime at = action.at + static_cast<SimTime>(k) *
+                                                 op.spacing;
+              if (at <= runtime_->now()) {
+                publish_one(*rng);
+              } else {
+                runtime_->scheduler().schedule_at(
+                    at, [this, rng] { publish_one(*rng); });
+              }
+            }
+          },
+      },
+      action.op);
+}
+
+std::size_t ChurnSim::live_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& slot : slots_)
+    if (slot.live) ++n;
+  return n;
+}
+
+std::size_t ChurnSim::joined_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& slot : slots_)
+    if (slot.live && slot.sync->joined()) ++n;
+  return n;
+}
+
+ChurnSummary ChurnSim::summary() const {
+  ChurnSummary out;
+  out.counters = counters_;
+  out.network = runtime_->network().counters();
+  out.scheduler_executed = runtime_->scheduler().executed();
+  out.live = live_count();
+  out.joined = joined_count();
+
+  std::uint64_t h = kFnv1aBasis;
+  for (const auto& slot : slots_) {
+    h = fnv1a_u64(h, slot.live ? 1 : 0);
+    if (slot.sync != nullptr) {
+      const auto& s = slot.sync->stats();
+      out.membership_tombstones += s.tombstones;
+      out.joins_served += s.joins_served;
+      h = fnv1a_u64(h, slot.sync->joined() ? 1 : 0);
+      h = fnv1a_u64(h, s.digests_sent);
+      h = fnv1a_u64(h, s.updates_sent);
+      h = fnv1a_u64(h, s.join_retries);
+      h = fnv1a_u64(h, s.joins_forwarded);
+      h = fnv1a_u64(h, s.joins_served);
+      h = fnv1a_u64(h, s.tombstones);
+      h = fnv1a_u64(h, s.rebuttals);
+      h = fnv1a_u64(h, slot.sync->view().known_processes());
+    }
+    if (slot.pm != nullptr) {
+      const auto& p = slot.pm->stats();
+      h = fnv1a_u64(h, p.published);
+      h = fnv1a_u64(h, p.received);
+      h = fnv1a_u64(h, p.delivered);
+      h = fnv1a_u64(h, p.gossips_sent);
+      h = fnv1a_u64(h, p.rounds_run);
+      h = fnv1a_u64(h, p.leaf_floods);
+      h = fnv1a_u64(h, p.digests_sent);
+      h = fnv1a_u64(h, p.recoveries);
+    }
+  }
+  h = fnv1a_u64(h, out.network.sent);
+  h = fnv1a_u64(h, out.network.delivered);
+  h = fnv1a_u64(h, out.network.lost);
+  h = fnv1a_u64(h, out.network.filtered);
+  h = fnv1a_u64(h, out.network.dead_target);
+  h = fnv1a_u64(h, out.scheduler_executed);
+  h = fnv1a_u64(h, counters_.published);
+  h = fnv1a_u64(h, counters_.delivered);
+  out.fingerprint = h;
+  return out;
+}
+
+}  // namespace pmc

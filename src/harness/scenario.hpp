@@ -1,0 +1,300 @@
+// Deterministic churn & fault scenario engine.
+//
+// A ScenarioScript is a timeline of typed fault/churn actions — crashes,
+// recoveries, joins, graceful leaves, partitions with a scheduled heal,
+// loss bursts and publish bursts — that a ChurnSim executes at their
+// scheduled sim-times. The engine turns the single-shot figure harness into
+// a general workload driver over a *changing* group: every live process
+// runs the full deployment stack (SyncNode anti-entropy membership feeding
+// a PmcastNode through a LocalViewProvider, with membership rows
+// piggybacked on event gossip, optionally through the wire codec).
+//
+// Determinism: every action draws from its own RNG stream derived from the
+// run seed and the action's (time, kind, ordinal) label — never from a
+// shared sequential stream — so inserting one action never perturbs the
+// draws of unrelated actions, and two runs with the same seed and script
+// produce byte-identical summaries (tests/scenario_test.cpp,
+// tests/determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "addr/space.hpp"
+#include "membership/sync.hpp"
+#include "membership/tree.hpp"
+#include "pmcast/node.hpp"
+#include "pmcast/view_provider.hpp"
+
+namespace pmc {
+
+// ---------------------------------------------------------------------------
+// Script
+// ---------------------------------------------------------------------------
+
+/// Fail-stop crash of `count` uniformly chosen live processes.
+struct CrashNodes {
+  std::size_t count = 1;
+};
+
+/// Rejoin of up to `count` previously crashed processes (oldest crash
+/// first), each re-entering through the join protocol at its old address.
+struct RecoverNodes {
+  std::size_t count = 1;
+};
+
+/// `count` fresh processes join at vacant addresses through the scripted
+/// join path (JoinRequest routed to an immediate neighbor, ViewTransfer).
+struct Join {
+  std::size_t count = 1;
+};
+
+/// Graceful departure of `count` uniformly chosen live processes (LeaveMsg
+/// to the immediate neighbors, then fail-stop).
+struct Leave {
+  std::size_t count = 1;
+};
+
+/// Splits the group: processes whose top-level address component is in
+/// `side` cannot exchange messages with the rest until `heal_at` (absolute
+/// sim-time). Concurrent partitions compose (layered link filters).
+struct Partition {
+  std::vector<AddrComponent> side;
+  SimTime heal_at = 0;
+};
+
+/// Raises the network loss probability to `eps` for `duration`, then
+/// restores the scenario's base loss.
+struct LossBurst {
+  double eps = 0.5;
+  SimTime duration = sim_ms(100);
+};
+
+/// Publishes `count` events from uniformly chosen live publishers, spaced
+/// `spacing` apart (0 = all at once).
+struct PublishBurst {
+  std::size_t count = 1;
+  SimTime spacing = 0;
+};
+
+using ScenarioOp = std::variant<CrashNodes, RecoverNodes, Join, Leave,
+                                Partition, LossBurst, PublishBurst>;
+
+/// Parses a sim-time token ("750us", "500ms", "2s"; bare digits mean µs) —
+/// the same syntax scenario scripts use. Throws std::invalid_argument on
+/// malformed input.
+SimTime parse_sim_time(const std::string& token);
+
+struct ScenarioAction {
+  SimTime at = 0;
+  ScenarioOp op;
+};
+
+/// A validated, reproducible timeline of scenario actions. Build with the
+/// fluent add() API or parse() from the text format (see README):
+///
+///   # staggered joins, a crash burst, a healed partition, a loss spike
+///   at 200ms join 2
+///   at 900ms crash 3
+///   at 1s partition 0,1 heal 1800ms
+///   at 1200ms loss 0.35 for 400ms
+///   at 1500ms publish 6 every 25ms
+///   at 2s recover 2
+class ScenarioScript {
+ public:
+  ScenarioScript& add(SimTime at, ScenarioOp op);
+
+  const std::vector<ScenarioAction>& actions() const noexcept {
+    return actions_;
+  }
+  bool empty() const noexcept { return actions_.empty(); }
+  std::size_t size() const noexcept { return actions_.size(); }
+
+  /// Rejects nonsense scripts via PMC_EXPECTS (throws std::logic_error):
+  /// out-of-range loss, non-positive counts/durations, actions scheduled in
+  /// the past or out of order, heal before its partition, and recoveries
+  /// exceeding the crashes scheduled before them. `prior_crashes` credits
+  /// crashes scheduled by earlier timelines of the same run (ChurnSim::play
+  /// passes its outstanding crash count for appended scripts).
+  void validate(std::uint64_t prior_crashes = 0) const;
+
+  /// Parses the text format; throws std::invalid_argument (with the line
+  /// number) on syntax errors. The result still must pass validate().
+  static ScenarioScript parse(const std::string& text);
+
+  /// The canonical churn demo: staggered joins + crash burst +
+  /// partition/heal + loss spike + publish bursts (used by examples/churn
+  /// and `pmcast_sim --scenario demo`).
+  static ScenarioScript demo();
+
+  /// Renders back to the text format; parse(to_string()) reproduces the
+  /// script exactly.
+  std::string to_string() const;
+
+ private:
+  std::vector<ScenarioAction> actions_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct ChurnConfig {
+  // Address space (capacity a^d) and tree shape.
+  std::size_t a = 4;
+  std::size_t d = 2;
+  std::size_t r = 2;
+
+  /// Fraction of interested processes (uniform interval subscriptions).
+  double pd = 0.5;
+  /// Fraction of the address space populated by founders; the rest stays
+  /// vacant for scripted joins.
+  double initial_fill = 0.75;
+
+  // Environment.
+  double loss = 0.0;  ///< base ε; LossBurst actions deviate from this
+  SimTime latency_min = sim_us(100);
+  SimTime latency_max = sim_us(900);
+
+  // Protocol parameters.
+  SimTime period = sim_ms(50);  ///< gossip period of both layers
+  SimTime suspicion_timeout = sim_ms(500);
+  bool confirm_suspicion = false;
+  std::size_t fanout = 3;
+  std::size_t recovery_rounds = 0;
+  /// Run every message through encode_message/decode_message, as a socket
+  /// deployment would (scenarios then exercise the frozen wire format).
+  bool wire_transcode = false;
+
+  std::uint64_t seed = 42;
+
+  std::size_t capacity() const;
+  void validate() const;  ///< PMC_EXPECTS on every range above
+};
+
+/// What happened, aggregated over the whole run.
+struct ChurnCounters {
+  std::uint64_t joins_requested = 0;  ///< joiners spawned (Join + Recover)
+  std::uint64_t crashes = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t loss_bursts = 0;
+  std::uint64_t loss_restores = 0;
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;  ///< HPDELIVER calls across all processes
+  std::uint64_t skipped = 0;    ///< action shortfall (e.g. no live target)
+
+  friend bool operator==(const ChurnCounters&, const ChurnCounters&) =
+      default;
+};
+
+/// A byte-comparable end-of-run digest: scenario counters, network
+/// counters, scheduler progress, membership convergence, and an FNV-1a
+/// fingerprint over every process's per-node statistics. Two runs with the
+/// same config and script must compare equal (operator==).
+struct ChurnSummary {
+  ChurnCounters counters;
+  NetworkCounters network;
+  std::uint64_t scheduler_executed = 0;
+  std::size_t live = 0;    ///< live processes at summary time
+  std::size_t joined = 0;  ///< live processes whose join completed
+  std::uint64_t membership_tombstones = 0;  ///< summed over live processes
+  std::uint64_t joins_served = 0;           ///< view transfers sent
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const ChurnSummary&, const ChurnSummary&) = default;
+  std::string to_string() const;
+};
+
+/// Hosts a dynamic group over one Runtime and executes scenario scripts
+/// against it. Every populated address owns a SyncNode (pid = slot) and a
+/// PmcastNode (pid = capacity + slot) wired together by piggybacking and a
+/// LocalViewProvider. SyncNodes gossip forever, so the engine runs for
+/// explicit horizons (run_for/run_until) rather than to quiescence.
+class ChurnSim {
+ public:
+  explicit ChurnSim(ChurnConfig config);
+  ~ChurnSim();
+
+  ChurnSim(const ChurnSim&) = delete;
+  ChurnSim& operator=(const ChurnSim&) = delete;
+
+  /// Validates `script` and schedules every action (all must lie at or
+  /// after now()). May be called repeatedly to append further timelines.
+  void play(const ScenarioScript& script);
+
+  void run_for(SimTime duration);
+  void run_until(SimTime deadline);
+  SimTime now() const noexcept;
+
+  Runtime& runtime() noexcept { return *runtime_; }
+  const ChurnConfig& config() const noexcept { return config_; }
+  const ChurnCounters& counters() const noexcept { return counters_; }
+
+  std::size_t live_count() const noexcept;
+  std::size_t joined_count() const noexcept;
+
+  ChurnSummary summary() const;
+
+ private:
+  struct Slot {
+    Address address;
+    Subscription subscription;
+    std::unique_ptr<SyncNode> sync;
+    std::unique_ptr<LocalViewProvider> provider;
+    std::unique_ptr<PmcastNode> pm;
+    bool live = false;
+  };
+
+  ProcessId sync_pid(std::size_t slot) const noexcept;
+  ProcessId pm_pid(std::size_t slot) const noexcept;
+  SyncNode::Directory sync_directory();
+  PmcastNode::Directory pm_directory();
+
+  /// (Re)creates both protocol nodes in `slot`. Founders get a materialized
+  /// bootstrap view; joiners enter through the join protocol via `contact`.
+  void spawn(std::size_t slot, bool founder, ProcessId contact);
+
+  void apply(const ScenarioAction& action, std::shared_ptr<Rng> rng);
+  std::vector<std::size_t> live_slots() const;
+  /// Join-contact candidates: joined live slots, else any live slot.
+  std::vector<std::size_t> contact_slots() const;
+  /// Picks up to `count` distinct live slots uniformly; fewer if the group
+  /// is smaller (shortfall counted as skipped).
+  std::vector<std::size_t> pick_live(std::size_t count, Rng& rng);
+  /// Points still-unjoined joiners at fresh contacts after crashes/leaves
+  /// (their original contact may be gone).
+  void retarget_pending_joiners(Rng& rng);
+  void publish_one(Rng& rng);
+
+  ChurnConfig config_;
+  AddressSpace space_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<GroupTree> oracle_;  ///< intended membership bookkeeping
+  std::vector<Slot> slots_;
+  std::unordered_map<Address, std::size_t, AddressHash> index_;
+  std::vector<std::size_t> crashed_pool_;  ///< recover candidates, FIFO
+  /// Per-(time, kind) ordinals for action stream labels; persists across
+  /// play() calls so appended timelines never reuse a label.
+  std::map<std::pair<SimTime, std::size_t>, std::uint64_t> action_ordinals_;
+  /// Crashes scheduled minus recoveries scheduled, across every play()
+  /// call: the crash credit appended timelines may recover against.
+  std::uint64_t crash_credit_ = 0;
+  /// End of the last scheduled loss burst; later bursts must start after
+  /// it (overlap would truncate the earlier burst's restore).
+  SimTime loss_busy_until_ = 0;
+  /// Bumped by every burst; a restore only fires if its epoch is current
+  /// (a back-to-back burst's set_loss runs before the old restore).
+  std::uint64_t loss_epoch_ = 0;
+  std::uint64_t publish_seq_ = 0;
+  ChurnCounters counters_;
+};
+
+}  // namespace pmc

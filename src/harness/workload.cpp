@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 
 namespace pmc {
 
@@ -22,6 +23,16 @@ Subscription interval_subscription(double offset, double pd) {
   return Subscription(Predicate::disj(
       {Predicate::compare(kUniformAttr, CmpOp::Ge, Value(offset)),
        Predicate::compare(kUniformAttr, CmpOp::Lt, Value(hi - 1.0))}));
+}
+
+Member stable_member(const Address& address, double pd, std::uint64_t seed) {
+  // FNV-1a over the components, salted with the seed, feeds a one-shot Rng:
+  // fully specified, so the same (seed, address) pair yields the same
+  // subscription on every platform.
+  std::uint64_t h = kFnv1aBasis ^ seed;
+  for (const auto c : address.components()) h = fnv1a_u64(h, c);
+  Rng rng(h);
+  return Member{address, interval_subscription(rng.next_double(), pd)};
 }
 
 std::vector<Member> uniform_interest_members(const AddressSpace& space,

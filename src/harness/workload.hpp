@@ -36,6 +36,12 @@ std::vector<Member> uniform_interest_members(const AddressSpace& space,
 /// across 1.0 becomes a disjunction of two intervals).
 Subscription interval_subscription(double offset, double pd);
 
+/// Member whose subscription depends only on (seed, address) — unlike a
+/// shared sequential Rng, adding or removing *other* members never
+/// re-shuffles this one's interests. The scenario engine derives every
+/// slot's subscription this way so churn stays reproducible.
+Member stable_member(const Address& address, double pd, std::uint64_t seed);
+
 /// Members whose interests cluster per leaf subgroup: processes of leaf
 /// subgroup k subscribe to an interval of width `pd` centered (with jitter)
 /// on that subgroup's slice of [0, 1).

@@ -27,13 +27,25 @@ SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
     : Process(rt, pid),
       config_(config),
       view_(std::move(self), config.tree),
-      subscription_(std::move(subscription)) {
+      subscription_(std::move(subscription)),
+      join_contact_(contact) {
+  send_join_request();
+  arm_periodic(config_.gossip_period);
+}
+
+void SyncNode::send_join_request() {
   auto join = std::make_shared<JoinRequestMsg>();
   join->joiner = view_.self();
-  join->joiner_pid = pid;
+  join->joiner_pid = id();
   join->subscription = subscription_;
-  send(contact, std::move(join));
-  arm_periodic(config_.gossip_period);
+  send(join_contact_, std::move(join));
+}
+
+void SyncNode::retarget_join(ProcessId contact) {
+  if (joined_) return;
+  join_contact_ = contact;
+  join_retry_budget_ = 0;
+  send_join_request();
 }
 
 void SyncNode::leave() {
@@ -77,7 +89,21 @@ void SyncNode::on_message(ProcessId from, const MessagePtr& msg) {
 }
 
 void SyncNode::on_period() {
-  if (!joined_) return;  // still waiting for the view transfer
+  if (!joined_) {
+    // Still waiting for the view transfer: the request (or its reply) may
+    // have been lost to ε, or the contact may not have joined yet itself —
+    // retry until an answer arrives. Duplicate requests are harmless (the
+    // server's row upsert and our transfer handling are idempotent). The
+    // budget bounds traffic towards a contact that died before serving us;
+    // retarget_join() grants a fresh contact and budget.
+    if (config_.max_join_retries == 0 ||
+        join_retry_budget_ < config_.max_join_retries) {
+      send_join_request();
+      ++join_retry_budget_;
+      ++stats_.join_retries;
+    }
+    return;
+  }
   recompact_own_rows();
   check_neighbor_timeouts();
 
@@ -89,7 +115,10 @@ void SyncNode::on_period() {
   digest->digests = make_digest();
   const std::size_t fanout = std::min(config_.gossip_fanout, peers.size());
   const auto picks = rng().sample_without_replacement(peers.size(), fanout);
-  for (const auto i : picks) send_to(peers[i], digest);
+  for (const auto i : picks) {
+    send_to(peers[i], digest);
+    ++stats_.digests_sent;
+  }
 
   // Leaf subgroups actively ping each other (paper Sec. 6): one extra
   // digest per period to a round-robin immediate neighbor keeps the
@@ -102,6 +131,7 @@ void SyncNode::on_period() {
   }
   if (!neighbors.empty()) {
     send_to(*neighbors[ping_cursor_++ % neighbors.size()], digest);
+    ++stats_.digests_sent;
   }
 }
 
@@ -129,6 +159,7 @@ void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {
   reply->sender = view_.self();
   reply->rows = std::move(newer);
   send(from, std::move(reply));
+  ++stats_.updates_sent;
 }
 
 void SyncNode::handle_update(const MembershipUpdateMsg& m) {
@@ -161,6 +192,7 @@ void SyncNode::handle_join(ProcessId from, const JoinRequestMsg& m) {
       auto fwd = std::make_shared<JoinRequestMsg>(m);
       fwd->hops = m.hops + 1;
       send_to(row->delegates.front(), std::move(fwd));
+      ++stats_.joins_forwarded;
       return;
     }
   }
@@ -182,6 +214,7 @@ void SyncNode::handle_join(ProcessId from, const JoinRequestMsg& m) {
   transfer->sender = view_.self();
   transfer->rows = rows_for(m.joiner);
   send(m.joiner_pid, std::move(transfer));
+  ++stats_.joins_served;
 }
 
 void SyncNode::handle_view_transfer(const ViewTransferMsg& m) {
@@ -215,6 +248,7 @@ void SyncNode::handle_leave(const LeaveMsg& m) {
   tomb.version = std::max(next_version(), row->version + 1);
   version_counter_ = std::max(version_counter_, tomb.version);
   view_.view(depth).upsert(std::move(tomb));
+  ++stats_.tombstones;
 }
 
 bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
@@ -226,6 +260,7 @@ bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
     ViewRow alive_row = row;
     alive_row.alive = true;
     alive_row.version = next_version();
+    ++stats_.rebuttals;
     return view_.view(depth).upsert(std::move(alive_row));
   }
   return view_.view(depth).upsert(row);
@@ -387,6 +422,7 @@ void SyncNode::tombstone_neighbor(const Address& neighbor) {
   tomb.version = std::max(next_version(), row->version + 1);
   version_counter_ = std::max(version_counter_, tomb.version);
   leaf.upsert(std::move(tomb));
+  ++stats_.tombstones;
 }
 
 void SyncNode::note_contact(const Address& a) {

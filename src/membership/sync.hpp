@@ -112,6 +112,10 @@ struct SyncConfig {
   SimTime suspicion_timeout = sim_ms(1000);
   /// Join requests stop being forwarded after this many hops.
   std::uint32_t max_join_hops = 16;
+  /// A joiner re-sends its join request every period until a view transfer
+  /// arrives, giving up after this many retries (the contact may be dead —
+  /// see retarget_join). 0 retries forever.
+  std::uint32_t max_join_retries = 240;
   /// When true, a timed-out neighbor is only tombstoned after a second
   /// leaf neighbor confirms it has not heard from the suspect either
   /// (Sec. 6's leaf-level agreement before exclusion).
@@ -133,9 +137,27 @@ class SyncNode final : public Process {
   const Subscription& subscription() const noexcept { return subscription_; }
   bool joined() const noexcept { return joined_; }
 
+  /// Counters over the membership protocol's observable work, used by the
+  /// scenario engine to report join/leave/failure-detection activity.
+  struct Stats {
+    std::uint64_t digests_sent = 0;     ///< anti-entropy digests gossiped
+    std::uint64_t updates_sent = 0;     ///< row replies to stale digests
+    std::uint64_t join_retries = 0;     ///< own join request re-sent
+    std::uint64_t joins_forwarded = 0;  ///< join requests routed closer
+    std::uint64_t joins_served = 0;     ///< view transfers sent to joiners
+    std::uint64_t tombstones = 0;       ///< rows tombstoned locally
+    std::uint64_t rebuttals = 0;        ///< own false tombstone rebutted
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
   /// Graceful departure: informs immediate neighbors, then crashes the
   /// process object (it stops participating).
   void leave();
+
+  /// Points a still-unjoined joiner at a fresh contact (the original one
+  /// may have crashed before serving the request) and resets its retry
+  /// budget. A no-op once joined.
+  void retarget_join(ProcessId contact);
 
   /// Resolves a known process address to its simulation ProcessId.
   /// The directory is simulation plumbing (in a deployment this would be the
@@ -157,6 +179,7 @@ class SyncNode final : public Process {
   void on_period() override;
 
  private:
+  void send_join_request();
   void handle_digest(ProcessId from, const MembershipDigestMsg& m);
   void handle_update(const MembershipUpdateMsg& m);
   void handle_join(ProcessId from, const JoinRequestMsg& m);
@@ -186,6 +209,12 @@ class SyncNode final : public Process {
   Subscription subscription_;
   Directory directory_;
   bool joined_ = false;
+  /// The contact a joining process asked; the join request is re-sent every
+  /// period until a view transfer arrives (the single send would otherwise
+  /// be lost forever to ε or a not-yet-joined contact).
+  ProcessId join_contact_ = kNoProcess;
+  /// Retries spent on the current contact; reset by retarget_join.
+  std::uint32_t join_retry_budget_ = 0;
   std::uint64_t version_counter_ = 0;
   std::size_t ping_cursor_ = 0;  // round-robin over immediate neighbors
   /// Times of *direct* contact (messages actually received from a process).
@@ -196,6 +225,7 @@ class SyncNode final : public Process {
   /// Deadline extensions granted by positive confirmations.
   std::unordered_map<Address, SimTime, AddressHash> grace_until_;
   std::unordered_map<Address, SimTime, AddressHash> pending_suspicions_;
+  Stats stats_;
 };
 
 }  // namespace pmc

@@ -130,6 +130,15 @@ std::vector<Address> GroupTree::all_members() const {
   return out;
 }
 
+std::vector<Address> GroupTree::vacancies(const AddressSpace& space) const {
+  PMC_EXPECTS(space.depth() == config_.depth);
+  std::vector<Address> out;
+  for (auto& a : space.enumerate()) {
+    if (!contains(a)) out.push_back(std::move(a));
+  }
+  return out;
+}
+
 bool GroupTree::is_delegate_at(const Address& a, std::size_t depth) const {
   PMC_EXPECTS(depth >= 1 && depth <= config_.depth);
   if (depth == config_.depth) return contains(a);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "addr/address.hpp"
+#include "addr/space.hpp"
 #include "filter/subscription.hpp"
 #include "membership/config.hpp"
 #include "membership/election.hpp"
@@ -79,6 +80,11 @@ class GroupTree {
   const Subscription& subscription(const Address& a) const;
 
   std::vector<Address> all_members() const;
+
+  /// Addresses of `space` not currently populated, in lexicographic order —
+  /// the candidate slots a scripted Join action can fill. Precondition:
+  /// space.depth() == config().depth.
+  std::vector<Address> vacancies(const AddressSpace& space) const;
 
   /// True iff `a` is one of the delegates of its depth-(i+1) subgroup for
   /// some i <= depth-1, i.e. appears in the node of depth `depth`.

@@ -26,12 +26,35 @@ bool Network::attached(ProcessId id) const noexcept {
   return id < handlers_.size() && handlers_[id] != nullptr;
 }
 
+void Network::set_loss(double eps) {
+  PMC_EXPECTS(eps >= 0.0 && eps <= 1.0);
+  config_.loss_probability = eps;
+}
+
+Network::FilterToken Network::add_link_filter(LinkFilter filter) {
+  PMC_EXPECTS(filter != nullptr);
+  const FilterToken token = next_filter_token_++;
+  filters_.emplace_back(token, std::move(filter));
+  return token;
+}
+
+void Network::remove_link_filter(FilterToken token) {
+  std::erase_if(filters_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
 void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
   PMC_EXPECTS(msg != nullptr);
   ++counters_.sent;
   if (filter_ && !filter_(from, to)) {
     ++counters_.filtered;
     return;
+  }
+  for (const auto& [token, filter] : filters_) {
+    if (!filter(from, to)) {
+      ++counters_.filtered;
+      return;
+    }
   }
   if (transcoder_) {
     msg = transcoder_(msg);

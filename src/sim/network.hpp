@@ -1,7 +1,8 @@
 // Simulated unreliable network (paper Sec. 4.1's model): every message is
 // independently lost with probability ε; delivery latency is uniform in
 // [latency_min, latency_max], which the analysis requires to stay below the
-// gossip period P. An optional link filter models partitions.
+// gossip period P. Loss can change mid-run (scenario loss bursts) and any
+// number of link filters can be layered to model concurrent partitions.
 #pragma once
 
 #include <cstdint>
@@ -63,8 +64,11 @@ struct NetworkCounters {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t lost = 0;       ///< dropped by ε
-  std::uint64_t filtered = 0;   ///< dropped by the link filter (partition)
+  std::uint64_t filtered = 0;   ///< dropped by a link filter (partition)
   std::uint64_t dead_target = 0;  ///< target crashed or unregistered
+
+  friend bool operator==(const NetworkCounters&, const NetworkCounters&) =
+      default;
 };
 
 class Network {
@@ -83,9 +87,22 @@ class Network {
   /// Sends `msg` from `from` to `to`; loss and latency are applied here.
   void send(ProcessId from, ProcessId to, MessagePtr msg);
 
+  /// Changes ε mid-run (scenario loss bursts). Messages already in flight
+  /// are unaffected; only subsequent send() calls draw against the new ε.
+  void set_loss(double eps);
+
   /// When set, messages with filter(from, to) == false are dropped
   /// (simulates partitions). Pass nullptr to clear.
   void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// Layered link filters for concurrent partitions: a message passes only
+  /// if *every* installed filter (and the legacy set_link_filter slot)
+  /// accepts it. Returns a token for remove_link_filter (partition heal).
+  using FilterToken = std::uint64_t;
+  FilterToken add_link_filter(LinkFilter filter);
+  /// Removes a layered filter; a no-op for unknown/already-removed tokens.
+  void remove_link_filter(FilterToken token);
+  std::size_t link_filter_count() const noexcept { return filters_.size(); }
 
   /// When set, every message passes through this hook before delivery —
   /// e.g. a serialize-then-parse round trip through the wire codec, so
@@ -108,6 +125,8 @@ class Network {
   Rng rng_;
   std::vector<Handler> handlers_;  // indexed by ProcessId
   LinkFilter filter_;
+  std::vector<std::pair<FilterToken, LinkFilter>> filters_;
+  FilterToken next_filter_token_ = 1;
   Transcoder transcoder_;
   NetworkCounters counters_;
 };

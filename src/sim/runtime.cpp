@@ -5,7 +5,9 @@
 namespace pmc {
 
 Runtime::Runtime(NetworkConfig net_config, std::uint64_t seed)
-    : seeder_(seed), net_(sched_, net_config, Rng(seeder_.next_u64())) {}
+    : base_seed_(seed),
+      seeder_(seed),
+      net_(sched_, net_config, Rng(seeder_.next_u64())) {}
 
 void Runtime::schedule_crashes(std::span<Process* const> victims,
                                SimTime horizon) {

@@ -26,17 +26,30 @@ class Runtime {
   SimTime now() const noexcept { return sched_.now(); }
 
   /// Independent deterministic RNG stream derived from the run seed.
+  /// Sequential: the k-th call returns the k-th stream, so it depends on
+  /// construction order (fine for a fixed population built up front).
   Rng make_rng() { return seeder_.split(); }
+
+  /// Independent deterministic RNG stream identified by `tag` alone:
+  /// unlike make_rng(), the stream does not depend on how many other
+  /// streams were created before it. Scenario actions draw from labeled
+  /// streams so inserting one action never perturbs unrelated draws.
+  Rng make_stream(std::uint64_t tag) const {
+    SplitMix64 sm(base_seed_ ^ (0x632be59bd9b4e019ULL * (tag + 1)));
+    return Rng(sm.next());
+  }
 
   /// Crashes each process at an independent uniform time in [now, horizon).
   /// This realizes τ = f/n: pass the f sampled victims.
   void schedule_crashes(std::span<Process* const> victims, SimTime horizon);
 
   void run_for(SimTime duration) { sched_.run_until(now() + duration); }
+  void run_until(SimTime deadline) { sched_.run_until(deadline); }
   void run_until_idle() { sched_.run(); }
 
  private:
   Scheduler sched_;
+  std::uint64_t base_seed_;
   Rng seeder_;
   Network net_;
 };

@@ -159,5 +159,66 @@ TEST(TablePrinter, RowArityEnforced) {
   EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
 }
 
+TEST(ExperimentConfigValidation, AcceptsDefaultsAndTinyConfig) {
+  EXPECT_NO_THROW(ExperimentConfig{}.validate());
+  EXPECT_NO_THROW(tiny_config().validate());
+}
+
+TEST(ExperimentConfigValidation, RejectsOutOfRangeEnvironment) {
+  {
+    auto c = tiny_config();
+    c.loss = 1.0;  // ε = 1 would lose every message
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+  {
+    auto c = tiny_config();
+    c.loss = -0.1;
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+  {
+    auto c = tiny_config();
+    c.crash_fraction = 1.0;  // τ = 1 would crash everyone
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+  {
+    auto c = tiny_config();
+    c.pd = 1.2;
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+  {
+    auto c = tiny_config();
+    c.a = 70000;  // exceeds AddrComponent — would silently truncate
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+}
+
+TEST(ExperimentConfigValidation, RejectsZeroSizes) {
+  for (auto mutate : {+[](ExperimentConfig& c) { c.a = 0; },
+                      +[](ExperimentConfig& c) { c.d = 0; },
+                      +[](ExperimentConfig& c) { c.r = 0; },
+                      +[](ExperimentConfig& c) { c.fanout = 0; },
+                      +[](ExperimentConfig& c) { c.runs = 0; },
+                      +[](ExperimentConfig& c) { c.period = 0; }}) {
+    auto c = tiny_config();
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::logic_error);
+  }
+}
+
+TEST(ExperimentConfigValidation, RunnersRejectInvalidConfigs) {
+  auto c = tiny_config();
+  c.crash_fraction = 1.5;
+  EXPECT_THROW(run_pmcast_experiment(c), std::logic_error);
+  EXPECT_THROW(run_flooding_experiment(c), std::logic_error);
+  EXPECT_THROW(run_genuine_experiment(c, 8), std::logic_error);
+  EXPECT_THROW(run_treecast_experiment(c), std::logic_error);
+  StreamConfig sc;
+  sc.base = c;
+  EXPECT_THROW(run_stream_experiment(sc), std::logic_error);
+  sc.base = tiny_config();
+  sc.events = 0;
+  EXPECT_THROW(run_stream_experiment(sc), std::logic_error);
+}
+
 }  // namespace
 }  // namespace pmc

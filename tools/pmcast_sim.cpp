@@ -8,13 +8,25 @@
 //   pmcast_sim --a 22 --d 3 --R 3 --F 2 --pd 0.5 --loss 0.05 --runs 20
 //   pmcast_sim --algorithm flooding --a 12 --d 3 --pd 0.2
 //   pmcast_sim --analysis-only --a 22 --d 3 --pd 0.1
+//
+// Scenario mode drives the churn/fault engine instead of the single-event
+// harness: a text script of timed actions (joins, leaves, crashes,
+// recoveries, partitions, loss bursts, publish bursts) runs over a dynamic
+// group. `--scenario demo` uses the built-in churn demo; any other value is
+// read as a script file (see README "Writing scenarios"):
+//
+//   pmcast_sim --scenario demo --a 4 --d 2 --seed 7
+//   pmcast_sim --scenario storm.scn --fill 0.8 --horizon 5s --repro-check
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/tree_analysis.hpp"
 #include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 namespace {
@@ -27,6 +39,22 @@ struct Options {
   std::size_t genuine_view = 20;
   bool analysis_only = false;
   bool help = false;
+
+  // Scenario mode.
+  std::string scenario;  ///< "demo", or a script file path; empty = off
+  double fill = 0.75;
+  SimTime horizon = sim_ms(3500);
+  bool repro_check = false;
+  bool wire_transcode = false;
+  // Scenario mode defaults the group to a=4, d=2, R=2; only flags the user
+  // actually passed override those (tracked per flag — a lone --a must not
+  // drag in the experiment harness's d=3/R=3).
+  bool a_set = false;
+  bool d_set = false;
+  bool r_set = false;
+  /// Experiment-only flags seen on the command line; scenario mode rejects
+  /// them instead of silently ignoring what the user asked for.
+  std::vector<std::string> experiment_only_flags;
 };
 
 void print_usage() {
@@ -54,7 +82,14 @@ void print_usage() {
       "measurement:\n"
       "  --runs N         independent runs (default 20)\n"
       "  --seed N         base seed (default 42)\n"
-      "  --analysis-only  print only the Sec. 4 prediction (no simulation)\n";
+      "  --analysis-only  print only the Sec. 4 prediction (no simulation)\n"
+      "scenario mode (churn/fault engine over a dynamic group):\n"
+      "  --scenario S     'demo' or a script file; enables scenario mode\n"
+      "                   (group defaults to --a 4 --d 2 --R 2 unless set)\n"
+      "  --fill X         initially populated fraction of a^d (default 0.75)\n"
+      "  --horizon T      run length, e.g. 3500ms / 5s; bare = us\n"
+      "  --wire           serialize every message through the wire codec\n"
+      "  --repro-check    run twice, compare summaries byte-for-byte\n";
 }
 
 bool parse_args(int argc, char** argv, Options& out) {
@@ -69,29 +104,82 @@ bool parse_args(int argc, char** argv, Options& out) {
       return argv[++i];
     };
     if (flag == "--help" || flag == "-h") out.help = true;
-    else if (flag == "--a") e.a = std::strtoul(next(), nullptr, 10);
-    else if (flag == "--d") e.d = std::strtoul(next(), nullptr, 10);
-    else if (flag == "--R") e.r = std::strtoul(next(), nullptr, 10);
+    else if (flag == "--a") {
+      e.a = std::strtoul(next(), nullptr, 10);
+      out.a_set = true;
+    }
+    else if (flag == "--d") {
+      e.d = std::strtoul(next(), nullptr, 10);
+      out.d_set = true;
+    }
+    else if (flag == "--R") {
+      e.r = std::strtoul(next(), nullptr, 10);
+      out.r_set = true;
+    }
     else if (flag == "--F") e.fanout = std::strtoul(next(), nullptr, 10);
     else if (flag == "--pd") e.pd = std::strtod(next(), nullptr);
     else if (flag == "--loss") e.loss = std::strtod(next(), nullptr);
-    else if (flag == "--crash")
+    else if (flag == "--crash") {
       e.crash_fraction = std::strtod(next(), nullptr);
-    else if (flag == "--c") e.pittel_c = std::strtod(next(), nullptr);
-    else if (flag == "--h")
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--c") {
+      e.pittel_c = std::strtod(next(), nullptr);
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--h") {
       e.tuning_threshold = std::strtoul(next(), nullptr, 10);
-    else if (flag == "--flood")
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--flood") {
       e.leaf_flood_density = std::strtod(next(), nullptr);
-    else if (flag == "--coarsen")
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--coarsen") {
       e.coarsen_depth_leq = std::strtoul(next(), nullptr, 10);
-    else if (flag == "--no-shortcut") e.local_interest_shortcut = false;
-    else if (flag == "--clustered") e.clustered = true;
-    else if (flag == "--runs") e.runs = std::strtoul(next(), nullptr, 10);
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--no-shortcut") {
+      e.local_interest_shortcut = false;
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--clustered") {
+      e.clustered = true;
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--runs") {
+      e.runs = std::strtoul(next(), nullptr, 10);
+      out.experiment_only_flags.push_back(flag);
+    }
     else if (flag == "--seed") e.seed = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--algorithm") out.algorithm = next();
-    else if (flag == "--view")
+    else if (flag == "--algorithm") {
+      out.algorithm = next();
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--view") {
       out.genuine_view = std::strtoul(next(), nullptr, 10);
-    else if (flag == "--analysis-only") out.analysis_only = true;
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--analysis-only") {
+      out.analysis_only = true;
+      out.experiment_only_flags.push_back(flag);
+    }
+    else if (flag == "--scenario") out.scenario = next();
+    else if (flag == "--fill") out.fill = std::strtod(next(), nullptr);
+    else if (flag == "--horizon") {
+      try {
+        out.horizon = parse_sim_time(next());  // same syntax as scripts
+      } catch (const std::invalid_argument& err) {
+        std::cerr << "bad --horizon: " << err.what() << "\n";
+        return false;
+      }
+      if (out.horizon <= 0) {
+        std::cerr << "bad --horizon: must be positive\n";
+        return false;
+      }
+    }
+    else if (flag == "--wire") out.wire_transcode = true;
+    else if (flag == "--repro-check") out.repro_check = true;
     else {
       std::cerr << "unknown flag: " << flag << " (try --help)\n";
       return false;
@@ -108,7 +196,75 @@ bool parse_args(int argc, char** argv, Options& out) {
     std::cerr << "unknown algorithm: " << out.algorithm << "\n";
     return false;
   }
+  if (!out.scenario.empty() && !out.experiment_only_flags.empty()) {
+    // Silently ignoring what the user asked for would misreport the run.
+    std::cerr << "flags not applicable in --scenario mode:";
+    for (const auto& f : out.experiment_only_flags) std::cerr << " " << f;
+    std::cerr << "\n";
+    return false;
+  }
   return true;
+}
+
+int run_scenario(const Options& options) {
+  ScenarioScript script;
+  if (options.scenario == "demo") {
+    script = ScenarioScript::demo();
+  } else {
+    std::ifstream in(options.scenario);
+    if (!in) {
+      std::cerr << "cannot open scenario file: " << options.scenario << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      script = ScenarioScript::parse(text.str());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  ChurnConfig config;
+  if (options.a_set) config.a = options.experiment.a;
+  if (options.d_set) config.d = options.experiment.d;
+  if (options.r_set) config.r = options.experiment.r;
+  config.pd = options.experiment.pd;
+  config.fanout = options.experiment.fanout;
+  config.loss = options.experiment.loss;
+  config.initial_fill = options.fill;
+  config.seed = options.experiment.seed;
+  config.wire_transcode = options.wire_transcode;
+
+  const auto run_once = [&] {
+    ChurnSim sim(config);
+    sim.play(script);
+    sim.run_until(options.horizon);
+    return sim.summary();
+  };
+
+  std::cout << "scenario: " << script.size() << " actions over "
+            << options.horizon / sim_ms(1) << " ms, capacity "
+            << config.capacity() << " (fill " << config.initial_fill
+            << "), eps=" << config.loss << ", seed="
+            << config.seed << (config.wire_transcode ? ", wire codec" : "")
+            << "\n" << script.to_string() << "\n";
+  try {
+    const auto summary = run_once();
+    std::cout << summary.to_string() << "\n";
+    if (options.repro_check) {
+      const auto second = run_once();
+      const bool identical = second == summary;
+      std::cout << "repro-check: "
+                << (identical ? "identical summaries" : "MISMATCH") << "\n";
+      return identical ? 0 : 1;
+    }
+  } catch (const std::logic_error& e) {
+    std::cerr << "invalid scenario or config: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
 }
 
 void print_analysis(const ExperimentConfig& e) {
@@ -138,6 +294,7 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+  if (!options.scenario.empty()) return run_scenario(options);
   const auto& e = options.experiment;
 
   std::cout << "pmcast_sim: n = " << e.group_size() << " (a=" << e.a
