@@ -328,22 +328,57 @@ void ChurnConfig::validate() const {
 }
 
 // ---------------------------------------------------------------------------
-// ChurnSummary
+// GroupSummary / ChurnSummary
 // ---------------------------------------------------------------------------
+
+namespace {
+
+void append_group_fields(std::ostringstream& out, const ChurnCounters& c,
+                         std::size_t live, std::size_t joined,
+                         std::uint64_t tombstones, std::uint64_t served,
+                         std::uint64_t lat_samples, SimTime lat_total,
+                         SimTime lat_max) {
+  out << "live " << live << " (joined " << joined << ")"
+      << " | joins " << c.joins_requested << " (served " << served << ")"
+      << " | crashes " << c.crashes << " | leaves " << c.leaves
+      << " | recoveries " << c.recoveries
+      << " | partitions " << c.partitions << "/" << c.heals << " healed"
+      << " | loss bursts " << c.loss_bursts
+      << " | published " << c.published << " | delivered " << c.delivered;
+  if (lat_samples > 0) {
+    out << " | latency mean "
+        << (static_cast<double>(lat_total) / static_cast<double>(lat_samples)) /
+               static_cast<double>(sim_ms(1))
+        << "ms max " << static_cast<double>(lat_max) /
+               static_cast<double>(sim_ms(1)) << "ms";
+  }
+  out << " | tombstones " << tombstones;
+}
+
+}  // namespace
+
+double GroupSummary::latency_mean_ms() const {
+  if (latency_samples == 0) return 0.0;
+  return (static_cast<double>(latency_total) /
+          static_cast<double>(latency_samples)) /
+         static_cast<double>(sim_ms(1));
+}
+
+std::string GroupSummary::to_string() const {
+  std::ostringstream out;
+  append_group_fields(out, counters, live, joined, membership_tombstones,
+                      joins_served, latency_samples, latency_total,
+                      latency_max);
+  out << " | fingerprint " << std::hex << fingerprint << std::dec;
+  return out.str();
+}
 
 std::string ChurnSummary::to_string() const {
   std::ostringstream out;
-  out << "live " << live << " (joined " << joined << ")"
-      << " | joins " << counters.joins_requested << " (served "
-      << joins_served << ")"
-      << " | crashes " << counters.crashes << " | leaves "
-      << counters.leaves << " | recoveries " << counters.recoveries
-      << " | partitions " << counters.partitions << "/" << counters.heals
-      << " healed"
-      << " | loss bursts " << counters.loss_bursts
-      << " | published " << counters.published << " | delivered "
-      << counters.delivered << " | tombstones " << membership_tombstones
-      << " | net sent " << network.sent << " lost " << network.lost
+  append_group_fields(out, counters, live, joined, membership_tombstones,
+                      joins_served, latency_samples, latency_total,
+                      latency_max);
+  out << " | net sent " << network.sent << " lost " << network.lost
       << " filtered " << network.filtered
       << " | fingerprint " << std::hex << fingerprint << std::dec;
   return out.str();
@@ -359,13 +394,33 @@ ChurnSim::ChurnSim(ChurnConfig config)
   net.loss_probability = config_.loss;
   net.latency_min = config_.latency_min;
   net.latency_max = config_.latency_max;
-  runtime_ = std::make_unique<Runtime>(net, config_.seed);
+  owned_rt_ = std::make_unique<Runtime>(net, config_.seed);
+  rt_ = owned_rt_.get();
   if (config_.wire_transcode) {
-    runtime_->network().set_transcoder([](const MessagePtr& msg) {
+    rt_->network().set_transcoder([](const MessagePtr& msg) {
       return wire::decode_message(wire::encode_message(*msg));
     });
   }
+  apply_loss_ = [this](double eps) { rt_->network().set_loss(eps); };
+  init_population();
+}
 
+ChurnSim::ChurnSim(Runtime& runtime, ChurnConfig config, ProcessId pid_base,
+                   std::uint64_t stream_salt)
+    : config_(config),
+      space_(make_space(config_)),
+      rt_(&runtime),
+      pid_base_(pid_base),
+      stream_salt_(stream_salt) {
+  // Runtime-wide knobs (latency, wire transcoding, base ε) belong to the
+  // runtime's owner in shard mode; a LossBurst without a hook would leak
+  // across every co-hosted group, so default to the scalar ε anyway and
+  // expect the owner to install a scoped hook.
+  apply_loss_ = [this](double eps) { rt_->network().set_loss(eps); };
+  init_population();
+}
+
+void ChurnSim::init_population() {
   // Every address of the space owns a slot whose subscription depends only
   // on (seed, address), so churn never re-shuffles anyone else's interests.
   const auto addresses = space_.enumerate();
@@ -385,7 +440,7 @@ ChurnSim::ChurnSim(ChurnConfig config)
   const auto founders = std::max<std::size_t>(
       2, static_cast<std::size_t>(
              std::llround(config_.initial_fill * static_cast<double>(n))));
-  Rng founder_rng = runtime_->make_stream(kFounderStream);
+  Rng founder_rng = stream(kFounderStream);
   auto picks = founder_rng.sample_without_replacement(
       n, std::min(founders, n));
   std::sort(picks.begin(), picks.end());
@@ -405,11 +460,23 @@ ChurnSim::ChurnSim(ChurnConfig config)
 ChurnSim::~ChurnSim() = default;
 
 ProcessId ChurnSim::sync_pid(std::size_t slot) const noexcept {
-  return static_cast<ProcessId>(slot);
+  return pid_base_ + static_cast<ProcessId>(slot);
 }
 
 ProcessId ChurnSim::pm_pid(std::size_t slot) const noexcept {
-  return static_cast<ProcessId>(slots_.size() + slot);
+  return pid_base_ + static_cast<ProcessId>(slots_.size() + slot);
+}
+
+Rng ChurnSim::stream(std::uint64_t tag) const {
+  // Salt 0 (single-group mode) leaves the label untouched, so classic runs
+  // keep their historical streams; a shard's well-mixed salt moves every
+  // label into its own namespace.
+  return rt_->make_stream(stream_salt_ ^ tag);
+}
+
+void ChurnSim::set_loss_hook(std::function<void(double)> hook) {
+  PMC_EXPECTS(hook != nullptr);
+  apply_loss_ = std::move(hook);
 }
 
 SyncNode::Directory ChurnSim::sync_directory() {
@@ -445,10 +512,10 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
 
   if (founder) {
     slot.sync = std::make_unique<SyncNode>(
-        *runtime_, sync_pid(slot_idx), sc,
+        *rt_, sync_pid(slot_idx), sc,
         oracle_->materialize_view(slot.address), slot.subscription);
   } else {
-    slot.sync = std::make_unique<SyncNode>(*runtime_, sync_pid(slot_idx), sc,
+    slot.sync = std::make_unique<SyncNode>(*rt_, sync_pid(slot_idx), sc,
                                            slot.address, slot.subscription,
                                            contact);
   }
@@ -462,11 +529,19 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   pc.period = config_.period;
   pc.env_estimate.loss = config_.loss;
   pc.recovery_rounds = config_.recovery_rounds;
-  slot.pm = std::make_unique<PmcastNode>(*runtime_, pm_pid(slot_idx), pc,
+  slot.pm = std::make_unique<PmcastNode>(*rt_, pm_pid(slot_idx), pc,
                                          slot.address, slot.subscription,
                                          *slot.provider, pm_directory());
-  slot.pm->set_deliver_handler(
-      [this](const Event&) { ++counters_.delivered; });
+  slot.pm->set_deliver_handler([this](const Event& e) {
+    ++counters_.delivered;
+    const auto it = publish_times_.find(e.id());
+    if (it != publish_times_.end()) {
+      const SimTime latency = rt_->now() - it->second;
+      ++latency_samples_;
+      latency_total_ += latency;
+      latency_max_ = std::max(latency_max_, latency);
+    }
+  });
   SyncNode* sync = slot.sync.get();
   slot.pm->set_piggyback(
       [sync](const Address& target) { return sync->rows_to_share(target); },
@@ -479,7 +554,7 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
 
 void ChurnSim::play(const ScenarioScript& script) {
   script.validate(crash_credit_);
-  const SimTime start = runtime_->now();
+  const SimTime start = rt_->now();
   // Engine-level validation the script alone cannot do. The whole script
   // must be accepted before any state changes: a throw below would
   // otherwise leave phantom crash credit or already-scheduled actions.
@@ -518,16 +593,16 @@ void ChurnSim::play(const ScenarioScript& script) {
                           static_cast<std::uint64_t>(action.at)),
                     action.op.index()),
               ordinal);
-    auto rng = std::make_shared<Rng>(runtime_->make_stream(tag));
-    runtime_->scheduler().schedule_at(
+    auto rng = std::make_shared<Rng>(stream(tag));
+    rt_->scheduler().schedule_at(
         action.at,
         [this, action, rng] { apply(action, rng); });
   }
 }
 
-void ChurnSim::run_for(SimTime duration) { runtime_->run_for(duration); }
-void ChurnSim::run_until(SimTime deadline) { runtime_->run_until(deadline); }
-SimTime ChurnSim::now() const noexcept { return runtime_->now(); }
+void ChurnSim::run_for(SimTime duration) { rt_->run_for(duration); }
+void ChurnSim::run_until(SimTime deadline) { rt_->run_until(deadline); }
+SimTime ChurnSim::now() const noexcept { return rt_->now(); }
 
 std::vector<std::size_t> ChurnSim::live_slots() const {
   std::vector<std::size_t> out;
@@ -579,8 +654,24 @@ void ChurnSim::publish_one(Rng& rng) {
   const std::size_t slot =
       live[rng.next_below(live.size())];
   Event e = make_uniform_event(pm_pid(slot), publish_seq_++, rng);
+  // Record before pmcast: the publisher may deliver to itself inline.
+  publish_times_.emplace(e.id(), rt_->now());
   ++counters_.published;
   slots_[slot].pm->pmcast(std::move(e));
+}
+
+bool ChurnSim::publish_external(const EventId& id, double u, Rng& rng) {
+  const auto live = live_slots();
+  if (live.empty()) {
+    ++counters_.skipped;
+    return false;
+  }
+  const std::size_t slot = live[rng.next_below(live.size())];
+  Event e = make_event_at(id.publisher, id.sequence, u);
+  publish_times_.emplace(e.id(), rt_->now());
+  ++counters_.published;
+  slots_[slot].pm->pmcast(std::move(e));
+  return true;
 }
 
 void ChurnSim::apply(const ScenarioAction& action,
@@ -660,20 +751,28 @@ void ChurnSim::apply(const ScenarioAction& action,
           },
           [&](const Partition& op) {
             const std::vector<AddrComponent> side = op.side;
+            const ProcessId base = pid_base_;
             const std::size_t capacity = slots_.size();
-            const auto in_side = [this, side, capacity](ProcessId pid) {
+            const auto in_side = [this, side, base, capacity](ProcessId pid) {
+              const std::size_t offset = pid - base;
               const std::size_t slot =
-                  pid < capacity ? pid : pid - capacity;
+                  offset < capacity ? offset : offset - capacity;
               const AddrComponent top = slots_[slot].address.component(0);
               return std::find(side.begin(), side.end(), top) != side.end();
             };
-            const auto token = runtime_->network().add_link_filter(
-                [in_side](ProcessId from, ProcessId to) {
+            // The split is scoped to this group's pid range: traffic of
+            // co-hosted groups (other shards) passes untouched.
+            const auto in_range = [base, capacity](ProcessId pid) {
+              return pid >= base && pid < base + 2 * capacity;
+            };
+            const auto token = rt_->network().add_link_filter(
+                [in_side, in_range](ProcessId from, ProcessId to) {
+                  if (!in_range(from) || !in_range(to)) return true;
                   return in_side(from) == in_side(to);
                 });
             ++counters_.partitions;
-            runtime_->scheduler().schedule_at(op.heal_at, [this, token] {
-              runtime_->network().remove_link_filter(token);
+            rt_->scheduler().schedule_at(op.heal_at, [this, token] {
+              rt_->network().remove_link_filter(token);
               ++counters_.heals;
             });
           },
@@ -684,11 +783,11 @@ void ChurnSim::apply(const ScenarioAction& action,
             // an unconditional restore would clobber the new ε for its
             // whole window. A stale epoch makes the restore a no-op.
             const std::uint64_t epoch = ++loss_epoch_;
-            runtime_->network().set_loss(op.eps);
+            apply_loss_(op.eps);
             ++counters_.loss_bursts;
-            runtime_->scheduler().schedule_after(op.duration, [this, epoch] {
+            rt_->scheduler().schedule_after(op.duration, [this, epoch] {
               if (epoch != loss_epoch_) return;  // a newer burst took over
-              runtime_->network().set_loss(config_.loss);
+              apply_loss_(config_.loss);
               ++counters_.loss_restores;
             });
           },
@@ -696,10 +795,10 @@ void ChurnSim::apply(const ScenarioAction& action,
             for (std::size_t k = 0; k < op.count; ++k) {
               const SimTime at = action.at + static_cast<SimTime>(k) *
                                                  op.spacing;
-              if (at <= runtime_->now()) {
+              if (at <= rt_->now()) {
                 publish_one(*rng);
               } else {
-                runtime_->scheduler().schedule_at(
+                rt_->scheduler().schedule_at(
                     at, [this, rng] { publish_one(*rng); });
               }
             }
@@ -722,13 +821,14 @@ std::size_t ChurnSim::joined_count() const noexcept {
   return n;
 }
 
-ChurnSummary ChurnSim::summary() const {
-  ChurnSummary out;
+GroupSummary ChurnSim::group_summary() const {
+  GroupSummary out;
   out.counters = counters_;
-  out.network = runtime_->network().counters();
-  out.scheduler_executed = runtime_->scheduler().executed();
   out.live = live_count();
   out.joined = joined_count();
+  out.latency_samples = latency_samples_;
+  out.latency_total = latency_total_;
+  out.latency_max = latency_max_;
 
   std::uint64_t h = kFnv1aBasis;
   for (const auto& slot : slots_) {
@@ -759,14 +859,36 @@ ChurnSummary ChurnSim::summary() const {
       h = fnv1a_u64(h, p.recoveries);
     }
   }
+  h = fnv1a_u64(h, counters_.published);
+  h = fnv1a_u64(h, counters_.delivered);
+  h = fnv1a_u64(h, latency_samples_);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(latency_total_));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(latency_max_));
+  out.fingerprint = h;
+  return out;
+}
+
+ChurnSummary ChurnSim::summary() const {
+  const GroupSummary g = group_summary();
+  ChurnSummary out;
+  out.counters = g.counters;
+  out.live = g.live;
+  out.joined = g.joined;
+  out.membership_tombstones = g.membership_tombstones;
+  out.joins_served = g.joins_served;
+  out.latency_samples = g.latency_samples;
+  out.latency_total = g.latency_total;
+  out.latency_max = g.latency_max;
+  out.network = rt_->network().counters();
+  out.scheduler_executed = rt_->scheduler().executed();
+
+  std::uint64_t h = g.fingerprint;
   h = fnv1a_u64(h, out.network.sent);
   h = fnv1a_u64(h, out.network.delivered);
   h = fnv1a_u64(h, out.network.lost);
   h = fnv1a_u64(h, out.network.filtered);
   h = fnv1a_u64(h, out.network.dead_target);
   h = fnv1a_u64(h, out.scheduler_executed);
-  h = fnv1a_u64(h, counters_.published);
-  h = fnv1a_u64(h, counters_.delivered);
   out.fingerprint = h;
   return out;
 }

@@ -18,14 +18,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "addr/space.hpp"
+#include "event/event.hpp"
 #include "membership/sync.hpp"
 #include "membership/tree.hpp"
 #include "pmcast/node.hpp"
@@ -193,12 +196,51 @@ struct ChurnCounters {
 
   friend bool operator==(const ChurnCounters&, const ChurnCounters&) =
       default;
+
+  /// Field-wise sum (sharded runs aggregate per-shard counters).
+  ChurnCounters& operator+=(const ChurnCounters& o) {
+    joins_requested += o.joins_requested;
+    crashes += o.crashes;
+    leaves += o.leaves;
+    recoveries += o.recoveries;
+    partitions += o.partitions;
+    heals += o.heals;
+    loss_bursts += o.loss_bursts;
+    loss_restores += o.loss_restores;
+    published += o.published;
+    delivered += o.delivered;
+    skipped += o.skipped;
+    return *this;
+  }
 };
 
-/// A byte-comparable end-of-run digest: scenario counters, network
-/// counters, scheduler progress, membership convergence, and an FNV-1a
-/// fingerprint over every process's per-node statistics. Two runs with the
-/// same config and script must compare equal (operator==).
+/// The group-local half of a run digest: everything one dynamic group can
+/// account for without touching runtime-wide state (network counters,
+/// scheduler progress). This is the per-shard summary of a sharded run —
+/// byte-comparable, so shard-isolation tests can assert that shard B's
+/// GroupSummary is unchanged when shard A's script gains an action.
+struct GroupSummary {
+  ChurnCounters counters;
+  std::size_t live = 0;    ///< live processes at summary time
+  std::size_t joined = 0;  ///< live processes whose join completed
+  std::uint64_t membership_tombstones = 0;  ///< summed over live processes
+  std::uint64_t joins_served = 0;           ///< view transfers sent
+  /// Publish→deliver latency over this group's deliveries, in integer
+  /// sim-time so the digest stays byte-comparable (no float formatting).
+  std::uint64_t latency_samples = 0;
+  SimTime latency_total = 0;
+  SimTime latency_max = 0;
+  /// FNV-1a over every slot's per-node statistics.
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const GroupSummary&, const GroupSummary&) = default;
+  double latency_mean_ms() const;
+  std::string to_string() const;
+};
+
+/// A byte-comparable end-of-run digest: the group-local summary plus the
+/// runtime-wide counters (network, scheduler). Two runs with the same
+/// config and script must compare equal (operator==).
 struct ChurnSummary {
   ChurnCounters counters;
   NetworkCounters network;
@@ -207,20 +249,39 @@ struct ChurnSummary {
   std::size_t joined = 0;  ///< live processes whose join completed
   std::uint64_t membership_tombstones = 0;  ///< summed over live processes
   std::uint64_t joins_served = 0;           ///< view transfers sent
+  std::uint64_t latency_samples = 0;        ///< see GroupSummary
+  SimTime latency_total = 0;
+  SimTime latency_max = 0;
   std::uint64_t fingerprint = 0;
 
   friend bool operator==(const ChurnSummary&, const ChurnSummary&) = default;
   std::string to_string() const;
 };
 
-/// Hosts a dynamic group over one Runtime and executes scenario scripts
-/// against it. Every populated address owns a SyncNode (pid = slot) and a
-/// PmcastNode (pid = capacity + slot) wired together by piggybacking and a
-/// LocalViewProvider. SyncNodes gossip forever, so the engine runs for
-/// explicit horizons (run_for/run_until) rather than to quiescence.
+/// Hosts a dynamic group over a Runtime and executes scenario scripts
+/// against it. Every populated address owns a SyncNode (pid = pid_base +
+/// slot) and a PmcastNode (pid = pid_base + capacity + slot) wired together
+/// by piggybacking and a LocalViewProvider. SyncNodes gossip forever, so
+/// the engine runs for explicit horizons (run_for/run_until) rather than to
+/// quiescence.
+///
+/// A ChurnSim either owns its Runtime (the classic single-group mode) or
+/// borrows one shared with other groups (topic shards; see
+/// harness/shard.hpp). In shard mode every labeled RNG stream is salted
+/// with the shard's tag, pids are offset by pid_base, and runtime-wide
+/// effects (loss bursts) are routed through hooks the owner scopes to this
+/// shard — so co-hosted groups never perturb each other.
 class ChurnSim {
  public:
   explicit ChurnSim(ChurnConfig config);
+
+  /// Shard mode: hosts the group on `runtime` (owned elsewhere), with pids
+  /// offset by `pid_base` and every labeled stream salted by `stream_salt`.
+  /// The owner is responsible for runtime-wide settings (wire transcoding,
+  /// base latency) and for scoping loss via set_loss_hook.
+  ChurnSim(Runtime& runtime, ChurnConfig config, ProcessId pid_base,
+           std::uint64_t stream_salt);
+
   ~ChurnSim();
 
   ChurnSim(const ChurnSim&) = delete;
@@ -234,13 +295,32 @@ class ChurnSim {
   void run_until(SimTime deadline);
   SimTime now() const noexcept;
 
-  Runtime& runtime() noexcept { return *runtime_; }
+  Runtime& runtime() noexcept { return *rt_; }
   const ChurnConfig& config() const noexcept { return config_; }
   const ChurnCounters& counters() const noexcept { return counters_; }
+
+  /// First pid of this group's range; the group occupies
+  /// [pid_base(), pid_base() + 2 * capacity).
+  ProcessId pid_base() const noexcept { return pid_base_; }
+
+  /// Overrides what a LossBurst action does: `hook(eps)` is called to raise
+  /// the loss and later `hook(config().loss)` to restore it. A sharded
+  /// runtime points this at the shard's entry in a per-shard loss model
+  /// instead of the network-wide scalar ε.
+  void set_loss_hook(std::function<void(double)> hook);
+
+  /// Router entry point for cross-shard publishers: publishes the event
+  /// (id, u) from a live member picked with `rng` (the caller's stream, so
+  /// this group's own draws are untouched). Returns false (and counts a
+  /// skip) when the group has no live member.
+  bool publish_external(const EventId& id, double u, Rng& rng);
 
   std::size_t live_count() const noexcept;
   std::size_t joined_count() const noexcept;
 
+  /// Group-local digest (per-shard summary in a sharded run).
+  GroupSummary group_summary() const;
+  /// group_summary() plus the runtime-wide network/scheduler counters.
   ChurnSummary summary() const;
 
  private:
@@ -253,8 +333,15 @@ class ChurnSim {
     bool live = false;
   };
 
+  /// Shared tail of both constructors: builds the slots, picks the
+  /// founders, and spawns them.
+  void init_population();
+
   ProcessId sync_pid(std::size_t slot) const noexcept;
   ProcessId pm_pid(std::size_t slot) const noexcept;
+  /// Labeled stream salted with this group's shard tag (no-op salt when the
+  /// group owns its runtime).
+  Rng stream(std::uint64_t tag) const;
   SyncNode::Directory sync_directory();
   PmcastNode::Directory pm_directory();
 
@@ -276,7 +363,11 @@ class ChurnSim {
 
   ChurnConfig config_;
   AddressSpace space_;
-  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<Runtime> owned_rt_;  ///< set only in single-group mode
+  Runtime* rt_ = nullptr;              ///< owned_rt_.get() or the shared one
+  ProcessId pid_base_ = 0;
+  std::uint64_t stream_salt_ = 0;  ///< 0 in single-group mode (tags as-is)
+  std::function<void(double)> apply_loss_;  ///< see set_loss_hook
   std::unique_ptr<GroupTree> oracle_;  ///< intended membership bookkeeping
   std::vector<Slot> slots_;
   std::unordered_map<Address, std::size_t, AddressHash> index_;
@@ -295,6 +386,12 @@ class ChurnSim {
   std::uint64_t loss_epoch_ = 0;
   std::uint64_t publish_seq_ = 0;
   ChurnCounters counters_;
+  /// Publish times by event id, for delivery-latency accounting. Entries
+  /// are kept for the whole run (publish counts are scenario-scale).
+  std::unordered_map<EventId, SimTime, EventIdHash> publish_times_;
+  std::uint64_t latency_samples_ = 0;
+  SimTime latency_total_ = 0;
+  SimTime latency_max_ = 0;
 };
 
 }  // namespace pmc

@@ -1,0 +1,238 @@
+#include "harness/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/hash.hpp"
+#include "wire/messages.hpp"
+
+namespace pmc {
+
+namespace {
+
+// Labeled RNG stream tags (arbitrary distinct salts, disjoint from the
+// single-group tags in scenario.cpp).
+constexpr std::uint64_t kShardStreamSalt = 0x5ba4d5a17;
+constexpr std::uint64_t kShardSeedSalt = 0x5ba4d5eed;
+constexpr std::uint64_t kRouterPickSalt = 0x4007e4b1c;
+constexpr std::uint64_t kCrossEventSalt = 0xc4055e7e;
+
+/// Synthetic EventId::publisher namespace for cross-shard publishers; far
+/// above any pm pid (which are ProcessId-sized), so ids never collide.
+constexpr std::uint64_t kCrossPublisherIdBase = std::uint64_t{1} << 62;
+
+std::uint64_t shard_tag(std::uint64_t salt, std::uint64_t index) {
+  return fnv1a_u64(kFnv1aBasis ^ salt, index);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedConfig
+// ---------------------------------------------------------------------------
+
+std::size_t ShardedConfig::total_capacity() const {
+  return shards * shard.capacity();
+}
+
+void ShardedConfig::validate() const {
+  PMC_EXPECTS(shards >= 1);
+  shard.validate();
+  // Two protocol nodes per address, across every shard, must stay within
+  // the same sanity bound ChurnConfig imposes on a single group — and the
+  // pid ranges must fit comfortably in ProcessId.
+  PMC_EXPECTS(total_capacity() <= (std::size_t{1} << 22));
+  if (cross.publishers > 0) {
+    PMC_EXPECTS(cross.span >= 1 && cross.span <= shards);
+    PMC_EXPECTS(cross.events >= 1);
+    PMC_EXPECTS(cross.start >= 0);
+    PMC_EXPECTS(cross.spacing >= 0);
+    if (cross.spacing > 0) {
+      // The last event of every publisher must stay representable.
+      const auto last = static_cast<std::uint64_t>(cross.events - 1);
+      PMC_EXPECTS(last <= static_cast<std::uint64_t>(
+                              std::numeric_limits<SimTime>::max() /
+                              cross.spacing));
+      const SimTime spread = static_cast<SimTime>(last) * cross.spacing;
+      PMC_EXPECTS(cross.start <=
+                  std::numeric_limits<SimTime>::max() - spread);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter
+// ---------------------------------------------------------------------------
+
+ShardRouter::ShardRouter(Runtime& runtime, std::vector<ChurnSim*> shards)
+    : shards_(std::move(shards)) {
+  PMC_EXPECTS(!shards_.empty());
+  picks_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    PMC_EXPECTS(shards_[s] != nullptr);
+    picks_.push_back(runtime.make_stream(shard_tag(kRouterPickSalt, s)));
+  }
+}
+
+std::size_t ShardRouter::publish(const EventId& id, double u,
+                                 std::span<const std::size_t> targets) {
+  std::size_t reached = 0;
+  for (const auto s : targets) {
+    PMC_EXPECTS(s < shards_.size());
+    if (shards_[s]->publish_external(id, u, picks_[s])) ++reached;
+  }
+  return reached;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSummary
+// ---------------------------------------------------------------------------
+
+std::string ShardedSummary::to_string(bool per_shard) const {
+  std::ostringstream out;
+  out << "shards " << shards.size() << " | cross published "
+      << cross_published << " | " << aggregate.to_string() << " | net sent "
+      << network.sent << " lost " << network.lost << " filtered "
+      << network.filtered << " | sched " << scheduler_executed
+      << " | fingerprint " << std::hex << fingerprint << std::dec;
+  if (per_shard) {
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      out << "\n  shard " << s << ": " << shards[s].to_string();
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSim
+// ---------------------------------------------------------------------------
+
+ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
+  config_.validate();
+
+  NetworkConfig net;
+  net.loss_probability = config_.shard.loss;
+  net.latency_min = config_.shard.latency_min;
+  net.latency_max = config_.shard.latency_max;
+  runtime_ = std::make_unique<Runtime>(net, config_.shard.seed);
+  if (config_.shard.wire_transcode) {
+    runtime_->network().set_transcoder([](const MessagePtr& msg) {
+      return wire::decode_message(wire::encode_message(*msg));
+    });
+  }
+
+  const std::size_t capacity = config_.shard.capacity();
+  shard_loss_.assign(config_.shards, config_.shard.loss);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    ChurnConfig cfg = config_.shard;
+    // Per-shard subscription seed: same address, different shard -> an
+    // independent interest profile.
+    cfg.seed = fnv1a_u64(shard_tag(kShardSeedSalt, s), config_.shard.seed);
+    shards_.push_back(std::make_unique<ChurnSim>(
+        *runtime_, cfg, static_cast<ProcessId>(s * 2 * capacity),
+        shard_tag(kShardStreamSalt, s)));
+    // Scope LossBurst actions to this shard's slice of the loss model.
+    shards_.back()->set_loss_hook(
+        [this, s](double eps) { shard_loss_[s] = eps; });
+  }
+  runtime_->network().set_loss_model(
+      [this, capacity](ProcessId from, ProcessId /*to*/) {
+        const std::size_t s = from / (2 * capacity);
+        return s < shard_loss_.size() ? shard_loss_[s] : config_.shard.loss;
+      });
+
+  std::vector<ChurnSim*> raw;
+  raw.reserve(shards_.size());
+  for (const auto& shard : shards_) raw.push_back(shard.get());
+  router_ = std::make_unique<ShardRouter>(*runtime_, std::move(raw));
+  schedule_cross_publishers();
+}
+
+ShardedSim::~ShardedSim() = default;
+
+ChurnSim& ShardedSim::shard(std::size_t idx) {
+  PMC_EXPECTS(idx < shards_.size());
+  return *shards_[idx];
+}
+
+const ChurnSim& ShardedSim::shard(std::size_t idx) const {
+  PMC_EXPECTS(idx < shards_.size());
+  return *shards_[idx];
+}
+
+void ShardedSim::play(std::size_t shard_idx, const ScenarioScript& script) {
+  shard(shard_idx).play(script);
+}
+
+void ShardedSim::play_all(const ScenarioScript& script) {
+  for (const auto& shard : shards_) shard->play(script);
+}
+
+void ShardedSim::run_for(SimTime duration) { runtime_->run_for(duration); }
+void ShardedSim::run_until(SimTime deadline) {
+  runtime_->run_until(deadline);
+}
+SimTime ShardedSim::now() const noexcept { return runtime_->now(); }
+
+void ShardedSim::schedule_cross_publishers() {
+  const auto& cross = config_.cross;
+  for (std::size_t p = 0; p < cross.publishers; ++p) {
+    std::vector<std::size_t> targets;
+    targets.reserve(cross.span);
+    for (std::size_t j = 0; j < cross.span; ++j)
+      targets.push_back((p + j) % config_.shards);
+    for (std::size_t k = 0; k < cross.events; ++k) {
+      const SimTime at =
+          cross.start + static_cast<SimTime>(k) * cross.spacing;
+      // The event's attribute depends only on (publisher, sequence), so a
+      // shard's churn can never shift which events the others see.
+      const double u =
+          runtime_
+              ->make_stream(fnv1a_u64(shard_tag(kCrossEventSalt, p), k))
+              .next_double();
+      const EventId id{kCrossPublisherIdBase + p, k};
+      runtime_->scheduler().schedule_at(at, [this, id, u, targets] {
+        cross_published_ += router_->publish(id, u, targets);
+      });
+    }
+  }
+}
+
+ShardedSummary ShardedSim::summary() const {
+  ShardedSummary out;
+  out.shards.reserve(shards_.size());
+  std::uint64_t fp = kFnv1aBasis;
+  for (const auto& shard : shards_) {
+    GroupSummary g = shard->group_summary();
+    out.aggregate.counters += g.counters;
+    out.aggregate.live += g.live;
+    out.aggregate.joined += g.joined;
+    out.aggregate.membership_tombstones += g.membership_tombstones;
+    out.aggregate.joins_served += g.joins_served;
+    out.aggregate.latency_samples += g.latency_samples;
+    out.aggregate.latency_total += g.latency_total;
+    out.aggregate.latency_max =
+        std::max(out.aggregate.latency_max, g.latency_max);
+    fp = fnv1a_u64(fp, g.fingerprint);
+    out.shards.push_back(std::move(g));
+  }
+  out.aggregate.fingerprint = fp;
+  out.network = runtime_->network().counters();
+  out.scheduler_executed = runtime_->scheduler().executed();
+  out.cross_published = cross_published_;
+
+  std::uint64_t h = fp;
+  h = fnv1a_u64(h, out.network.sent);
+  h = fnv1a_u64(h, out.network.delivered);
+  h = fnv1a_u64(h, out.network.lost);
+  h = fnv1a_u64(h, out.network.filtered);
+  h = fnv1a_u64(h, out.network.dead_target);
+  h = fnv1a_u64(h, out.scheduler_executed);
+  h = fnv1a_u64(h, out.cross_published);
+  out.fingerprint = h;
+  return out;
+}
+
+}  // namespace pmc

@@ -1,0 +1,143 @@
+// Sharded multi-group runtime: K independent pmcast groups ("topic
+// shards") hosted on ONE Runtime/Network.
+//
+// The paper argues pmcast's membership and dissemination costs stay
+// bounded as the system grows; the way a deployment actually grows past
+// one group is by hosting many of them — one per topic — side by side.
+// ShardedSim realizes that: every shard runs the full dynamic-group stack
+// of ChurnSim (GroupTree oracle + SyncNode anti-entropy membership feeding
+// a PmcastNode per live process), owns a disjoint pid range on the shared
+// network, and may be driven by its own ScenarioScript. Cross-shard
+// publishers model subscribers whose topic spans several shards: a
+// ShardRouter publishes the same event into every shard the publisher
+// spans.
+//
+// Isolation is a hard invariant, not an accident of scheduling: every
+// random draw a shard makes is labeled with the shard's salt
+// (Runtime::make_stream), process RNGs are labeled by (pid, incarnation),
+// and the network derives loss/latency draws from (sender, sender
+// sequence) — so adding a scenario action to shard A provably leaves
+// shard B's per-shard summary byte-identical (tests/shard_test.cpp).
+// Loss bursts are scoped through a per-shard loss model on the shared
+// network, and partitions installed by a shard pass all other shards'
+// traffic untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace pmc {
+
+/// Cross-shard publisher workload: `publishers` logical publishers, each
+/// spanning `span` consecutive shards (publisher p covers shards
+/// p % K, (p+1) % K, …), each publishing `events` events `spacing` apart
+/// starting at `start`. The same event (same id, same attribute) enters
+/// every spanned shard through the ShardRouter.
+struct CrossPublisherConfig {
+  std::size_t publishers = 0;
+  std::size_t span = 2;
+  std::size_t events = 8;
+  SimTime start = sim_ms(300);
+  SimTime spacing = sim_ms(100);
+};
+
+struct ShardedConfig {
+  /// Number of topic shards (independent groups).
+  std::size_t shards = 4;
+  /// Template for every shard: tree shape, fill, protocol parameters, base
+  /// ε, and the master seed. Each shard derives its own subscription seed
+  /// and RNG-stream salt from (seed, shard index).
+  ChurnConfig shard;
+  CrossPublisherConfig cross;
+
+  /// Processes hosted across all shards (2 protocol nodes per address).
+  std::size_t total_capacity() const;
+  void validate() const;  ///< PMC_EXPECTS on every range above
+};
+
+/// Routes publishes into topic shards. Each shard has its own labeled
+/// publisher-pick stream, so routing an event into shard A never consumes
+/// a draw shard B's picks depend on.
+class ShardRouter {
+ public:
+  ShardRouter(Runtime& runtime, std::vector<ChurnSim*> shards);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Publishes event (id, u) into every shard in `targets`; returns how
+  /// many shards it actually entered (a shard with no live member skips).
+  std::size_t publish(const EventId& id, double u,
+                      std::span<const std::size_t> targets);
+
+ private:
+  std::vector<ChurnSim*> shards_;
+  std::vector<Rng> picks_;  ///< per-shard publisher-pick streams
+};
+
+/// Byte-comparable digest of a sharded run: one GroupSummary per shard, a
+/// field-wise aggregate, and the runtime-wide network/scheduler counters.
+struct ShardedSummary {
+  std::vector<GroupSummary> shards;
+  GroupSummary aggregate;  ///< sums; latency merged; fp over shard fps
+  NetworkCounters network;
+  std::uint64_t scheduler_executed = 0;
+  std::uint64_t cross_published = 0;  ///< router publishes that landed
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const ShardedSummary&, const ShardedSummary&) =
+      default;
+  /// Aggregate line; with `per_shard`, one indented line per shard below.
+  std::string to_string(bool per_shard = true) const;
+};
+
+/// Hosts `config.shards` independent dynamic groups on one Runtime and
+/// drives them together. Shard s occupies pids
+/// [s * 2 * capacity, (s+1) * 2 * capacity).
+class ShardedSim {
+ public:
+  explicit ShardedSim(ShardedConfig config);
+  ~ShardedSim();
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  ChurnSim& shard(std::size_t idx);
+  const ChurnSim& shard(std::size_t idx) const;
+  ShardRouter& router() noexcept { return *router_; }
+
+  /// Plays `script` on one shard (validated against that shard's state).
+  void play(std::size_t shard_idx, const ScenarioScript& script);
+  /// Plays `script` on every shard (each with its own salted streams, so
+  /// the same script unfolds differently per shard).
+  void play_all(const ScenarioScript& script);
+
+  void run_for(SimTime duration);
+  void run_until(SimTime deadline);
+  SimTime now() const noexcept;
+
+  Runtime& runtime() noexcept { return *runtime_; }
+  const ShardedConfig& config() const noexcept { return config_; }
+  std::uint64_t cross_published() const noexcept { return cross_published_; }
+
+  ShardedSummary summary() const;
+
+ private:
+  void schedule_cross_publishers();
+
+  ShardedConfig config_;
+  std::unique_ptr<Runtime> runtime_;
+  std::vector<std::unique_ptr<ChurnSim>> shards_;
+  /// Current ε per shard, read by the network's loss model; LossBurst
+  /// actions write their shard's entry through set_loss_hook.
+  std::vector<double> shard_loss_;
+  std::unique_ptr<ShardRouter> router_;
+  std::uint64_t cross_published_ = 0;
+};
+
+}  // namespace pmc

@@ -1,11 +1,12 @@
 #include "sim/network.hpp"
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 
 namespace pmc {
 
 Network::Network(Scheduler& sched, NetworkConfig config, Rng rng)
-    : sched_(sched), config_(config), rng_(rng) {
+    : sched_(sched), config_(config), draw_seed_(rng.next_u64()) {
   PMC_EXPECTS(config_.loss_probability >= 0.0 &&
               config_.loss_probability <= 1.0);
   PMC_EXPECTS(config_.latency_min >= 0 &&
@@ -63,8 +64,22 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
       return;
     }
   }
-  if (config_.loss_probability > 0.0 &&
-      rng_.bernoulli(config_.loss_probability)) {
+  const double eps =
+      loss_model_ ? loss_model_(from, to) : config_.loss_probability;
+  PMC_EXPECTS(eps >= 0.0 && eps <= 1.0);
+  // Labeled per-message draw: (seed, sender, sender-sequence) alone decide
+  // loss and latency (see draw_seed_'s comment). The dense counter array
+  // covers every realistic pid; a sentinel-like sender falls back to the
+  // sparse map instead of forcing a huge resize.
+  std::uint64_t seq = 0;
+  if (from < (ProcessId{1} << 26)) {
+    if (from >= send_seq_.size()) send_seq_.resize(from + 1, 0);
+    seq = send_seq_[from]++;
+  } else {
+    seq = sparse_send_seq_[from]++;
+  }
+  Rng draw(fnv1a_u64(fnv1a_u64(kFnv1aBasis ^ draw_seed_, from), seq));
+  if (eps > 0.0 && draw.bernoulli(eps)) {
     ++counters_.lost;
     return;
   }
@@ -72,7 +87,7 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
   const SimTime latency =
       config_.latency_min +
       (span > 0 ? static_cast<SimTime>(
-                      rng_.next_below(static_cast<std::uint64_t>(span) + 1))
+                      draw.next_below(static_cast<std::uint64_t>(span) + 1))
                 : 0);
   sched_.schedule_after(latency, [this, from, to, msg = std::move(msg)] {
     if (to < handlers_.size() && handlers_[to]) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -91,6 +92,14 @@ class Network {
   /// are unaffected; only subsequent send() calls draw against the new ε.
   void set_loss(double eps);
 
+  /// When set, ε is asked per message instead of read from the config:
+  /// model(from, to) must return a probability in [0, 1]. A sharded
+  /// runtime installs a model that maps the sender's pid range to its
+  /// shard's current ε, so one shard's loss burst never leaks into
+  /// another. Pass nullptr to fall back to the scalar set_loss ε.
+  using LossModel = std::function<double(ProcessId from, ProcessId to)>;
+  void set_loss_model(LossModel model) { loss_model_ = std::move(model); }
+
   /// When set, messages with filter(from, to) == false are dropped
   /// (simulates partitions). Pass nullptr to clear.
   void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
@@ -122,12 +131,21 @@ class Network {
  private:
   Scheduler& sched_;
   NetworkConfig config_;
-  Rng rng_;
-  std::vector<Handler> handlers_;  // indexed by ProcessId
+  /// Loss/latency draws are not pulled from one shared stream: the draw for
+  /// a message is derived from (draw_seed_, sender, sender's send count),
+  /// so one process sending more never perturbs the draws another
+  /// process's messages see. Co-hosted groups (topic shards) depend on
+  /// this for isolation; within one group it also makes per-link behavior
+  /// independent of global send interleaving.
+  std::uint64_t draw_seed_;
+  std::vector<std::uint64_t> send_seq_;  // per-sender send counts
+  std::unordered_map<ProcessId, std::uint64_t> sparse_send_seq_;
+  std::vector<Handler> handlers_;        // indexed by ProcessId
   LinkFilter filter_;
   std::vector<std::pair<FilterToken, LinkFilter>> filters_;
   FilterToken next_filter_token_ = 1;
   Transcoder transcoder_;
+  LossModel loss_model_;
   NetworkCounters counters_;
 };
 

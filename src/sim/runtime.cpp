@@ -1,13 +1,26 @@
 #include "sim/runtime.hpp"
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 
 namespace pmc {
+
+namespace {
+// Distinguishes process-incarnation stream labels from every other
+// make_stream tag in the codebase (arbitrary salt).
+constexpr std::uint64_t kProcessStreamSalt = 0x9c0ce55e5;
+}  // namespace
 
 Runtime::Runtime(NetworkConfig net_config, std::uint64_t seed)
     : base_seed_(seed),
       seeder_(seed),
       net_(sched_, net_config, Rng(seeder_.next_u64())) {}
+
+Rng Runtime::make_process_stream(ProcessId pid) {
+  const std::uint64_t incarnation = incarnations_[pid]++;
+  return make_stream(fnv1a_u64(
+      fnv1a_u64(kFnv1aBasis ^ kProcessStreamSalt, pid), incarnation));
+}
 
 void Runtime::schedule_crashes(std::span<Process* const> victims,
                                SimTime horizon) {
@@ -25,7 +38,7 @@ void Runtime::schedule_crashes(std::span<Process* const> victims,
 }
 
 Process::Process(Runtime& rt, ProcessId id)
-    : rt_(rt), id_(id), rng_(rt.make_rng()) {
+    : rt_(rt), id_(id), rng_(rt.make_process_stream(id)) {
   rt_.network().attach(id_, [this](ProcessId from, const MessagePtr& msg) {
     if (alive_) on_message(from, msg);
   });

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -39,6 +40,14 @@ class Runtime {
     return Rng(sm.next());
   }
 
+  /// Labeled stream for the next incarnation of process `pid`: the label
+  /// depends only on (pid, how many processes lived at this pid before),
+  /// never on how many *other* processes exist. Co-hosted groups (topic
+  /// shards) rely on this: spawning a joiner in one shard must not shift
+  /// the streams handed to later spawns in another shard, which the
+  /// sequential make_rng() could not guarantee.
+  Rng make_process_stream(ProcessId pid);
+
   /// Crashes each process at an independent uniform time in [now, horizon).
   /// This realizes τ = f/n: pass the f sampled victims.
   void schedule_crashes(std::span<Process* const> victims, SimTime horizon);
@@ -52,6 +61,8 @@ class Runtime {
   std::uint64_t base_seed_;
   Rng seeder_;
   Network net_;
+  /// Incarnation counters behind make_process_stream (pid -> spawns so far).
+  std::unordered_map<ProcessId, std::uint64_t> incarnations_;
 };
 
 /// A simulated process: receives messages while alive and may run a periodic

@@ -35,10 +35,13 @@ RunTrace run_once(std::uint64_t seed) {
   auto cluster = make_cluster(/*a=*/4, /*d=*/3, /*r=*/2, /*pd=*/0.4, config,
                               /*loss=*/0.05, seed);
 
-  Event e;
-  e.set_id(EventId{/*publisher=*/7, /*sequence=*/1});
-  e.with("temperature", 21.5);
-  cluster.nodes.front()->pmcast(std::move(e));
+  // Publish on the workload's attribute so the event actually matches a
+  // seed-dependent subset of subscriptions: with labeled (seed, pid) RNG
+  // streams everywhere, an event that matches *nobody* disseminates
+  // identically under every seed (tuned padding selects all candidates),
+  // which would make DifferentSeedDiverges vacuous.
+  cluster.nodes.front()->pmcast(make_event_at(/*publisher=*/7,
+                                              /*sequence=*/1, /*u=*/0.4));
   cluster.runtime->run_until_idle();
 
   RunTrace trace;

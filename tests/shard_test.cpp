@@ -1,0 +1,187 @@
+// Sharded multi-group runtime: determinism, shard isolation, cross-shard
+// publishing, and config validation.
+//
+// The isolation tests are the load-bearing ones: K groups share one
+// Runtime/Network, yet adding a scenario action to shard A must leave
+// every other shard's per-shard summary byte-identical. That only holds
+// because every draw is labeled — shard-salted scenario streams,
+// (pid, incarnation) process streams, (sender, sequence) network draws —
+// rather than pulled from shared sequential state.
+#include <gtest/gtest.h>
+
+#include "harness/shard.hpp"
+
+namespace pmc {
+namespace {
+
+ShardedConfig small_config(std::size_t shards) {
+  ShardedConfig config;
+  config.shards = shards;
+  config.shard.a = 4;
+  config.shard.d = 2;
+  config.shard.r = 2;
+  config.shard.loss = 0.05;
+  config.shard.seed = 77;
+  return config;
+}
+
+ScenarioScript busy_script() {
+  ScenarioScript s;
+  s.add(sim_ms(200), Join{1});
+  s.add(sim_ms(400), PublishBurst{4, sim_ms(20)});
+  s.add(sim_ms(700), CrashNodes{2});
+  s.add(sim_ms(900), PublishBurst{3, sim_ms(20)});
+  s.add(sim_ms(1200), RecoverNodes{1});
+  return s;
+}
+
+TEST(ShardedSim, SameSeedSameSummaries) {
+  const auto run = [] {
+    ShardedSim sim(small_config(4));
+    sim.play_all(busy_script());
+    sim.run_until(sim_ms(1600));
+    return sim.summary();
+  };
+  const ShardedSummary first = run();
+  const ShardedSummary second = run();
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.shards.size(), 4u);
+}
+
+TEST(ShardedSim, ShardsDivergeFromEachOther) {
+  // Same script on every shard, but shard-salted streams and per-shard
+  // subscription seeds: the shards must not be clones of each other.
+  ShardedSim sim(small_config(3));
+  sim.play_all(busy_script());
+  sim.run_until(sim_ms(1600));
+  const auto summary = sim.summary();
+  EXPECT_NE(summary.shards[0].fingerprint, summary.shards[1].fingerprint);
+  EXPECT_NE(summary.shards[1].fingerprint, summary.shards[2].fingerprint);
+}
+
+TEST(ShardedSim, ExtraActionInOneShardLeavesOthersUntouched) {
+  const auto run = [](bool extra) {
+    ShardedSim sim(small_config(3));
+    sim.play_all(busy_script());
+    if (extra) {
+      ScenarioScript more;
+      more.add(sim_ms(500), LossBurst{0.5, sim_ms(300)});
+      more.add(sim_ms(1000), CrashNodes{1});
+      more.add(sim_ms(1100), PublishBurst{5});
+      sim.play(0, more);
+    }
+    sim.run_until(sim_ms(1600));
+    return sim.summary();
+  };
+  const ShardedSummary base = run(false);
+  const ShardedSummary perturbed = run(true);
+  // Shard 0 must see its extra churn...
+  EXPECT_NE(base.shards[0], perturbed.shards[0]);
+  EXPECT_EQ(perturbed.shards[0].counters.loss_bursts, 1u);
+  // ...while shards 1 and 2 are byte-identical, despite sharing the
+  // network, the scheduler, and the wall-clock with shard 0.
+  EXPECT_EQ(base.shards[1], perturbed.shards[1]);
+  EXPECT_EQ(base.shards[2], perturbed.shards[2]);
+}
+
+TEST(ShardedSim, PartitionInOneShardLeavesOthersUntouched) {
+  const auto run = [](bool split) {
+    ShardedSim sim(small_config(2));
+    sim.play_all(busy_script());
+    if (split) {
+      ScenarioScript more;
+      more.add(sim_ms(300), Partition{{0, 1}, sim_ms(1200)});
+      sim.play(1, more);
+    }
+    sim.run_until(sim_ms(1600));
+    return sim.summary();
+  };
+  const ShardedSummary base = run(false);
+  const ShardedSummary split = run(true);
+  EXPECT_EQ(split.shards[1].counters.partitions, 1u);
+  EXPECT_EQ(split.shards[1].counters.heals, 1u);
+  EXPECT_EQ(base.shards[0], split.shards[0]);
+}
+
+TEST(ShardedSim, CrossPublishersReachEverySpannedShard) {
+  ShardedConfig config = small_config(4);
+  config.shard.loss = 0.0;
+  config.cross.publishers = 4;  // publisher p spans shards {p, p+1 mod 4}
+  config.cross.span = 2;
+  config.cross.events = 3;
+  config.cross.start = sim_ms(200);
+  config.cross.spacing = sim_ms(100);
+  ShardedSim sim(config);
+  sim.run_until(sim_ms(1500));
+  const auto summary = sim.summary();
+  // 4 publishers x 3 events x 2 shards, every shard fully populated.
+  EXPECT_EQ(summary.cross_published, 24u);
+  for (const auto& shard : summary.shards) {
+    // Each shard is spanned by two publishers: 2 x 3 events entered it.
+    EXPECT_EQ(shard.counters.published, 6u);
+    EXPECT_GT(shard.counters.delivered, 0u);
+    EXPECT_GT(shard.latency_samples, 0u);
+  }
+}
+
+TEST(ShardedSim, AggregateSumsShards) {
+  ShardedSim sim(small_config(3));
+  sim.play_all(busy_script());
+  sim.run_until(sim_ms(1600));
+  const auto summary = sim.summary();
+  std::uint64_t published = 0, delivered = 0;
+  std::size_t live = 0;
+  for (const auto& shard : summary.shards) {
+    published += shard.counters.published;
+    delivered += shard.counters.delivered;
+    live += shard.live;
+  }
+  EXPECT_EQ(summary.aggregate.counters.published, published);
+  EXPECT_EQ(summary.aggregate.counters.delivered, delivered);
+  EXPECT_EQ(summary.aggregate.live, live);
+}
+
+TEST(ShardedSim, LossBurstIsScopedToItsShard) {
+  // With a very aggressive loss burst in shard 0 only, shard 1's network
+  // behavior is untouched — covered byte-for-byte by the isolation test
+  // above; here we additionally pin the scoped-loss counters.
+  ShardedSim sim(small_config(2));
+  ScenarioScript burst;
+  burst.add(sim_ms(300), LossBurst{0.9, sim_ms(400)});
+  sim.play(0, burst);
+  sim.run_until(sim_ms(1000));
+  const auto summary = sim.summary();
+  EXPECT_EQ(summary.shards[0].counters.loss_bursts, 1u);
+  EXPECT_EQ(summary.shards[0].counters.loss_restores, 1u);
+  EXPECT_EQ(summary.shards[1].counters.loss_bursts, 0u);
+}
+
+TEST(ShardedConfigValidate, RejectsNonsense) {
+  ShardedConfig config = small_config(2);
+  config.shards = 0;
+  EXPECT_THROW(config.validate(), std::logic_error);
+
+  config = small_config(2);
+  config.cross.publishers = 1;
+  config.cross.span = 3;  // span > shards
+  EXPECT_THROW(config.validate(), std::logic_error);
+
+  config = small_config(2);
+  config.cross.publishers = 1;
+  config.cross.events = 0;
+  EXPECT_THROW(config.validate(), std::logic_error);
+
+  config = small_config(2);
+  config.shard.a = 0;  // invalid shard template bubbles up
+  EXPECT_THROW(config.validate(), std::logic_error);
+}
+
+TEST(ShardedSim, PidRangesAreDisjoint) {
+  ShardedSim sim(small_config(3));
+  const std::size_t capacity = sim.config().shard.capacity();
+  for (std::size_t s = 0; s < sim.shard_count(); ++s)
+    EXPECT_EQ(sim.shard(s).pid_base(), s * 2 * capacity);
+}
+
+}  // namespace
+}  // namespace pmc

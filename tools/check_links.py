@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown files.
+
+Scans every *.md under the given root (default: the repo root containing
+this script), extracts inline links and images ``[text](target)``, and
+checks that every relative target resolves to an existing file or
+directory. External links (http/https/mailto) and pure in-page anchors
+(#...) are skipped; a ``path#anchor`` target is checked for the path part
+only. Registered as the ``docs_link_check`` ctest and run by the
+docs-and-examples CI job, so documentation cross-references cannot rot
+silently.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline link or image: [text](target) / ![alt](target). Targets with
+# spaces or nested parens are not used in this repo; keep the regex simple.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", ".cache"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    text = md.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+            elif root.resolve() not in resolved.parents and resolved != root.resolve():
+                broken.append((lineno, f"{target} (escapes the repository)"))
+    return broken
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    if not root.is_dir():
+        print(f"check_links: not a directory: {root}", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for md in iter_markdown(root):
+        checked += 1
+        for lineno, target in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} broken link(s) in {checked} file(s)")
+        return 1
+    print(f"check_links: OK ({checked} markdown file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

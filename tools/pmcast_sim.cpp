@@ -17,16 +17,27 @@
 //
 //   pmcast_sim --scenario demo --a 4 --d 2 --seed 7
 //   pmcast_sim --scenario storm.scn --fill 0.8 --horizon 5s --repro-check
+//
+// Sharded mode hosts K independent pmcast groups (topic shards) on one
+// runtime — each with its own membership stack, optionally its own script,
+// plus cross-shard publishers routed across several shards (see
+// docs/ARCHITECTURE.md):
+//
+//   pmcast_sim --shards 16 --repro-check
+//   pmcast_sim --shards 4 --shard-scenario demo --cross 2 --cross-span 3
+//   pmcast_sim --shards 8 --shard-scenario 0:storm.scn --horizon 5s
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/tree_analysis.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
+#include "harness/shard.hpp"
 #include "harness/table.hpp"
 
 namespace {
@@ -38,7 +49,6 @@ struct Options {
   std::string algorithm = "pmcast";  // pmcast | flooding | genuine
   std::size_t genuine_view = 20;
   bool analysis_only = false;
-  bool help = false;
 
   // Scenario mode.
   std::string scenario;  ///< "demo", or a script file path; empty = off
@@ -46,15 +56,28 @@ struct Options {
   SimTime horizon = sim_ms(3500);
   bool repro_check = false;
   bool wire_transcode = false;
+
+  // Sharded mode.
+  std::size_t shards = 0;  ///< 0 = off; K hosts K topic shards
+  /// "demo"/"file" (every shard) or "<idx>:demo|file" (one shard);
+  /// repeatable.
+  std::vector<std::string> shard_scenarios;
+  std::size_t cross_publishers = 0;
+  std::size_t cross_span = 2;
+  std::size_t cross_events = 8;
+  SimTime cross_spacing = sim_ms(100);
   // Scenario mode defaults the group to a=4, d=2, R=2; only flags the user
   // actually passed override those (tracked per flag — a lone --a must not
   // drag in the experiment harness's d=3/R=3).
   bool a_set = false;
   bool d_set = false;
   bool r_set = false;
-  /// Experiment-only flags seen on the command line; scenario mode rejects
-  /// them instead of silently ignoring what the user asked for.
+  /// Experiment-only flags seen on the command line; scenario and sharded
+  /// mode reject them instead of silently ignoring what the user asked
+  /// for.
   std::vector<std::string> experiment_only_flags;
+  /// Sharded-only flags seen; rejected unless --shards is given.
+  std::vector<std::string> sharded_only_flags;
 };
 
 void print_usage() {
@@ -89,7 +112,37 @@ void print_usage() {
       "  --fill X         initially populated fraction of a^d (default 0.75)\n"
       "  --horizon T      run length, e.g. 3500ms / 5s; bare = us\n"
       "  --wire           serialize every message through the wire codec\n"
-      "  --repro-check    run twice, compare summaries byte-for-byte\n";
+      "  --repro-check    run twice, compare summaries byte-for-byte\n"
+      "sharded mode (K topic shards on one runtime; see docs/SCENARIOS.md):\n"
+      "  --shards K       host K independent groups; per-shard tree from\n"
+      "                   --a/--d/--R (defaults a=4, d=2, R=2)\n"
+      "  --shard-scenario S\n"
+      "                   'demo' or a script file for every shard, or\n"
+      "                   '<i>:demo|file' for shard i only; repeatable\n"
+      "  --cross N        cross-shard publishers (default 0)\n"
+      "  --cross-span M   shards each cross publisher spans (default 2)\n"
+      "  --cross-events N events per cross publisher (default 8)\n"
+      "  --cross-every T  spacing between a publisher's events (default "
+      "100ms)\n"
+      "\n"
+      "--fill/--horizon/--wire/--seed/--pd/--loss/--F apply to scenario and\n"
+      "sharded mode; the remaining experiment flags are rejected there.\n"
+      "--help / -h prints this and exits 0, whatever else is given.\n";
+}
+
+/// Strict size parse: every character must be a digit, so "--cross abc"
+/// errors out instead of silently becoming 0 publishers.
+bool parse_size(const std::string& flag, const char* value,
+                std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (*value == '\0' || end == nullptr || *end != '\0') {
+    std::cerr << "bad " << flag << ": expected a number, got '" << value
+              << "'\n";
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
 }
 
 bool parse_args(int argc, char** argv, Options& out) {
@@ -103,8 +156,8 @@ bool parse_args(int argc, char** argv, Options& out) {
       }
       return argv[++i];
     };
-    if (flag == "--help" || flag == "-h") out.help = true;
-    else if (flag == "--a") {
+    // --help/-h never reaches here: main() pre-scans argv and exits first.
+    if (flag == "--a") {
       e.a = std::strtoul(next(), nullptr, 10);
       out.a_set = true;
     }
@@ -180,6 +233,38 @@ bool parse_args(int argc, char** argv, Options& out) {
     }
     else if (flag == "--wire") out.wire_transcode = true;
     else if (flag == "--repro-check") out.repro_check = true;
+    else if (flag == "--shards") {
+      if (!parse_size(flag, next(), out.shards)) return false;
+      if (out.shards < 1) {
+        std::cerr << "bad --shards: must be >= 1\n";
+        return false;
+      }
+    }
+    else if (flag == "--shard-scenario") {
+      out.shard_scenarios.emplace_back(next());
+      out.sharded_only_flags.push_back(flag);
+    }
+    else if (flag == "--cross") {
+      if (!parse_size(flag, next(), out.cross_publishers)) return false;
+      out.sharded_only_flags.push_back(flag);
+    }
+    else if (flag == "--cross-span") {
+      if (!parse_size(flag, next(), out.cross_span)) return false;
+      out.sharded_only_flags.push_back(flag);
+    }
+    else if (flag == "--cross-events") {
+      if (!parse_size(flag, next(), out.cross_events)) return false;
+      out.sharded_only_flags.push_back(flag);
+    }
+    else if (flag == "--cross-every") {
+      try {
+        out.cross_spacing = parse_sim_time(next());
+      } catch (const std::invalid_argument& err) {
+        std::cerr << "bad --cross-every: " << err.what() << "\n";
+        return false;
+      }
+      out.sharded_only_flags.push_back(flag);
+    }
     else {
       std::cerr << "unknown flag: " << flag << " (try --help)\n";
       return false;
@@ -196,11 +281,52 @@ bool parse_args(int argc, char** argv, Options& out) {
     std::cerr << "unknown algorithm: " << out.algorithm << "\n";
     return false;
   }
-  if (!out.scenario.empty() && !out.experiment_only_flags.empty()) {
+  if (!out.scenario.empty() && out.shards > 0) {
+    std::cerr << "--scenario and --shards are mutually exclusive; use "
+                 "--shard-scenario to script the shards\n";
+    return false;
+  }
+  if (out.shards == 0 && !out.sharded_only_flags.empty()) {
+    std::cerr << "flags that require --shards:";
+    for (const auto& f : out.sharded_only_flags) std::cerr << " " << f;
+    std::cerr << "\n";
+    return false;
+  }
+  if ((!out.scenario.empty() || out.shards > 0) &&
+      !out.experiment_only_flags.empty()) {
     // Silently ignoring what the user asked for would misreport the run.
-    std::cerr << "flags not applicable in --scenario mode:";
+    std::cerr << "flags not applicable in --"
+              << (out.shards > 0 ? "shards" : "scenario") << " mode:";
     for (const auto& f : out.experiment_only_flags) std::cerr << " " << f;
     std::cerr << "\n";
+    return false;
+  }
+  if (out.shards > 0 && out.cross_publishers > 0 &&
+      (out.cross_span < 1 || out.cross_span > out.shards)) {
+    std::cerr << "bad --cross-span: must be within [1, --shards]\n";
+    return false;
+  }
+  return true;
+}
+
+/// Loads "demo" or a script file into `script`; prints the reason and
+/// returns false on failure.
+bool load_script(const std::string& spec, ScenarioScript& script) {
+  if (spec == "demo") {
+    script = ScenarioScript::demo();
+    return true;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::cerr << "cannot open scenario file: " << spec << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    script = ScenarioScript::parse(text.str());
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     return false;
   }
   return true;
@@ -208,23 +334,7 @@ bool parse_args(int argc, char** argv, Options& out) {
 
 int run_scenario(const Options& options) {
   ScenarioScript script;
-  if (options.scenario == "demo") {
-    script = ScenarioScript::demo();
-  } else {
-    std::ifstream in(options.scenario);
-    if (!in) {
-      std::cerr << "cannot open scenario file: " << options.scenario << "\n";
-      return 2;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    try {
-      script = ScenarioScript::parse(text.str());
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << "\n";
-      return 2;
-    }
-  }
+  if (!load_script(options.scenario, script)) return 2;
 
   ChurnConfig config;
   if (options.a_set) config.a = options.experiment.a;
@@ -267,6 +377,105 @@ int run_scenario(const Options& options) {
   return 0;
 }
 
+/// One parsed --shard-scenario entry: a script for every shard, or for one.
+struct ShardScript {
+  ScenarioScript script;
+  std::size_t shard = 0;
+  bool all = false;
+};
+
+/// Parses "--shard-scenario" specs: "demo"/"file" (all shards) or
+/// "<idx>:demo|file" (one shard). Returns false after printing the reason.
+bool parse_shard_scripts(const Options& options,
+                         std::vector<ShardScript>& out) {
+  for (const auto& spec : options.shard_scenarios) {
+    ShardScript entry;
+    std::string path = spec;
+    const auto colon = spec.find(':');
+    // "<digits>:rest" addresses one shard; anything else is a path (keeps
+    // e.g. Windows-style paths or plain files with colons later in them
+    // from being misread as shard indices).
+    if (colon != std::string::npos && colon > 0 &&
+        spec.find_first_not_of("0123456789") == colon) {
+      entry.shard = std::strtoul(spec.substr(0, colon).c_str(), nullptr, 10);
+      if (entry.shard >= options.shards) {
+        std::cerr << "bad --shard-scenario '" << spec << "': shard index "
+                  << entry.shard << " out of range (--shards "
+                  << options.shards << ")\n";
+        return false;
+      }
+      path = spec.substr(colon + 1);
+    } else {
+      entry.all = true;
+    }
+    if (!load_script(path, entry.script)) return false;
+    out.push_back(std::move(entry));
+  }
+  return true;
+}
+
+int run_sharded(const Options& options) {
+  std::vector<ShardScript> scripts;
+  if (!parse_shard_scripts(options, scripts)) return 2;
+
+  ShardedConfig config;
+  config.shards = options.shards;
+  // Same per-shard defaults as scenario mode: a=4, d=2, R=2 unless set.
+  if (options.a_set) config.shard.a = options.experiment.a;
+  if (options.d_set) config.shard.d = options.experiment.d;
+  if (options.r_set) config.shard.r = options.experiment.r;
+  config.shard.pd = options.experiment.pd;
+  config.shard.fanout = options.experiment.fanout;
+  config.shard.loss = options.experiment.loss;
+  config.shard.initial_fill = options.fill;
+  config.shard.seed = options.experiment.seed;
+  config.shard.wire_transcode = options.wire_transcode;
+  config.cross.publishers = options.cross_publishers;
+  config.cross.span = options.cross_span;
+  config.cross.events = options.cross_events;
+  config.cross.spacing = options.cross_spacing;
+
+  const auto run_once = [&] {
+    ShardedSim sim(config);
+    for (const auto& entry : scripts) {
+      if (entry.all) {
+        sim.play_all(entry.script);
+      } else {
+        sim.play(entry.shard, entry.script);
+      }
+    }
+    sim.run_until(options.horizon);
+    return sim.summary();
+  };
+
+  std::cout << "sharded: " << config.shards << " shards x capacity "
+            << config.shard.capacity() << " (fill "
+            << config.shard.initial_fill << "), " << scripts.size()
+            << " script(s), " << config.cross.publishers
+            << " cross publisher(s) spanning " << config.cross.span
+            << ", horizon " << options.horizon / sim_ms(1)
+            << " ms, eps=" << config.shard.loss << ", seed="
+            << config.shard.seed
+            << (config.shard.wire_transcode ? ", wire codec" : "") << "\n";
+  try {
+    const auto summary = run_once();
+    std::cout << summary.to_string() << "\n";
+    if (options.repro_check) {
+      const auto second = run_once();
+      const bool identical = second == summary;
+      std::cout << "repro-check: "
+                << (identical ? "identical summaries (aggregate + per-shard)"
+                              : "MISMATCH")
+                << "\n";
+      return identical ? 0 : 1;
+    }
+  } catch (const std::logic_error& e) {
+    std::cerr << "invalid scenario or config: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 void print_analysis(const ExperimentConfig& e) {
   const auto result = analyze_tree(e.analysis_params());
   std::cout << "\nSec. 4 analysis:\n";
@@ -288,12 +497,18 @@ void print_analysis(const ExperimentConfig& e) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --help wins over everything, including flag-combination errors: asking
+  // for usage must always print it and exit 0.
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      return 0;
+    }
+  }
   Options options;
   if (!parse_args(argc, argv, options)) return 2;
-  if (options.help) {
-    print_usage();
-    return 0;
-  }
+  if (options.shards > 0) return run_sharded(options);
   if (!options.scenario.empty()) return run_scenario(options);
   const auto& e = options.experiment;
 
