@@ -45,7 +45,7 @@ int main() {
     config.tree = tc;
     config.fanout = fanout;
     config.period = period;
-    config.env_estimate.loss = loss;
+    config.env.prior.loss = loss;
     std::vector<std::unique_ptr<PmcastNode>> nodes;
     for (std::size_t i = 0; i < members.size(); ++i)
       nodes.push_back(std::make_unique<PmcastNode>(

@@ -1,0 +1,53 @@
+#include "analysis/env_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+void AdaptiveEnv::validate() const {
+  PMC_EXPECTS(prior.loss >= 0.0 && prior.loss < 1.0);
+  PMC_EXPECTS(prior.crash >= 0.0 && prior.crash < 1.0);
+  PMC_EXPECTS(ewma_alpha > 0.0 && ewma_alpha <= 1.0);
+  PMC_EXPECTS(loss_ceiling >= 0.0 && loss_ceiling < 1.0);
+  PMC_EXPECTS(crash_ceiling >= 0.0 && crash_ceiling < 1.0);
+}
+
+EnvEstimator::EnvEstimator(AdaptiveEnv policy)
+    : policy_(policy),
+      loss_(std::min(policy.prior.loss, policy.loss_ceiling)),
+      crash_(std::min(policy.prior.crash, policy.crash_ceiling)) {
+  policy_.validate();
+}
+
+void EnvEstimator::observe_feedback(std::uint64_t probes,
+                                    std::uint64_t acks) {
+  if (probes < policy_.min_probes) return;  // too small to be signal
+  // acked/sent estimates the round-trip success (1-ε)²; acks answering
+  // probes of the previous window can push the ratio past 1, so clamp.
+  const double ratio = std::min(
+      1.0, static_cast<double>(acks) / static_cast<double>(probes));
+  const double observed = 1.0 - std::sqrt(ratio);
+  loss_ = (1.0 - policy_.ewma_alpha) * loss_ + policy_.ewma_alpha * observed;
+  loss_ = std::clamp(loss_, 0.0, policy_.loss_ceiling);
+  ++feedback_windows_;
+}
+
+void EnvEstimator::observe_churn(std::uint64_t deaths,
+                                 std::uint64_t population) {
+  if (population == 0) return;
+  const double observed = std::min(
+      1.0, static_cast<double>(deaths) / static_cast<double>(population));
+  crash_ =
+      (1.0 - policy_.ewma_alpha) * crash_ + policy_.ewma_alpha * observed;
+  crash_ = std::clamp(crash_, 0.0, policy_.crash_ceiling);
+  ++churn_windows_;
+}
+
+EnvParams EnvEstimator::estimate() const noexcept {
+  return EnvParams{loss_, crash_};
+}
+
+}  // namespace pmc

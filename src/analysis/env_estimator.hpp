@@ -1,0 +1,100 @@
+// Online estimation of the environment parameters ε (message loss) and
+// τ (crash rate) of the reliability analysis (paper Sec. 3.3/4.1, Eq. 11).
+//
+// The paper assumes every deployed process *knows* ε and τ ("estimates
+// available to deployed processes"); our simulations previously froze that
+// estimate at configuration time, so every loss burst or crash wave ran
+// with a round bound computed for the wrong environment. EnvEstimator
+// closes that gap by pure observation:
+//
+//  * ε from gossip feedback. With SyncConfig::ack_digests on, every
+//    periodic membership digest elicits exactly one MembershipUpdate back
+//    (rows when the peer is newer, an empty ack otherwise), turning the
+//    anti-entropy traffic into loss probes. Over a sampling window the
+//    round-trip success ratio acked/sent estimates (1-ε)², so the
+//    per-window loss observation is 1 - sqrt(acked/sent). Known confound:
+//    a probe to a crashed-but-not-yet-tombstoned (or partitioned-away)
+//    peer goes unacked exactly like a lost message, so crash waves bleed
+//    into ε̂ until failure detection prunes the view — the estimate is a
+//    deliberately conservative "effective loss towards my current view",
+//    which can double-discount a failure that τ̂ also sees. Over-gossiping
+//    after crash waves is the safe direction for reliability; the ceiling
+//    below bounds the damage.
+//  * τ from view incarnation churn: rows observed transitioning alive→dead
+//    (SyncNode::Stats::deaths_observed) over the known population,
+//    per window. This approximates the paper's τ = f/n for windows on the
+//    order of an event's gossip lifetime.
+//
+// Both observations are folded into an EWMA seeded from the static prior.
+// The estimator is deterministic by construction — no RNG, only counter
+// arithmetic — so adaptive runs replay byte-identically and never perturb
+// co-hosted shards. Its output is always a valid RoundEstimator input
+// (clamped to [0, ceiling] with ceiling < 1, never NaN).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/rounds.hpp"
+
+namespace pmc {
+
+/// Eq. 11 environment policy: the static ε/τ prior a node starts from,
+/// plus the knobs of the online estimator that may refine it at runtime.
+struct AdaptiveEnv {
+  /// Static estimate (the paper's deployed-process assumption): used
+  /// verbatim while `adaptive` is off, and as the EWMA seed when it is on.
+  EnvParams prior;
+
+  /// Consult the live estimate (PmcastNode::set_env_source) instead of the
+  /// prior when re-evaluating the Eq. 11 round bound.
+  bool adaptive = false;
+
+  /// EWMA weight of each new observation window, in (0, 1]. Larger values
+  /// track bursts faster but pass more sampling noise into the bound.
+  double ewma_alpha = 0.3;
+
+  /// Estimates are clamped below these ceilings so (1-ε)(1-τ) stays
+  /// strictly positive: an estimator that believes *everything* is lost
+  /// must still leave the algorithm a usable (if collapsed) bound.
+  double loss_ceiling = 0.9;
+  double crash_ceiling = 0.9;
+
+  /// Feedback windows with fewer probes than this are discarded — a 1-of-2
+  /// ack window would swing the EWMA on pure noise.
+  std::uint64_t min_probes = 4;
+
+  void validate() const;
+};
+
+class EnvEstimator {
+ public:
+  explicit EnvEstimator(AdaptiveEnv policy);
+
+  /// One feedback window: membership digests sent vs. update/ack replies
+  /// received. Windows with fewer than `min_probes` probes are ignored;
+  /// the ratio is clamped to [0, 1] (late acks can straddle windows).
+  void observe_feedback(std::uint64_t probes, std::uint64_t acks);
+
+  /// One churn window: alive→dead row transitions observed vs. the known
+  /// population. A window with an empty population is ignored.
+  void observe_churn(std::uint64_t deaths, std::uint64_t population);
+
+  /// Current smoothed estimate; always a valid RoundEstimator::faulty
+  /// input (within [0, ceiling], never NaN).
+  EnvParams estimate() const noexcept;
+
+  std::uint64_t feedback_windows() const noexcept {
+    return feedback_windows_;
+  }
+  std::uint64_t churn_windows() const noexcept { return churn_windows_; }
+  const AdaptiveEnv& policy() const noexcept { return policy_; }
+
+ private:
+  AdaptiveEnv policy_;
+  double loss_;   ///< EWMA state, seeded from policy_.prior.loss
+  double crash_;  ///< EWMA state, seeded from policy_.prior.crash
+  std::uint64_t feedback_windows_ = 0;  ///< accepted feedback windows
+  std::uint64_t churn_windows_ = 0;     ///< accepted churn windows
+};
+
+}  // namespace pmc

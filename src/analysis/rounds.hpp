@@ -28,12 +28,17 @@ class RoundEstimator {
   /// conservative values increase reliability at the cost of extra rounds).
   explicit RoundEstimator(double c = 0.0) : c_(c) {}
 
-  /// Raw Pittel estimate T(n, F); 0 when n <= 1 or F <= 0.
-  /// Real-valued: the algorithm gossips while round < T, i.e. for
-  /// ceil(T) rounds.
+  /// Raw Pittel estimate T(n, F); 0 when n <= 1, F <= 0, or either input
+  /// is NaN (degenerate and collapsed inputs yield an explicit 0, never a
+  /// NaN bound). Real-valued: the algorithm gossips while round < T, i.e.
+  /// for ceil(T) rounds.
   double pittel(double n, double fanout) const;
 
-  /// Loss/crash-adjusted estimate Tf(n, F) (Eq. 11).
+  /// Loss/crash-adjusted estimate Tf(n, F) (Eq. 11). Accepts ε, τ in
+  /// [0, 1]: the boundary (everything lost/crashed) collapses the bound
+  /// to 0 explicitly; values outside [0, 1] (or NaN) throw. When the
+  /// discounted population n(1-ε)(1-τ) drops to <= 1 the bound is 0 as
+  /// well — observable at the caller via Stats::bound_collapsed.
   double faulty(double n, double fanout, const EnvParams& env) const;
 
   /// Number of gossip rounds the algorithm will actually execute for a raw

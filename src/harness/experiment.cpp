@@ -55,8 +55,8 @@ PmcastConfig ExperimentConfig::pmcast_config() const {
   c.fanout = fanout;
   c.period = period;
   c.pittel_c = pittel_c;
-  c.env_estimate.loss = loss;
-  c.env_estimate.crash = crash_fraction;
+  c.env.prior.loss = loss;
+  c.env.prior.crash = crash_fraction;
   c.tuning_threshold = tuning_threshold;
   c.local_interest_shortcut = local_interest_shortcut;
   c.leaf_flood_density = leaf_flood_density;

@@ -324,6 +324,8 @@ void ChurnConfig::validate() const {
   PMC_EXPECTS(latency_min >= 0 && latency_min <= latency_max);
   PMC_EXPECTS(period > 0);
   PMC_EXPECTS(suspicion_timeout > 0);
+  PMC_EXPECTS(adaptive_alpha > 0.0 && adaptive_alpha <= 1.0);
+  PMC_EXPECTS(adaptive_interval >= 0);
   PMC_EXPECTS(capacity() >= 2);
 }
 
@@ -333,26 +335,37 @@ void ChurnConfig::validate() const {
 
 namespace {
 
-void append_group_fields(std::ostringstream& out, const ChurnCounters& c,
-                         std::size_t live, std::size_t joined,
-                         std::uint64_t tombstones, std::uint64_t served,
-                         std::uint64_t lat_samples, SimTime lat_total,
-                         SimTime lat_max) {
-  out << "live " << live << " (joined " << joined << ")"
-      << " | joins " << c.joins_requested << " (served " << served << ")"
+/// GroupSummary and ChurnSummary share the group-local fields by name;
+/// templating over the summary type keeps this a single field list instead
+/// of a long positional parameter row two call sites could transpose.
+template <class SummaryT>
+void append_group_fields(std::ostringstream& out, const SummaryT& s) {
+  const ChurnCounters& c = s.counters;
+  out << "live " << s.live << " (joined " << s.joined << ")"
+      << " | joins " << c.joins_requested << " (served " << s.joins_served
+      << ")"
       << " | crashes " << c.crashes << " | leaves " << c.leaves
       << " | recoveries " << c.recoveries
       << " | partitions " << c.partitions << "/" << c.heals << " healed"
       << " | loss bursts " << c.loss_bursts
       << " | published " << c.published << " | delivered " << c.delivered;
-  if (lat_samples > 0) {
+  if (s.latency_samples > 0) {
     out << " | latency mean "
-        << (static_cast<double>(lat_total) / static_cast<double>(lat_samples)) /
+        << (static_cast<double>(s.latency_total) /
+            static_cast<double>(s.latency_samples)) /
                static_cast<double>(sim_ms(1))
-        << "ms max " << static_cast<double>(lat_max) /
+        << "ms max " << static_cast<double>(s.latency_max) /
                static_cast<double>(sim_ms(1)) << "ms";
   }
-  out << " | tombstones " << tombstones;
+  if (s.env_windows > 0) {
+    // ppm -> fractional display with no float round-tripping on the wire.
+    out << " | env eps~" << static_cast<double>(s.env_loss_ppm) / 1e6
+        << " tau~" << static_cast<double>(s.env_crash_ppm) / 1e6
+        << " (" << s.env_windows << " windows)";
+  }
+  if (s.bound_collapsed > 0)
+    out << " | bound collapsed " << s.bound_collapsed;
+  out << " | tombstones " << s.membership_tombstones;
 }
 
 }  // namespace
@@ -366,18 +379,14 @@ double GroupSummary::latency_mean_ms() const {
 
 std::string GroupSummary::to_string() const {
   std::ostringstream out;
-  append_group_fields(out, counters, live, joined, membership_tombstones,
-                      joins_served, latency_samples, latency_total,
-                      latency_max);
+  append_group_fields(out, *this);
   out << " | fingerprint " << std::hex << fingerprint << std::dec;
   return out.str();
 }
 
 std::string ChurnSummary::to_string() const {
   std::ostringstream out;
-  append_group_fields(out, counters, live, joined, membership_tombstones,
-                      joins_served, latency_samples, latency_total,
-                      latency_max);
+  append_group_fields(out, *this);
   out << " | net sent " << network.sent << " lost " << network.lost
       << " filtered " << network.filtered
       << " | fingerprint " << std::hex << fingerprint << std::dec;
@@ -455,6 +464,14 @@ void ChurnSim::init_population() {
   oracle_ = std::make_unique<GroupTree>(tc, std::move(members));
 
   for (const auto i : picks) spawn(i, /*founder=*/true, kNoProcess);
+
+  if (config_.adaptive) {
+    adaptive_interval_ = config_.adaptive_interval > 0
+                             ? config_.adaptive_interval
+                             : 4 * config_.period;
+    rt_->scheduler().schedule_after(adaptive_interval_,
+                                    [this] { sample_environment(); });
+  }
 }
 
 ChurnSim::~ChurnSim() = default;
@@ -501,6 +518,10 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   slot.pm.reset();
   slot.provider.reset();
   slot.sync.reset();
+  // A fresh incarnation starts with zeroed protocol stats, so its
+  // estimator and feedback cursor restart from scratch too.
+  slot.estimator.reset();
+  slot.env_cursor = EnvCursor{};
 
   SyncConfig sc;
   sc.tree.depth = config_.d;
@@ -509,6 +530,7 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   sc.gossip_fanout = config_.fanout;
   sc.suspicion_timeout = config_.suspicion_timeout;
   sc.confirm_suspicion = config_.confirm_suspicion;
+  sc.ack_digests = config_.adaptive;  // digests double as loss probes
 
   if (founder) {
     slot.sync = std::make_unique<SyncNode>(
@@ -527,11 +549,18 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   pc.tree = sc.tree;
   pc.fanout = config_.fanout;
   pc.period = config_.period;
-  pc.env_estimate.loss = config_.loss;
+  pc.env.prior.loss = config_.loss;
+  pc.env.adaptive = config_.adaptive;
+  pc.env.ewma_alpha = config_.adaptive_alpha;
   pc.recovery_rounds = config_.recovery_rounds;
   slot.pm = std::make_unique<PmcastNode>(*rt_, pm_pid(slot_idx), pc,
                                          slot.address, slot.subscription,
                                          *slot.provider, pm_directory());
+  if (config_.adaptive) {
+    slot.estimator = std::make_unique<EnvEstimator>(pc.env);
+    EnvEstimator* estimator = slot.estimator.get();
+    slot.pm->set_env_source([estimator] { return estimator->estimate(); });
+  }
   slot.pm->set_deliver_handler([this](const Event& e) {
     ++counters_.delivered;
     const auto it = publish_times_.find(e.id());
@@ -598,6 +627,24 @@ void ChurnSim::play(const ScenarioScript& script) {
         action.at,
         [this, action, rng] { apply(action, rng); });
   }
+}
+
+void ChurnSim::sample_environment() {
+  for (auto& slot : slots_) {
+    if (!slot.live || slot.estimator == nullptr || slot.sync == nullptr)
+      continue;
+    const auto& s = slot.sync->stats();
+    slot.estimator->observe_feedback(
+        s.digests_sent - slot.env_cursor.digests_sent,
+        s.digest_acks - slot.env_cursor.digest_acks);
+    slot.estimator->observe_churn(
+        s.deaths_observed - slot.env_cursor.deaths_observed,
+        slot.sync->view().known_processes());
+    slot.env_cursor = EnvCursor{s.digests_sent, s.digest_acks,
+                                s.deaths_observed};
+  }
+  rt_->scheduler().schedule_after(adaptive_interval_,
+                                  [this] { sample_environment(); });
 }
 
 void ChurnSim::run_for(SimTime duration) { rt_->run_for(duration); }
@@ -831,6 +878,8 @@ GroupSummary ChurnSim::group_summary() const {
   out.latency_max = latency_max_;
 
   std::uint64_t h = kFnv1aBasis;
+  std::uint64_t env_nodes = 0;
+  double env_loss_sum = 0.0, env_crash_sum = 0.0;
   for (const auto& slot : slots_) {
     h = fnv1a_u64(h, slot.live ? 1 : 0);
     if (slot.sync != nullptr) {
@@ -840,6 +889,8 @@ GroupSummary ChurnSim::group_summary() const {
       h = fnv1a_u64(h, slot.sync->joined() ? 1 : 0);
       h = fnv1a_u64(h, s.digests_sent);
       h = fnv1a_u64(h, s.updates_sent);
+      h = fnv1a_u64(h, s.digest_acks);
+      h = fnv1a_u64(h, s.deaths_observed);
       h = fnv1a_u64(h, s.join_retries);
       h = fnv1a_u64(h, s.joins_forwarded);
       h = fnv1a_u64(h, s.joins_served);
@@ -849,16 +900,37 @@ GroupSummary ChurnSim::group_summary() const {
     }
     if (slot.pm != nullptr) {
       const auto& p = slot.pm->stats();
+      out.bound_collapsed += p.bound_collapsed;
       h = fnv1a_u64(h, p.published);
       h = fnv1a_u64(h, p.received);
       h = fnv1a_u64(h, p.delivered);
       h = fnv1a_u64(h, p.gossips_sent);
       h = fnv1a_u64(h, p.rounds_run);
+      h = fnv1a_u64(h, p.bound_collapsed);
       h = fnv1a_u64(h, p.leaf_floods);
       h = fnv1a_u64(h, p.digests_sent);
       h = fnv1a_u64(h, p.recoveries);
     }
+    if (slot.live && slot.estimator != nullptr) {
+      const EnvParams e = slot.estimator->estimate();
+      env_loss_sum += e.loss;
+      env_crash_sum += e.crash;
+      out.env_windows += slot.estimator->feedback_windows() +
+                         slot.estimator->churn_windows();
+      ++env_nodes;
+    }
   }
+  if (env_nodes > 0) {
+    // Parts-per-million keeps the digest integral (byte-comparable across
+    // replays without float formatting concerns).
+    out.env_loss_ppm = static_cast<std::uint64_t>(
+        std::llround(1e6 * env_loss_sum / static_cast<double>(env_nodes)));
+    out.env_crash_ppm = static_cast<std::uint64_t>(
+        std::llround(1e6 * env_crash_sum / static_cast<double>(env_nodes)));
+  }
+  h = fnv1a_u64(h, out.env_loss_ppm);
+  h = fnv1a_u64(h, out.env_crash_ppm);
+  h = fnv1a_u64(h, out.env_windows);
   h = fnv1a_u64(h, counters_.published);
   h = fnv1a_u64(h, counters_.delivered);
   h = fnv1a_u64(h, latency_samples_);
@@ -879,6 +951,10 @@ ChurnSummary ChurnSim::summary() const {
   out.latency_samples = g.latency_samples;
   out.latency_total = g.latency_total;
   out.latency_max = g.latency_max;
+  out.env_loss_ppm = g.env_loss_ppm;
+  out.env_crash_ppm = g.env_crash_ppm;
+  out.env_windows = g.env_windows;
+  out.bound_collapsed = g.bound_collapsed;
   out.network = rt_->network().counters();
   out.scheduler_executed = rt_->scheduler().executed();
 

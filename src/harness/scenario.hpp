@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "addr/space.hpp"
+#include "analysis/env_estimator.hpp"
 #include "event/event.hpp"
 #include "membership/sync.hpp"
 #include "membership/tree.hpp"
@@ -174,6 +175,17 @@ struct ChurnConfig {
   /// deployment would (scenarios then exercise the frozen wire format).
   bool wire_transcode = false;
 
+  /// Online ε/τ estimation (analysis/env_estimator.hpp): every node runs
+  /// an EnvEstimator fed by digest feedback (SyncConfig::ack_digests is
+  /// forced on) and observed view churn, and its pmcast layer re-evaluates
+  /// the Eq. 11 round bound with the live estimate instead of the static
+  /// `loss` prior. Deterministic: estimation is pure counter arithmetic.
+  bool adaptive = false;
+  /// EWMA weight per estimator sampling window, in (0, 1].
+  double adaptive_alpha = 0.3;
+  /// Length of one estimator sampling window; 0 = 4 gossip periods.
+  SimTime adaptive_interval = 0;
+
   std::uint64_t seed = 42;
 
   std::size_t capacity() const;
@@ -230,6 +242,16 @@ struct GroupSummary {
   std::uint64_t latency_samples = 0;
   SimTime latency_total = 0;
   SimTime latency_max = 0;
+  /// Adaptive environment estimation (ChurnConfig::adaptive): the live
+  /// nodes' mean ε̂/τ̂ in parts-per-million (integers keep the digest
+  /// byte-comparable), and the estimator windows folded in across them.
+  /// All zero when estimation is off.
+  std::uint64_t env_loss_ppm = 0;
+  std::uint64_t env_crash_ppm = 0;
+  std::uint64_t env_windows = 0;
+  /// Eq. 11 bound collapses observed across all processes
+  /// (PmcastNode::Stats::bound_collapsed).
+  std::uint64_t bound_collapsed = 0;
   /// FNV-1a over every slot's per-node statistics.
   std::uint64_t fingerprint = 0;
 
@@ -252,6 +274,10 @@ struct ChurnSummary {
   std::uint64_t latency_samples = 0;        ///< see GroupSummary
   SimTime latency_total = 0;
   SimTime latency_max = 0;
+  std::uint64_t env_loss_ppm = 0;    ///< see GroupSummary
+  std::uint64_t env_crash_ppm = 0;
+  std::uint64_t env_windows = 0;
+  std::uint64_t bound_collapsed = 0;
   std::uint64_t fingerprint = 0;
 
   friend bool operator==(const ChurnSummary&, const ChurnSummary&) = default;
@@ -324,12 +350,24 @@ class ChurnSim {
   ChurnSummary summary() const;
 
  private:
+  /// Last-seen SyncNode counters, so one estimator sampling window feeds
+  /// only the deltas accrued since the previous window.
+  struct EnvCursor {
+    std::uint64_t digests_sent = 0;
+    std::uint64_t digest_acks = 0;
+    std::uint64_t deaths_observed = 0;
+  };
+
   struct Slot {
     Address address;
     Subscription subscription;
     std::unique_ptr<SyncNode> sync;
     std::unique_ptr<LocalViewProvider> provider;
     std::unique_ptr<PmcastNode> pm;
+    /// Per-node online ε/τ estimator (ChurnConfig::adaptive); reset with
+    /// each incarnation, like the protocol nodes it observes.
+    std::unique_ptr<EnvEstimator> estimator;
+    EnvCursor env_cursor;
     bool live = false;
   };
 
@@ -349,6 +387,12 @@ class ChurnSim {
   /// bootstrap view; joiners enter through the join protocol via `contact`.
   void spawn(std::size_t slot, bool founder, ProcessId contact);
 
+  /// One estimator sampling window: feeds every live slot's estimator the
+  /// feedback/churn deltas since the last window, then re-schedules itself
+  /// `adaptive_interval_` later. Pure counter arithmetic — no RNG draws —
+  /// so co-hosted shards are provably unaffected.
+  void sample_environment();
+
   void apply(const ScenarioAction& action, std::shared_ptr<Rng> rng);
   std::vector<std::size_t> live_slots() const;
   /// Join-contact candidates: joined live slots, else any live slot.
@@ -367,6 +411,7 @@ class ChurnSim {
   Runtime* rt_ = nullptr;              ///< owned_rt_.get() or the shared one
   ProcessId pid_base_ = 0;
   std::uint64_t stream_salt_ = 0;  ///< 0 in single-group mode (tags as-is)
+  SimTime adaptive_interval_ = 0;  ///< resolved sampling window (adaptive)
   std::function<void(double)> apply_loss_;  ///< see set_loss_hook
   std::unique_ptr<GroupTree> oracle_;  ///< intended membership bookkeeping
   std::vector<Slot> slots_;

@@ -40,6 +40,7 @@ std::size_t ShardedConfig::total_capacity() const {
 void ShardedConfig::validate() const {
   PMC_EXPECTS(shards >= 1);
   shard.validate();
+  for (const auto s : adaptive_shards) PMC_EXPECTS(s < shards);
   // Two protocol nodes per address, across every shard, must stay within
   // the same sanity bound ChurnConfig imposes on a single group — and the
   // pid ranges must fit comfortably in ProcessId.
@@ -130,6 +131,11 @@ ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
     // Per-shard subscription seed: same address, different shard -> an
     // independent interest profile.
     cfg.seed = fnv1a_u64(shard_tag(kShardSeedSalt, s), config_.shard.seed);
+    if (!config_.adaptive_shards.empty()) {
+      cfg.adaptive = std::find(config_.adaptive_shards.begin(),
+                               config_.adaptive_shards.end(),
+                               s) != config_.adaptive_shards.end();
+    }
     shards_.push_back(std::make_unique<ChurnSim>(
         *runtime_, cfg, static_cast<ProcessId>(s * 2 * capacity),
         shard_tag(kShardStreamSalt, s)));
@@ -204,6 +210,7 @@ ShardedSummary ShardedSim::summary() const {
   ShardedSummary out;
   out.shards.reserve(shards_.size());
   std::uint64_t fp = kFnv1aBasis;
+  std::uint64_t env_shards = 0, env_loss_acc = 0, env_crash_acc = 0;
   for (const auto& shard : shards_) {
     GroupSummary g = shard->group_summary();
     out.aggregate.counters += g.counters;
@@ -215,8 +222,21 @@ ShardedSummary ShardedSim::summary() const {
     out.aggregate.latency_total += g.latency_total;
     out.aggregate.latency_max =
         std::max(out.aggregate.latency_max, g.latency_max);
+    out.aggregate.env_windows += g.env_windows;
+    out.aggregate.bound_collapsed += g.bound_collapsed;
+    if (g.env_windows > 0) {
+      env_loss_acc += g.env_loss_ppm;
+      env_crash_acc += g.env_crash_ppm;
+      ++env_shards;
+    }
     fp = fnv1a_u64(fp, g.fingerprint);
     out.shards.push_back(std::move(g));
+  }
+  if (env_shards > 0) {
+    // Unweighted mean over the estimating shards (display aggregate; the
+    // per-shard summaries carry the exact values).
+    out.aggregate.env_loss_ppm = env_loss_acc / env_shards;
+    out.aggregate.env_crash_ppm = env_crash_acc / env_shards;
   }
   out.aggregate.fingerprint = fp;
   out.network = runtime_->network().counters();

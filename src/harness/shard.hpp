@@ -53,6 +53,12 @@ struct ShardedConfig {
   /// ε, and the master seed. Each shard derives its own subscription seed
   /// and RNG-stream salt from (seed, shard index).
   ChurnConfig shard;
+  /// Per-shard override of the template's `adaptive` flag: when non-empty,
+  /// exactly the listed shard indices run the online ε/τ estimator and
+  /// every other shard stays static (the isolation tests flip estimation
+  /// on for one shard and assert the others' summaries are untouched).
+  /// Empty = every shard follows the template.
+  std::vector<std::size_t> adaptive_shards;
   CrossPublisherConfig cross;
 
   /// Processes hosted across all shards (2 protocol nodes per address).

@@ -154,7 +154,9 @@ void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {
         newer.push_back(DepthRow{static_cast<std::uint32_t>(depth), row});
     }
   }
-  if (newer.empty()) return;
+  // With ack_digests every digest is answered — an empty update is a pure
+  // ack — so the gossiper can meter the round-trip loss (sent vs. acked).
+  if (newer.empty() && !config_.ack_digests) return;
   auto reply = std::make_shared<MembershipUpdateMsg>();
   reply->sender = view_.self();
   reply->rows = std::move(newer);
@@ -164,6 +166,9 @@ void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {
 
 void SyncNode::handle_update(const MembershipUpdateMsg& m) {
   note_contact(m.sender);
+  // Every update answers one of our digests (gossip pull), so it doubles
+  // as the ack half of the loss-feedback pair (see Stats::digest_acks).
+  ++stats_.digest_acks;
   absorb_rows(m.sender, m.rows);
 }
 
@@ -249,6 +254,7 @@ void SyncNode::handle_leave(const LeaveMsg& m) {
   version_counter_ = std::max(version_counter_, tomb.version);
   view_.view(depth).upsert(std::move(tomb));
   ++stats_.tombstones;
+  ++stats_.deaths_observed;
 }
 
 bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
@@ -263,7 +269,13 @@ bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
     ++stats_.rebuttals;
     return view_.view(depth).upsert(std::move(alive_row));
   }
-  return view_.view(depth).upsert(row);
+  const auto* current = view_.view(depth).find(row.infix);
+  const bool was_alive = current != nullptr && current->alive;
+  const bool changed = view_.view(depth).upsert(row);
+  // A known-live row absorbed as a tombstone is observed incarnation
+  // churn: the raw signal behind the online crash-rate estimate.
+  if (changed && was_alive && !row.alive) ++stats_.deaths_observed;
+  return changed;
 }
 
 std::vector<DepthRow> SyncNode::rows_for(const Address& other) const {
@@ -423,6 +435,7 @@ void SyncNode::tombstone_neighbor(const Address& neighbor) {
   version_counter_ = std::max(version_counter_, tomb.version);
   leaf.upsert(std::move(tomb));
   ++stats_.tombstones;
+  ++stats_.deaths_observed;
 }
 
 void SyncNode::note_contact(const Address& a) {

@@ -120,6 +120,12 @@ struct SyncConfig {
   /// leaf neighbor confirms it has not heard from the suspect either
   /// (Sec. 6's leaf-level agreement before exclusion).
   bool confirm_suspicion = false;
+  /// Answer every membership digest, even when no row is newer (an empty
+  /// MembershipUpdate as a pure ack): the periodic digest gossip doubles
+  /// as loss probes, and the sent-vs-acked ratio feeds the online ε
+  /// estimator (analysis/env_estimator.hpp). Off by default (the paper's
+  /// pull-only anti-entropy).
+  bool ack_digests = false;
 };
 
 class SyncNode final : public Process {
@@ -141,7 +147,16 @@ class SyncNode final : public Process {
   /// scenario engine to report join/leave/failure-detection activity.
   struct Stats {
     std::uint64_t digests_sent = 0;     ///< anti-entropy digests gossiped
-    std::uint64_t updates_sent = 0;     ///< row replies to stale digests
+    std::uint64_t updates_sent = 0;     ///< row (or ack) replies to digests
+    /// MembershipUpdate messages received. Updates only ever answer our
+    /// own digests (gossip pull), so with ack_digests on the pair
+    /// (digests_sent, digest_acks) is the sent-vs-acked feedback an
+    /// EnvEstimator turns into a loss estimate.
+    std::uint64_t digest_acks = 0;
+    /// Rows observed transitioning alive -> dead in our view, whether
+    /// tombstoned locally (timeout, leave) or absorbed via anti-entropy —
+    /// the incarnation churn an EnvEstimator turns into a crash estimate.
+    std::uint64_t deaths_observed = 0;
     std::uint64_t join_retries = 0;     ///< own join request re-sent
     std::uint64_t joins_forwarded = 0;  ///< join requests routed closer
     std::uint64_t joins_served = 0;     ///< view transfers sent to joiners

@@ -1,7 +1,6 @@
 #include "pmcast/node.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/contract.hpp"
 
@@ -80,6 +79,15 @@ void PmcastNode::on_message(ProcessId from, const MessagePtr& msg) {
   // Fig. 3 lines 20-23 (with whole-lifetime dedup, see header).
   if (!seen_.insert(gossip.event->id()).second) return;
   ++stats_.received;
+  if (gossip.no_regossip) {
+    // Leaf flood (Sec. 6): the sender already addressed every interested
+    // neighbor, so there is nothing left to gossip — deliver, and keep the
+    // payload only for the optional digest-recovery phase.
+    deliver_if_interested(*gossip.event);
+    retain_for_recovery(gossip.event);
+    if (!store_.empty() && !periodic_armed()) arm_periodic(config_.period);
+    return;
+  }
   buffer_event(gossip.depth, Entry{gossip.event, gossip.rate, gossip.round});
   deliver_if_interested(*gossip.event);
 }
@@ -95,6 +103,9 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
   auto& entries = gossips_[depth - 1];
   if (entries.empty()) return;
 
+  // Re-evaluated every period and depth: with an adaptive env source the
+  // Eq. 11 bound follows the live ε/τ estimate instead of the frozen prior.
+  const EnvParams env = live_env();
   std::vector<Entry> promoted;
   auto it = entries.begin();
   while (it != entries.end()) {
@@ -114,9 +125,11 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
         auto msg = std::make_shared<GossipMsg>();
         msg->event = entry.event;
         msg->rate = entry.rate;
-        // Mark the remaining life-time exhausted so receivers do not
-        // re-gossip; the flood already addressed everyone interested.
-        msg->round = std::numeric_limits<std::uint32_t>::max();
+        msg->round = entry.round;
+        // The flood already addressed everyone interested: tell receivers
+        // explicitly not to re-gossip (the flag, not a sentinel round, so
+        // round arithmetic never meets an out-of-band value).
+        msg->no_regossip = true;
         msg->depth = static_cast<std::uint32_t>(depth);
         send(target, std::move(msg));
         ++stats_.gossips_sent;
@@ -128,11 +141,22 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
     }
     // Fig. 3 line 7: the round bound uses the rate propagated with the
     // event, so every process of the subgroup applies the same bound.
+    //
+    // Discount semantics (Eq. 11 / Fig. 3 line 7 audit): Pittel's T(n, F)
+    // is applied to the *interested* sub-population, so both arguments are
+    // scaled by the matching rate first — n = |view| * rate is GETRATE's
+    // audience, and F * rate is the expected number of the F drawn targets
+    // that are interested (Fig. 3 lines 10-14 draw from the whole view and
+    // filter, so the effective fanout towards the audience is F * rate).
+    // faulty() then applies Eq. 11's environment discount on top,
+    // multiplying both by (1-ε)(1-τ): Tf(n, F) = T(n(1-ε)(1-τ),
+    // F(1-ε)(1-τ)). The two discounts are deliberate and multiplicative;
+    // tests/rounds_test.cpp locks the composition against hand-computed
+    // paper values.
     const double interested =
         static_cast<double>(candidates.size()) * entry.rate;
     const double bound = estimator_.faulty(
-        interested, static_cast<double>(config_.fanout) * entry.rate,
-        config_.env_estimate);
+        interested, static_cast<double>(config_.fanout) * entry.rate, env);
 
     if (static_cast<double>(entry.round) < bound) {
       // Fig. 3 lines 8-14: one more round at this depth.
@@ -162,6 +186,10 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
       ++it;
     } else {
       // Fig. 3 lines 15-18: retire here, promote to the next depth.
+      // Retiring after zero rounds with an interested audience means the
+      // discounted bound collapsed (see RoundEstimator::faulty) — count
+      // it, since the event just skipped this depth entirely.
+      if (entry.round == 0 && interested > 0.0) ++stats_.bound_collapsed;
       if (depth < config_.tree.depth) {
         auto ev = std::move(entry.event);
         const double next_rate = rate_at(depth + 1, *ev);

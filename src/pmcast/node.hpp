@@ -42,6 +42,12 @@ struct GossipMsg final : MessageBase {
   double rate = 0.0;
   std::uint32_t round = 0;
   std::uint32_t depth = 0;
+  /// The sender has already addressed every interested member (Sec. 6 leaf
+  /// flood): the receiver delivers (and may retain for recovery) but never
+  /// re-buffers the event for gossip. An explicit flag — the exhausted
+  /// state used to be smuggled as round = uint32::max, which an adaptive
+  /// round bound must never see in live arithmetic.
+  bool no_regossip = false;
   Address sender;                  ///< set when piggyback is non-empty
   std::vector<DepthRow> piggyback;
 };
@@ -109,6 +115,19 @@ class PmcastNode final : public Process {
     piggyback_sink_ = std::move(sink);
   }
 
+  /// Live ε/τ source for the Eq. 11 bound (config.env.adaptive): when set,
+  /// every per-depth bound evaluation consults it instead of the static
+  /// config.env.prior — typically wired to EnvEstimator::estimate of the
+  /// node's estimator. The source must return valid faulty() inputs
+  /// (ε, τ in [0, 1], no NaN); EnvEstimator guarantees that.
+  using EnvSource = std::function<EnvParams()>;
+  void set_env_source(EnvSource source) { env_source_ = std::move(source); }
+
+  /// The ε/τ the next bound evaluation will use (prior or live estimate).
+  EnvParams live_env() const {
+    return env_source_ ? env_source_() : config_.env.prior;
+  }
+
   const Address& address() const noexcept { return self_; }
   const Subscription& subscription() const noexcept { return subscription_; }
 
@@ -124,6 +143,12 @@ class PmcastNode final : public Process {
     std::uint64_t delivered = 0;  ///< events handed to the application
     std::uint64_t gossips_sent = 0;
     std::uint64_t rounds_run = 0;  ///< per-depth gossip rounds executed
+    /// Entries retired after zero rounds at a depth that still had an
+    /// interested audience: the discounted Eq. 11 bound collapsed
+    /// (n(1-ε)(1-τ) <= 1 or fanout discounted to 0). Observable instead of
+    /// a silent delivery loss — the dominant failure mode at small
+    /// matching rates and saturated loss estimates.
+    std::uint64_t bound_collapsed = 0;
     std::uint64_t leaf_floods = 0;  ///< Sec. 6 leaf-flood activations
     std::uint64_t digests_sent = 0;
     std::uint64_t recoveries = 0;  ///< events obtained via retransmission
@@ -177,6 +202,7 @@ class PmcastNode final : public Process {
   const ViewProvider* views_;
   Directory directory_;
   RoundEstimator estimator_;
+  EnvSource env_source_;
   DeliverHandler deliver_;
   PiggybackSource piggyback_source_;
   PiggybackSink piggyback_sink_;

@@ -8,6 +8,13 @@ namespace {
 
 constexpr std::uint64_t kMaxCollection = 1 << 20;  // sanity bound on counts
 
+/// Sanity cap on gossip rounds: legitimate rounds are O(log n) (Pittel's
+/// bound), so anything near integer range is a corrupted frame or a relic
+/// of the retired round = uint32::max "do not re-gossip" sentinel (now the
+/// explicit GossipMsg::no_regossip flag). Enforced on both directions so a
+/// sentinel can neither leave nor enter round arithmetic.
+constexpr std::uint64_t kMaxGossipRound = 1 << 20;
+
 std::uint64_t checked_count(Reader& r) {
   const std::uint64_t n = r.varint();
   if (n > kMaxCollection) throw DecodeError("collection too large");
@@ -357,10 +364,14 @@ std::vector<std::uint8_t> encode_message(const MessageBase& msg) {
   switch (msg.kind) {
     case MsgKind::Gossip: {
       const auto& gossip = static_cast<const GossipMsg&>(msg);
+      if (gossip.round > kMaxGossipRound)
+        throw std::logic_error(
+            "encode_message: gossip round beyond sanity cap (sentinel?)");
       encode(w, *gossip.event);
       w.f64(gossip.rate);
       w.varint(gossip.round);
       w.varint(gossip.depth);
+      w.boolean(gossip.no_regossip);
       const bool piggybacked = !gossip.piggyback.empty();
       w.boolean(piggybacked);
       if (piggybacked) {
@@ -472,10 +483,14 @@ MessagePtr decode_message(std::span<const std::uint8_t> data) {
       msg->rate = r.f64();
       if (!(msg->rate >= 0.0 && msg->rate <= 1.0))
         throw DecodeError("rate out of range");
-      msg->round = static_cast<std::uint32_t>(r.varint());
+      const std::uint64_t round = r.varint();
+      if (round > kMaxGossipRound)
+        throw DecodeError("gossip round beyond sanity cap");
+      msg->round = static_cast<std::uint32_t>(round);
       const std::uint64_t depth = r.varint();
       if (depth == 0 || depth > 0xff) throw DecodeError("bad gossip depth");
       msg->depth = static_cast<std::uint32_t>(depth);
+      msg->no_regossip = r.boolean();
       if (r.boolean()) {
         msg->sender = decode_address(r);
         msg->piggyback = decode_depth_rows(r);

@@ -55,9 +55,10 @@ TEST(LeafFlood, DisabledByDefault) {
 }
 
 TEST(LeafFlood, FloodedReceiversDoNotRegossip) {
-  // The flood marks the event's life-time exhausted: receivers buffer and
-  // retire it without further leaf-depth rounds, so total messages stay
-  // close to one per interested process per subgroup entry.
+  // The flood carries GossipMsg::no_regossip: receivers deliver (and
+  // retain for recovery) without ever re-buffering the event for gossip,
+  // so total messages stay close to one per interested process per
+  // subgroup entry.
   PmcastConfig flood_config = default_config();
   flood_config.leaf_flood_density = 0.9;
   auto with_flood = make_cluster(5, 2, 2, 1.0, flood_config, 0.0, 6);

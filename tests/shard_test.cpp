@@ -84,6 +84,39 @@ TEST(ShardedSim, ExtraActionInOneShardLeavesOthersUntouched) {
   EXPECT_EQ(base.shards[2], perturbed.shards[2]);
 }
 
+TEST(ShardedSim, AdaptiveShardLeavesOthersByteIdentical) {
+  // Flipping online ε/τ estimation on for shard 0 alone adds digest acks,
+  // estimator sampling and a re-tuned Eq. 11 bound *inside that shard* —
+  // shards 1 and 2 must replay byte-identically regardless.
+  const auto run = [](bool adaptive_shard0) {
+    ShardedConfig config = small_config(3);
+    if (adaptive_shard0) config.adaptive_shards = {0};
+    ShardedSim sim(config);
+    sim.play_all(busy_script());
+    ScenarioScript burst;
+    burst.add(sim_ms(500), LossBurst{0.4, sim_ms(600)});
+    sim.play(0, burst);
+    sim.run_until(sim_ms(1600));
+    return sim.summary();
+  };
+  const ShardedSummary base = run(false);
+  const ShardedSummary adaptive = run(true);
+  // Shard 0 must actually be estimating...
+  EXPECT_EQ(base.shards[0].env_windows, 0u);
+  EXPECT_GT(adaptive.shards[0].env_windows, 0u);
+  EXPECT_GT(adaptive.shards[0].env_loss_ppm, 0u);
+  EXPECT_NE(base.shards[0], adaptive.shards[0]);
+  // ...while the static shards are untouched, byte for byte.
+  EXPECT_EQ(base.shards[1], adaptive.shards[1]);
+  EXPECT_EQ(base.shards[2], adaptive.shards[2]);
+}
+
+TEST(ShardedConfigValidate, RejectsOutOfRangeAdaptiveShard) {
+  ShardedConfig config = small_config(2);
+  config.adaptive_shards = {2};  // only shards 0 and 1 exist
+  EXPECT_THROW(config.validate(), std::logic_error);
+}
+
 TEST(ShardedSim, PartitionInOneShardLeavesOthersUntouched) {
   const auto run = [](bool split) {
     ShardedSim sim(small_config(2));

@@ -7,6 +7,7 @@
 // tag is rejected at encode time.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -143,10 +144,17 @@ canonical_messages() {
 
 /// The frozen bytes, kind name -> hex. Generated once from the canonical
 /// messages above; checked in, never regenerated silently.
+///
+/// DELIBERATE FORMAT BUMP (adaptive ε/τ PR): Gossip gained the explicit
+/// `no_regossip` boolean between `depth` and the piggyback flag, replacing
+/// the round = uint32::max "do not re-gossip" sentinel the leaf flood used
+/// to smuggle through round arithmetic (decoders now also reject rounds
+/// beyond a sanity cap, which would have rejected the old sentinel). Every
+/// other message kind's bytes are unchanged.
 const std::pair<const char*, const char*> kGoldenVectors[] = {
     {"Gossip",
-     "01070101017501000000000000d03f000000000000e03f0201010201010102010102"
-     "01020001017501000000000000d03f000000000000e83f0001000000030901"},
+     "01070101017501000000000000d03f000000000000e03f0201000102010101020101"
+     "0201020001017501000000000000d03f000000000000e83f0001000000030901"},
     {"MembershipDigest", "02020102050201000a020314"},
     {"MembershipUpdate",
      "03020001010101010201020001017501000000000000d03f000000000000e83f0001"
@@ -251,6 +259,7 @@ std::shared_ptr<MessageBase> random_message(Rng& rng) {
       m->rate = rng.next_double();
       m->round = static_cast<std::uint32_t>(rng.next_below(64));
       m->depth = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+      m->no_regossip = rng.bernoulli(0.2);
       if (rng.bernoulli(0.5)) {
         m->sender = random_address(rng);
         m->piggyback.push_back(DepthRow{
@@ -371,6 +380,55 @@ TEST(WireGolden, RandomizedRoundTripIsByteStable) {
     const auto b3 = wire::encode_message(*m3);
     EXPECT_EQ(to_hex(b3), to_hex(b2)) << "trial " << trial;
   }
+}
+
+TEST(WireGolden, NoRegossipFlagRoundTrips) {
+  // The leaf flood's "do not re-gossip" state travels as an explicit flag
+  // (it used to be round = uint32::max, which leaked a sentinel into round
+  // arithmetic).
+  auto m = std::make_shared<GossipMsg>();
+  m->event = std::make_shared<const Event>(make_event_at(3, 9, 0.75));
+  m->rate = 1.0;
+  m->round = 0;
+  m->depth = 2;
+  m->no_regossip = true;
+  const auto bytes = wire::encode_message(*m);
+  const auto decoded = wire::decode_message(bytes);
+  ASSERT_EQ(decoded->kind, MsgKind::Gossip);
+  const auto& gossip = static_cast<const GossipMsg&>(*decoded);
+  EXPECT_TRUE(gossip.no_regossip);
+  EXPECT_EQ(gossip.round, 0u);
+  EXPECT_EQ(to_hex(wire::encode_message(gossip)), to_hex(bytes));
+}
+
+TEST(WireGolden, SentinelRoundsRejectedBothWays) {
+  // Rounds are O(log n); anything near integer range is a corrupted frame
+  // or the retired sentinel. The encoder refuses to emit it and the
+  // decoder refuses to accept it, so sentinel-sized values can never reach
+  // a live bound comparison.
+  auto m = std::make_shared<GossipMsg>();
+  m->event = std::make_shared<const Event>(make_event_at(3, 9, 0.75));
+  m->rate = 0.5;
+  m->round = std::numeric_limits<std::uint32_t>::max();
+  m->depth = 1;
+  EXPECT_THROW(wire::encode_message(*m), std::logic_error);
+
+  m->round = 1;
+  auto bytes = wire::encode_message(*m);
+  // Patch the round varint (1 byte, right after the 8-byte rate f64 that
+  // follows the 14-byte single-attribute event) to a 5-byte uint32::max
+  // varint.
+  const std::size_t round_at = 1 + 14 + 8;
+  ASSERT_EQ(bytes[round_at], 0x01);
+  std::vector<std::uint8_t> patched(bytes.begin(),
+                                    bytes.begin() +
+                                        static_cast<std::ptrdiff_t>(round_at));
+  for (int i = 0; i < 4; ++i) patched.push_back(0xff);
+  patched.push_back(0x0f);
+  patched.insert(patched.end(),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(round_at) + 1,
+                 bytes.end());
+  EXPECT_THROW(wire::decode_message(patched), DecodeError);
 }
 
 TEST(WireGolden, SimOnlyTreecastRejectedAtEncode) {

@@ -56,6 +56,8 @@ struct Options {
   SimTime horizon = sim_ms(3500);
   bool repro_check = false;
   bool wire_transcode = false;
+  bool adaptive = false;  ///< online ε/τ estimation (scenario/sharded)
+  double adaptive_alpha = 0.3;
 
   // Sharded mode.
   std::size_t shards = 0;  ///< 0 = off; K hosts K topic shards
@@ -112,6 +114,10 @@ void print_usage() {
       "  --fill X         initially populated fraction of a^d (default 0.75)\n"
       "  --horizon T      run length, e.g. 3500ms / 5s; bare = us\n"
       "  --wire           serialize every message through the wire codec\n"
+      "  --adaptive[=A]   online eps/tau estimation feeding the Eq. 11\n"
+      "                   round bound (EWMA weight A in (0,1], default "
+      "0.3);\n"
+      "                   needs --scenario or --shards\n"
       "  --repro-check    run twice, compare summaries byte-for-byte\n"
       "sharded mode (K topic shards on one runtime; see docs/SCENARIOS.md):\n"
       "  --shards K       host K independent groups; per-shard tree from\n"
@@ -125,8 +131,9 @@ void print_usage() {
       "  --cross-every T  spacing between a publisher's events (default "
       "100ms)\n"
       "\n"
-      "--fill/--horizon/--wire/--seed/--pd/--loss/--F apply to scenario and\n"
-      "sharded mode; the remaining experiment flags are rejected there.\n"
+      "--fill/--horizon/--wire/--adaptive/--seed/--pd/--loss/--F apply to\n"
+      "scenario and sharded mode; the remaining experiment flags are\n"
+      "rejected there.\n"
       "--help / -h prints this and exits 0, whatever else is given.\n";
 }
 
@@ -232,6 +239,20 @@ bool parse_args(int argc, char** argv, Options& out) {
       }
     }
     else if (flag == "--wire") out.wire_transcode = true;
+    else if (flag == "--adaptive" || flag.rfind("--adaptive=", 0) == 0) {
+      out.adaptive = true;
+      if (flag.size() > std::string("--adaptive").size()) {
+        const std::string value = flag.substr(std::string("--adaptive=").size());
+        char* end = nullptr;
+        out.adaptive_alpha = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size() ||
+            !(out.adaptive_alpha > 0.0 && out.adaptive_alpha <= 1.0)) {
+          std::cerr << "bad --adaptive: EWMA weight must be in (0, 1], got '"
+                    << value << "'\n";
+          return false;
+        }
+      }
+    }
     else if (flag == "--repro-check") out.repro_check = true;
     else if (flag == "--shards") {
       if (!parse_size(flag, next(), out.shards)) return false;
@@ -279,6 +300,10 @@ bool parse_args(int argc, char** argv, Options& out) {
   if (out.algorithm != "pmcast" && out.algorithm != "flooding" &&
       out.algorithm != "genuine") {
     std::cerr << "unknown algorithm: " << out.algorithm << "\n";
+    return false;
+  }
+  if (out.adaptive && out.scenario.empty() && out.shards == 0) {
+    std::cerr << "--adaptive requires --scenario or --shards\n";
     return false;
   }
   if (!out.scenario.empty() && out.shards > 0) {
@@ -346,6 +371,8 @@ int run_scenario(const Options& options) {
   config.initial_fill = options.fill;
   config.seed = options.experiment.seed;
   config.wire_transcode = options.wire_transcode;
+  config.adaptive = options.adaptive;
+  config.adaptive_alpha = options.adaptive_alpha;
 
   const auto run_once = [&] {
     ChurnSim sim(config);
@@ -358,8 +385,10 @@ int run_scenario(const Options& options) {
             << options.horizon / sim_ms(1) << " ms, capacity "
             << config.capacity() << " (fill " << config.initial_fill
             << "), eps=" << config.loss << ", seed="
-            << config.seed << (config.wire_transcode ? ", wire codec" : "")
-            << "\n" << script.to_string() << "\n";
+            << config.seed << (config.wire_transcode ? ", wire codec" : "");
+  if (config.adaptive)
+    std::cout << ", adaptive (alpha=" << config.adaptive_alpha << ")";
+  std::cout << "\n" << script.to_string() << "\n";
   try {
     const auto summary = run_once();
     std::cout << summary.to_string() << "\n";
@@ -430,6 +459,8 @@ int run_sharded(const Options& options) {
   config.shard.initial_fill = options.fill;
   config.shard.seed = options.experiment.seed;
   config.shard.wire_transcode = options.wire_transcode;
+  config.shard.adaptive = options.adaptive;
+  config.shard.adaptive_alpha = options.adaptive_alpha;
   config.cross.publishers = options.cross_publishers;
   config.cross.span = options.cross_span;
   config.cross.events = options.cross_events;
@@ -456,7 +487,10 @@ int run_sharded(const Options& options) {
             << ", horizon " << options.horizon / sim_ms(1)
             << " ms, eps=" << config.shard.loss << ", seed="
             << config.shard.seed
-            << (config.shard.wire_transcode ? ", wire codec" : "") << "\n";
+            << (config.shard.wire_transcode ? ", wire codec" : "");
+  if (config.shard.adaptive)
+    std::cout << ", adaptive (alpha=" << config.shard.adaptive_alpha << ")";
+  std::cout << "\n";
   try {
     const auto summary = run_once();
     std::cout << summary.to_string() << "\n";
