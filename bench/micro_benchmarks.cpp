@@ -10,14 +10,18 @@
 
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "analysis/markov.hpp"
 #include "analysis/tree_analysis.hpp"
+#include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "membership/election.hpp"
 #include "membership/tree.hpp"
 #include "pmcast/node.hpp"
+#include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -119,7 +123,7 @@ void BM_GroupTreeChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupTreeChurn);
 
-// --- Scheduler: indexed heap vs the seed's tombstone priority_queue --------
+// --- Scheduler: calendar queue vs indexed heap vs tombstone queue ----------
 
 /// Replica of the scheduler this repo shipped with before the indexed-heap
 /// rewrite: std::priority_queue + two side hash-sets, lazy tombstones for
@@ -215,17 +219,76 @@ void BM_SchedulerLegacyTombstones(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerLegacyTombstones)->Arg(1024)->Arg(16384)->Arg(131072);
 
-void BM_SchedulerIndexedHeap(benchmark::State& state) {
+void BM_SchedulerReferenceHeap(benchmark::State& state) {
+  // PR 1's indexed binary heap, now the behavioral oracle
+  // (sim/reference_scheduler.hpp).
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t sink = 0;
   for (auto _ : state) {
-    Scheduler sched;
+    ReferenceScheduler sched;
     scheduler_churn(sched, n, sink);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n + n / 2));
 }
-BENCHMARK(BM_SchedulerIndexedHeap)->Arg(1024)->Arg(16384)->Arg(131072);
+BENCHMARK(BM_SchedulerReferenceHeap)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_SchedulerCalendarQueue(benchmark::State& state) {
+  // The production scheduler: two-level calendar queue with same-time
+  // cohort batching (this is the figure the perf-smoke CI job gates on).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    CalendarScheduler sched;
+    scheduler_churn(sched, n, sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n + n / 2));
+}
+BENCHMARK(BM_SchedulerCalendarQueue)->Arg(1024)->Arg(16384)->Arg(131072);
+
+// --- Network send path: per-send cost, single vs shared fan-out ------------
+
+struct SendSink {
+  std::uint64_t count = 0;
+};
+
+void network_send_bench(benchmark::State& state, bool multi) {
+  constexpr std::size_t kTargets = 64;
+  Scheduler sched;
+  Network net(sched, NetworkConfig{}, Rng(11));
+  net.reserve(kTargets);
+  SendSink sink;
+  std::vector<ProcessId> targets;
+  for (ProcessId id = 0; id < kTargets; ++id) {
+    net.attach(id, &sink, [](void* s, ProcessId, const MessagePtr&) {
+      ++static_cast<SendSink*>(s)->count;
+    });
+    if (id != 0) targets.push_back(id);
+  }
+  const MessagePtr msg = std::make_shared<MessageBase>();
+  for (auto _ : state) {
+    if (multi) {
+      net.send_multi(0, targets, msg);
+    } else {
+      for (const auto to : targets) net.send(0, to, msg);
+    }
+    sched.run();  // drain the deliveries
+  }
+  benchmark::DoNotOptimize(sink.count);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(targets.size()));
+}
+
+void BM_NetworkSendSingle(benchmark::State& state) {
+  network_send_bench(state, /*multi=*/false);
+}
+BENCHMARK(BM_NetworkSendSingle);
+
+void BM_NetworkSendMulti(benchmark::State& state) {
+  network_send_bench(state, /*multi=*/true);
+}
+BENCHMARK(BM_NetworkSendMulti);
 
 // --- Message dispatch: dynamic_cast chain vs MsgKind switch ----------------
 
@@ -341,4 +404,71 @@ void BM_FullDisseminationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDisseminationRun)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
 
+/// Mirrors every finished run into the pmcast-bench-v1 JSON (one "micro"
+/// table: name, items_per_second, real ns/op) so the perf-smoke CI job and
+/// the committed BENCH_*.json snapshots share one schema with the table
+/// benches.
+class JsonCollector final : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      double items_per_second = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_second = it->second;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      rows_.push_back({run.benchmark_name(),
+                       pmc::Table::num(items_per_second, 1),
+                       pmc::Table::num(ns_per_op, 1)});
+    }
+  }
+
+  void flush_to(pmc::bench::JsonWriter& json) const {
+    json.add_table("micro", {"name", "items_per_second", "real_ns_per_op"},
+                   rows_);
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
+// it does not know, so `--json <file>` is peeled off the command line
+// before Initialize() sees it.
+int main(int argc, char** argv) {
+  pmc::bench::JsonWriter json(argc, argv, "micro_benchmarks");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the flag and its value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  // The library refuses a custom file reporter unless --benchmark_out is
+  // set; the collector never writes to that stream, so route it nowhere.
+  static std::string dev_null = "--benchmark_out=/dev/null";
+  if (json.enabled()) args.push_back(dev_null.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  if (json.enabled()) {
+    JsonCollector collector;
+    benchmark::RunSpecifiedBenchmarks(nullptr, &collector);
+    collector.flush_to(json);
+    json.write();
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

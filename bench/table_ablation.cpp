@@ -11,8 +11,9 @@
 
 #include "pmcast/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "table_ablation");
   const std::size_t runs = bench::runs_per_point(10);
   bench::print_header("TAB-ABLATION", "Design-choice ablations",
                       "base: a=10, d=3 (n=1000), R=3, F=3, eps=0.05, "
@@ -79,6 +80,7 @@ int main() {
                  Table::integer(messages)});
     }
     t.print(std::cout);
+    json.add_table("A. local-interest shortcut", t.headers(), t.rows());
   }
 
   {
@@ -94,6 +96,7 @@ int main() {
                  Table::num(r.messages_per_process.mean(), 2)});
     }
     t.print(std::cout);
+    json.add_table("B. pittel constant", t.headers(), t.rows());
   }
 
   {
@@ -108,6 +111,7 @@ int main() {
                  Table::integer(r_val * 10 * 2 + 10)});
     }
     t.print(std::cout);
+    json.add_table("C. redundancy under crashes", t.headers(), t.rows());
   }
 
   {
@@ -123,6 +127,7 @@ int main() {
                  Table::num(r.rounds.mean(), 1)});
     }
     t.print(std::cout);
+    json.add_table("D. leaf flooding", t.headers(), t.rows());
   }
 
   {
@@ -141,6 +146,7 @@ int main() {
                  bench::pm(r.false_reception, 3)});
     }
     t.print(std::cout);
+    json.add_table("E. root filter coarsening", t.headers(), t.rows());
   }
 
   {
@@ -156,6 +162,7 @@ int main() {
                  Table::num(r.messages_per_process.mean(), 2)});
     }
     t.print(std::cout);
+    json.add_table("F. digest recovery", t.headers(), t.rows());
   }
 
   std::cout << "\nShape check: [A] fewer messages with the shortcut;"
@@ -165,5 +172,6 @@ int main() {
                " [E] coarsening keeps delivery, may raise false"
                " reception; [F] digest recovery repairs loss-induced"
                " misses at extra message cost.\n";
+  json.write();
   return 0;
 }

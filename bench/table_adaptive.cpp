@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
@@ -78,7 +79,8 @@ double per_event(const ChurnSummary& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json(argc, argv, "table_adaptive");
   const auto scale = env_size_t("PMCAST_CHURN_SCALE", 1);
 
   ChurnConfig config;
@@ -148,6 +150,8 @@ int main() {
                    Table::integer(a.summary.bound_collapsed)});
   }
   t.print(std::cout);
+  json.add_table("adaptive", t.headers(), t.rows());
+  json.write();
 
   std::cout << "\nrepro-check: "
             << (all_reproducible ? "identical summaries on replay"

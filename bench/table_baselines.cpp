@@ -13,8 +13,9 @@
 // p_d ∈ {0.05, 0.2, 0.5} on a 1728-process group.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "table_baselines");
   const std::size_t runs = bench::runs_per_point(10);
   bench::print_header(
       "TAB-BASE", "pmcast vs flooding broadcast vs genuine multicast",
@@ -53,6 +54,8 @@ int main() {
                    Table::num(tr.messages_per_process.mean(), 2)});
   }
   table.print(std::cout);
+  json.add_table("baselines", table.headers(), table.rows());
+  json.write();
   std::cout << "\nShape check: flooding false-reception ≈ 1 at every p_d;"
                " genuine false-reception = 0 but delivery collapses at small"
                " p_d; pmcast keeps delivery high at a small false-reception"

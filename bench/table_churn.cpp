@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
@@ -35,7 +36,8 @@ ScenarioScript publishes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json(argc, argv, "table_churn");
   const auto scale = env_size_t("PMCAST_CHURN_SCALE", 1);
 
   ChurnConfig config;
@@ -100,5 +102,7 @@ int main() {
                Table::integer(s.membership_tombstones)});
   }
   t.print(std::cout);
+  json.add_table("churn", t.headers(), t.rows());
+  json.write();
   return 0;
 }

@@ -10,8 +10,9 @@
 
 #include "analysis/tree_analysis.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "table_rounds");
   const std::size_t runs = bench::runs_per_point(10);
   bench::print_header(
       "TAB-ROUNDS", "Rounds to disseminate: tree vs flat group",
@@ -58,6 +59,8 @@ int main() {
                    Table::num(flood_result.rounds.mean(), 1)});
   }
   table.print(std::cout);
+  json.add_table("rounds", table.headers(), table.rows());
+  json.write();
   std::cout << "\nShape check: measured pmcast rounds stay within a small"
                " constant of the flat bound Tf(n,F); T_tot (the naive sum)"
                " over-estimates, as the paper notes.\n";

@@ -1,0 +1,226 @@
+// TAB-SCALE — raw simulator scaling: how many processes one runtime hosts
+// and how fast the hot loop runs them.
+//
+// The paper's pitch is that pmcast's per-process cost stays flat as the
+// system grows; demonstrating that at fig4/fig6 scale needs a simulator
+// whose scheduler and send path keep up at 10^5 processes. This bench is
+// the yardstick for that engineering claim (the protocol-level shapes live
+// in table_shards/fig6): every row boots a full dynamic-group deployment —
+// SyncNode anti-entropy membership + PmcastNode dissemination per process —
+// runs a publish workload for a fixed sim horizon, and reports raw engine
+// throughput:
+//
+//   A. one group, growing capacity — stresses per-node view sizes and the
+//      scheduler's same-time period cohorts within a single group;
+//   B. topic shards of fixed size (a=4, d=2: 32 processes each), growing
+//      the shard count to 100,000 processes on ONE runtime — the
+//      deployment shape ShardedSim exists for.
+//
+// Columns: live processes, sim events executed, sched-ops/s, messages
+// sent, msgs/s, wall-clock, and peak RSS (getrusage ru_maxrss — a
+// process-wide high-water mark, which is why rows run smallest to
+// largest). sched-ops/s here is end-to-end (event execution including
+// protocol work), the deployment-shaped complement to the synthetic
+// micro_benchmarks scheduler figure.
+//
+// `--max-processes N` skips rows larger than N (the perf-smoke CI job runs
+// a small prefix); `--json <file>` writes the pmcast-bench-v1 schema —
+// BENCH_scale.json in the repo root is a committed snapshot.
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/shard.hpp"
+
+namespace {
+
+using namespace pmc;
+
+double peak_rss_mb() {
+#ifdef _WIN32
+  return 0.0;  // no getrusage; the throughput columns still stand
+#else
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is kilobytes on Linux, bytes on macOS; this bench targets
+  // the Linux CI/dev boxes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+ScenarioScript publish_script() {
+  ScenarioScript s;
+  s.add(sim_ms(300), PublishBurst{4, sim_ms(40)});
+  s.add(sim_ms(700), PublishBurst{4, sim_ms(40)});
+  return s;
+}
+
+struct RowResult {
+  std::size_t processes = 0;
+  std::uint64_t sched_executed = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t delivered = 0;
+  double boot_ms = 0.0;  ///< construction: trees, views, process spawn
+  double run_ms = 0.0;   ///< the event loop itself
+};
+
+void report(Table& t, const RowResult& r, const std::string& label) {
+  // Throughput is measured over the event loop alone; boot (tree and view
+  // construction, process spawn) is reported separately so the hot-path
+  // figure is not diluted by one-time setup.
+  const double run_s = r.run_ms / 1000.0;
+  const double procs = static_cast<double>(r.processes);
+  t.add_row({label, Table::integer(r.processes),
+             Table::integer(r.sched_executed),
+             Table::num(static_cast<double>(r.sched_executed) / procs, 1),
+             Table::num(run_s > 0 ? static_cast<double>(r.sched_executed) /
+                                        run_s / 1e6
+                                  : 0.0,
+                        2),
+             Table::integer(r.msgs_sent),
+             Table::num(static_cast<double>(r.msgs_sent) / procs, 1),
+             Table::num(run_s > 0 ? static_cast<double>(r.msgs_sent) /
+                                        run_s / 1e6
+                                  : 0.0,
+                        2),
+             Table::integer(r.delivered), Table::num(r.boot_ms, 1),
+             Table::num(r.run_ms, 1), Table::num(peak_rss_mb(), 1)});
+}
+
+const std::vector<std::string> kHeaders = {
+    "row",       "processes", "sched ops", "ops/proc", "Mops/s",
+    "msgs sent", "msgs/proc", "Mmsg/s",    "delivered", "boot ms",
+    "run ms",    "rss MB"};
+
+// One dynamic group of capacity a^d (2 protocol nodes per address).
+RowResult run_single_group(std::size_t a, std::size_t d, SimTime horizon) {
+  ChurnConfig cfg;
+  cfg.a = a;
+  cfg.d = d;
+  cfg.r = 2;
+  cfg.pd = 0.5;
+  cfg.initial_fill = 0.8;
+  cfg.loss = 0.02;
+  cfg.seed = 2027;
+
+  const auto boot_start = std::chrono::steady_clock::now();
+  ChurnSim sim(cfg);
+  sim.play(publish_script());
+  const auto run_start = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto run_end = std::chrono::steady_clock::now();
+  const auto summary = sim.summary();
+  RowResult r;
+  r.processes = 2 * cfg.capacity();
+  r.sched_executed = summary.scheduler_executed;
+  r.msgs_sent = summary.network.sent;
+  r.delivered = summary.counters.delivered;
+  r.boot_ms = std::chrono::duration<double, std::milli>(run_start -
+                                                        boot_start)
+                  .count();
+  r.run_ms =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  return r;
+}
+
+// K topic shards of 16 addresses each (a=4, d=2) on one runtime.
+RowResult run_sharded(std::size_t shards, SimTime horizon) {
+  ShardedConfig cfg;
+  cfg.shards = shards;
+  cfg.shard.a = 4;
+  cfg.shard.d = 2;
+  cfg.shard.r = 2;
+  cfg.shard.pd = 0.5;
+  cfg.shard.initial_fill = 0.8;
+  cfg.shard.loss = 0.02;
+  cfg.shard.seed = 2027;
+
+  const auto boot_start = std::chrono::steady_clock::now();
+  ShardedSim sim(cfg);
+  sim.play_all(publish_script());
+  const auto run_start = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto run_end = std::chrono::steady_clock::now();
+  const auto summary = sim.summary();
+  RowResult r;
+  r.processes = 2 * cfg.total_capacity();
+  r.sched_executed = summary.scheduler_executed;
+  r.msgs_sent = summary.network.sent;
+  r.delivered = summary.aggregate.counters.delivered;
+  r.boot_ms = std::chrono::duration<double, std::milli>(run_start -
+                                                        boot_start)
+                  .count();
+  r.run_ms =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_processes = env_size_t("PMCAST_SCALE_MAX", 200'000);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-processes") == 0 && i + 1 < argc) {
+      max_processes = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+      ++i;
+    }
+  }
+  bench::JsonWriter json(argc, argv, "table_scale");
+
+  bench::print_header(
+      "TAB-SCALE", "simulator scaling to 10^5 processes",
+      "full SyncNode+PmcastNode stack per process; publish 4+4 per group; "
+      "eps=0.02, R=2, pd=0.5, horizon 1.2s; rows capped at --max-processes " +
+          std::to_string(max_processes));
+
+  const SimTime horizon = sim_ms(1200);
+
+  {
+    std::cout << "\nA. one group, growing capacity\n";
+    Table t(kHeaders);
+    const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+        {8, 2}, {8, 3}, {22, 3}};  // 128, 1024, 21296 processes
+    for (const auto& [a, d] : shapes) {
+      std::size_t n = 2;
+      for (std::size_t i = 0; i < d; ++i) n *= a;
+      if (n > max_processes) continue;
+      report(t, run_single_group(a, d, horizon),
+             "a=" + std::to_string(a) + ",d=" + std::to_string(d));
+    }
+    t.print(std::cout);
+    json.add_table("A. one group, growing capacity", t.headers(), t.rows());
+  }
+
+  {
+    std::cout << "\nB. topic shards (32 processes each) on one runtime\n";
+    Table t(kHeaders);
+    for (const std::size_t shards : {32, 312, 3125}) {
+      const std::size_t n = shards * 32;  // 1024, 9984, 100000
+      if (n > max_processes) continue;
+      report(t, run_sharded(shards, horizon),
+             "shards=" + std::to_string(shards));
+    }
+    t.print(std::cout);
+    json.add_table("B. topic shards on one runtime", t.headers(), t.rows());
+  }
+
+  json.write();
+
+  std::cout << "\nExpected shape: ops/proc and msgs/proc stay flat as the\n"
+               "population grows 100x — per-process cost is constant, the\n"
+               "paper's scalability claim — so total events scale linearly\n"
+               "and wall-clock with them, never with queue depth (the\n"
+               "calendar queue batches the period-aligned timer cohorts).\n"
+               "End-to-end Mops/s dips at 10^5 processes as ~1.4 GB of\n"
+               "node state leaves cache — events get costlier, the\n"
+               "scheduling itself does not (see micro_benchmarks'\n"
+               "pure-scheduler figure).\n";
+  return 0;
+}

@@ -43,7 +43,7 @@ struct Shape {
 };
 
 void run_section(const char* title, const std::vector<Shape>& shapes,
-                 SimTime horizon) {
+                 SimTime horizon, bench::JsonWriter& json) {
   std::cout << "\n" << title << "\n";
   Table t({"shards", "n/shard", "n total", "published", "delivered",
            "deliv/pub", "lat ms", "msgs", "msgs/proc", "sched ops",
@@ -101,22 +101,28 @@ void run_section(const char* title, const std::vector<Shape>& shapes,
                Table::num(wall_ms, 1)});
   }
   t.print(std::cout);
+  json.add_table(title, t.headers(), t.rows());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json(argc, argv, "table_shards");
   bench::print_header(
       "TAB-SHARDS", "multi-group scaling (topic shards on one runtime)",
       "per-shard script: publish 4, crash 1, publish 4; cross publishers "
       "span 2 shards; eps=0.02, R=2, pd=0.5, horizon 1.8s");
 
   const SimTime horizon = sim_ms(1800);
+  // Section A now reaches 256 shards (16k processes) by default — the
+  // ladder toward the 10^5-process rows bench/table_scale climbs to.
   run_section("A. fixed per-shard size (a=4, d=2 -> 16 slots per shard)",
-              {{1, 4, 2}, {4, 4, 2}, {16, 4, 2}, {64, 4, 2}}, horizon);
+              {{1, 4, 2}, {4, 4, 2}, {16, 4, 2}, {64, 4, 2}, {256, 4, 2}},
+              horizon, json);
   run_section(
       "B. fixed total population (256 slots split across the shards)",
-      {{1, 16, 2}, {4, 8, 2}, {16, 4, 2}, {64, 2, 2}}, horizon);
+      {{1, 16, 2}, {4, 8, 2}, {16, 4, 2}, {64, 2, 2}}, horizon, json);
+  json.write();
 
   std::cout << "\nExpected shape: in A, msgs/proc stays roughly flat as the\n"
                "population grows 16x (shards are independent); in B, total\n"

@@ -8,8 +8,9 @@
 #include "analysis/tree_analysis.hpp"
 #include "membership/tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "table_view_sizes");
   bench::print_header(
       "TAB-VIEWS", "Per-process membership knowledge m vs group size",
       "m = R*a*(d-1) + a (Eq. 2/12); measured = rows of a materialized view");
@@ -53,6 +54,8 @@ int main() {
                    Table::integer(n - 1)});
   }
   table.print(std::cout);
+  json.add_table("view sizes", table.headers(), table.rows());
+  json.write();
   std::cout << "\nShape check: m grows like n^(1/d), a vanishing fraction of"
                " the flat-membership cost n-1.\n";
   return 0;

@@ -49,14 +49,19 @@ void FloodingNode::on_period() {
         std::min<std::size_t>(config_.fanout, peers_->size());
     const auto chosen =
         rng().sample_without_replacement(peers_->size(), picks);
+    targets_.clear();
     for (const auto ci : chosen) {
       const ProcessId target = (*peers_)[ci];
       if (target == id()) continue;
+      targets_.push_back(target);
+    }
+    if (!targets_.empty()) {
+      // The F copies are identical: one shared payload, one fan-out.
       auto m = std::make_shared<FloodGossipMsg>();
       m->event = it->event;
       m->round = it->round;
-      send(target, std::move(m));
-      ++stats_.gossips_sent;
+      send_multi(targets_, m);
+      stats_.gossips_sent += targets_.size();
     }
     ++it;
   }

@@ -79,6 +79,7 @@ class FloodingNode final : public Process {
   RoundEstimator estimator_;
   DeliverHandler deliver_;
   std::vector<Entry> buffer_;
+  std::vector<ProcessId> targets_;  ///< fan-out scratch for send_multi
   std::unordered_set<EventId, EventIdHash> seen_;
   std::unordered_set<EventId, EventIdHash> delivered_;
   Stats stats_;

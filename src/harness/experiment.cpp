@@ -169,6 +169,7 @@ ExperimentResult run_experiment_loop(const ExperimentConfig& config,
     NetworkConfig net;
     net.loss_probability = config.loss;
     Runtime rt(net, run_rng.next_u64());
+    rt.network().reserve(config.group_size());
 
     auto nodes = make_nodes(rt);
 
@@ -321,6 +322,7 @@ StreamResult run_stream_experiment(const StreamConfig& stream) {
   NetworkConfig net;
   net.loss_probability = config.loss;
   Runtime rt(net, config.seed ^ 0x5712ea30ULL);
+  rt.network().reserve(pop.members.size());
 
   std::vector<std::unique_ptr<PmcastNode>> nodes;
   nodes.reserve(pop.members.size());

@@ -405,6 +405,9 @@ ChurnSim::ChurnSim(ChurnConfig config)
   net.latency_max = config_.latency_max;
   owned_rt_ = std::make_unique<Runtime>(net, config_.seed);
   rt_ = owned_rt_.get();
+  // Two protocol nodes per address: pre-size the handler and sender tables
+  // so a full group never resizes them mid-run.
+  rt_->network().reserve(2 * config_.capacity());
   if (config_.wire_transcode) {
     rt_->network().set_transcoder([](const MessagePtr& msg) {
       return wire::decode_message(wire::encode_message(*msg));

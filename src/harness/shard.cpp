@@ -117,6 +117,11 @@ ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
   net.latency_min = config_.shard.latency_min;
   net.latency_max = config_.shard.latency_max;
   runtime_ = std::make_unique<Runtime>(net, config_.shard.seed);
+  // The population is known up front: K shards, 2 protocol nodes per
+  // address. One reservation here means the shared network's handler and
+  // per-sender tables never resize (and the sparse map never rehashes)
+  // however many shards spawn processes mid-run.
+  runtime_->network().reserve(config_.shards * 2 * config_.shard.capacity());
   if (config_.shard.wire_transcode) {
     runtime_->network().set_transcoder([](const MessagePtr& msg) {
       return wire::decode_message(wire::encode_message(*msg));

@@ -21,6 +21,15 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  /// Raw cells, so bench binaries can mirror the printed table into the
+  /// machine-readable --json output without rebuilding the rows.
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

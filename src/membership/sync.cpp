@@ -113,10 +113,18 @@ void SyncNode::on_period() {
   digest->sender = view_.self();
   digest->sender_pid = id();
   digest->digests = make_digest();
+  // The same digest goes to every target: resolve the whole fan-out first
+  // and put it on the wire as one send_multi (shared payload, one
+  // transcode, per-destination draws), instead of per-target sends.
+  // digests_sent still counts *attempts*, like the per-target path did.
+  digest_targets_.clear();
   const std::size_t fanout = std::min(config_.gossip_fanout, peers.size());
   const auto picks = rng().sample_without_replacement(peers.size(), fanout);
   for (const auto i : picks) {
-    send_to(peers[i], digest);
+    if (directory_) {
+      const ProcessId pid = directory_(peers[i]);
+      if (pid != kNoProcess) digest_targets_.push_back(pid);
+    }
     ++stats_.digests_sent;
   }
 
@@ -130,9 +138,14 @@ void SyncNode::on_period() {
     neighbors.push_back(&row.delegates.front());
   }
   if (!neighbors.empty()) {
-    send_to(*neighbors[ping_cursor_++ % neighbors.size()], digest);
+    const Address& ping = *neighbors[ping_cursor_++ % neighbors.size()];
+    if (directory_) {
+      const ProcessId pid = directory_(ping);
+      if (pid != kNoProcess) digest_targets_.push_back(pid);
+    }
     ++stats_.digests_sent;
   }
+  if (!digest_targets_.empty()) send_multi(digest_targets_, digest);
 }
 
 void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {

@@ -240,6 +240,9 @@ class SyncNode final : public Process {
   /// Deadline extensions granted by positive confirmations.
   std::unordered_map<Address, SimTime, AddressHash> grace_until_;
   std::unordered_map<Address, SimTime, AddressHash> pending_suspicions_;
+  /// Resolved pids for the periodic digest fan-out, so one shared digest
+  /// goes out through Network::send_multi instead of per-target copies.
+  std::vector<ProcessId> digest_targets_;
   Stats stats_;
 };
 

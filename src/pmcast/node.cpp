@@ -118,10 +118,14 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
     // subgroup once instead of running probabilistic rounds.
     if (depth == config_.tree.depth && entry.round == 0 &&
         entry.rate >= config_.leaf_flood_density) {
+      target_scratch_.clear();
       for (const Candidate& cand : candidates) {
         if (!cand.interested) continue;
         const ProcessId target = directory_(*cand.address);
         if (target == kNoProcess) continue;
+        target_scratch_.push_back(target);
+      }
+      if (!target_scratch_.empty()) {
         auto msg = std::make_shared<GossipMsg>();
         msg->event = entry.event;
         msg->rate = entry.rate;
@@ -131,8 +135,10 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
         // round arithmetic never meets an out-of-band value).
         msg->no_regossip = true;
         msg->depth = static_cast<std::uint32_t>(depth);
-        send(target, std::move(msg));
-        ++stats_.gossips_sent;
+        // One payload, one transcode, per-destination draws — the whole
+        // flood goes out as a single fan-out.
+        send_multi(target_scratch_, msg);
+        stats_.gossips_sent += target_scratch_.size();
       }
       ++stats_.leaf_floods;
       retain_for_recovery(std::move(entry.event));
@@ -166,22 +172,44 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
           std::min<std::size_t>(config_.fanout, candidates.size());
       const auto chosen =
           rng().sample_without_replacement(candidates.size(), picks);
-      for (const auto ci : chosen) {
-        const Candidate& cand = candidates[ci];
-        if (!cand.interested) continue;  // line 13: filter before sending
-        const ProcessId target = directory_(*cand.address);
-        if (target == kNoProcess) continue;
-        auto msg = std::make_shared<GossipMsg>();
-        msg->event = entry.event;
-        msg->rate = entry.rate;
-        msg->round = entry.round;
-        msg->depth = static_cast<std::uint32_t>(depth);
-        if (piggyback_source_) {
+      if (piggyback_source_) {
+        // Piggybacked rows are scoped per target, so every message is
+        // distinct and goes out individually.
+        for (const auto ci : chosen) {
+          const Candidate& cand = candidates[ci];
+          if (!cand.interested) continue;  // line 13: filter before sending
+          const ProcessId target = directory_(*cand.address);
+          if (target == kNoProcess) continue;
+          auto msg = std::make_shared<GossipMsg>();
+          msg->event = entry.event;
+          msg->rate = entry.rate;
+          msg->round = entry.round;
+          msg->depth = static_cast<std::uint32_t>(depth);
           msg->piggyback = piggyback_source_(*cand.address);
           if (!msg->piggyback.empty()) msg->sender = self_;
+          send(target, std::move(msg));
+          ++stats_.gossips_sent;
         }
-        send(target, std::move(msg));
-        ++stats_.gossips_sent;
+      } else {
+        // Without piggybacking the F copies are identical: share one
+        // payload through send_multi (per-destination draws unchanged).
+        target_scratch_.clear();
+        for (const auto ci : chosen) {
+          const Candidate& cand = candidates[ci];
+          if (!cand.interested) continue;  // line 13: filter before sending
+          const ProcessId target = directory_(*cand.address);
+          if (target == kNoProcess) continue;
+          target_scratch_.push_back(target);
+        }
+        if (!target_scratch_.empty()) {
+          auto msg = std::make_shared<GossipMsg>();
+          msg->event = entry.event;
+          msg->rate = entry.rate;
+          msg->round = entry.round;
+          msg->depth = static_cast<std::uint32_t>(depth);
+          send_multi(target_scratch_, msg);
+          stats_.gossips_sent += target_scratch_.size();
+        }
       }
       ++it;
     } else {

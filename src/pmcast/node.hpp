@@ -215,6 +215,9 @@ class PmcastNode final : public Process {
   /// alias). mutable because rate_at() is logically const.
   mutable std::vector<Candidate> gossip_scratch_;
   mutable std::vector<Candidate> rate_scratch_;
+  /// Resolved fan-out pids for the current round/flood, so one shared
+  /// message goes out through Network::send_multi instead of F copies.
+  std::vector<ProcessId> target_scratch_;
 
   std::unordered_set<EventId, EventIdHash> seen_;
   std::unordered_set<EventId, EventIdHash> delivered_ids_;

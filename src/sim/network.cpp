@@ -5,6 +5,12 @@
 
 namespace pmc {
 
+namespace {
+/// Pids below this use the dense per-sender table; a sentinel-like sender
+/// falls back to the sparse map instead of forcing a huge resize.
+constexpr ProcessId kDenseSenderLimit = ProcessId{1} << 26;
+}  // namespace
+
 Network::Network(Scheduler& sched, NetworkConfig config, Rng rng)
     : sched_(sched), config_(config), draw_seed_(rng.next_u64()) {
   PMC_EXPECTS(config_.loss_probability >= 0.0 &&
@@ -13,18 +19,47 @@ Network::Network(Scheduler& sched, NetworkConfig config, Rng rng)
               config_.latency_min <= config_.latency_max);
 }
 
+void Network::ensure_sender_states(std::size_t count) {
+  const std::size_t old = senders_.size();
+  if (count <= old) return;
+  senders_.resize(count);
+  for (std::size_t pid = old; pid < count; ++pid)
+    senders_[pid].prefix = fnv1a_u64(kFnv1aBasis ^ draw_seed_, pid);
+}
+
+void Network::reserve(std::size_t max_processes) {
+  PMC_EXPECTS(max_processes <= kDenseSenderLimit);
+  if (max_processes > handlers_.size()) handlers_.resize(max_processes);
+  ensure_sender_states(max_processes);
+}
+
+void Network::attach(ProcessId id, void* ctx, DispatchFn fn) {
+  PMC_EXPECTS(fn != nullptr);
+  if (id >= handlers_.size()) handlers_.resize(id + 1);
+  handlers_[id] = HandlerSlot{fn, ctx};
+  boxed_handlers_.erase(id);
+}
+
 void Network::attach(ProcessId id, Handler handler) {
   PMC_EXPECTS(handler != nullptr);
+  auto box = std::make_unique<Handler>(std::move(handler));
+  Handler* raw = box.get();
   if (id >= handlers_.size()) handlers_.resize(id + 1);
-  handlers_[id] = std::move(handler);
+  handlers_[id] = HandlerSlot{
+      [](void* ctx, ProcessId from, const MessagePtr& msg) {
+        (*static_cast<Handler*>(ctx))(from, msg);
+      },
+      raw};
+  boxed_handlers_[id] = std::move(box);
 }
 
 void Network::detach(ProcessId id) {
-  if (id < handlers_.size()) handlers_[id] = nullptr;
+  if (id < handlers_.size()) handlers_[id] = HandlerSlot{};
+  boxed_handlers_.erase(id);
 }
 
 bool Network::attached(ProcessId id) const noexcept {
-  return id < handlers_.size() && handlers_[id] != nullptr;
+  return id < handlers_.size() && handlers_[id].fn != nullptr;
 }
 
 void Network::set_loss(double eps) {
@@ -44,41 +79,33 @@ void Network::remove_link_filter(FilterToken token) {
                 [token](const auto& entry) { return entry.first == token; });
 }
 
-void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
-  PMC_EXPECTS(msg != nullptr);
-  ++counters_.sent;
-  if (filter_ && !filter_(from, to)) {
-    ++counters_.filtered;
-    return;
-  }
+bool Network::passes_filters(ProcessId from, ProcessId to) const {
+  if (filter_ && !filter_(from, to)) return false;
   for (const auto& [token, filter] : filters_) {
-    if (!filter(from, to)) {
-      ++counters_.filtered;
-      return;
-    }
+    if (!filter(from, to)) return false;
   }
-  if (transcoder_) {
-    msg = transcoder_(msg);
-    if (msg == nullptr) {
-      ++counters_.filtered;
-      return;
-    }
+  return true;
+}
+
+std::uint64_t Network::next_draw_seed(ProcessId from) {
+  // Labeled per-message draw: (seed, sender, sender-sequence) alone decide
+  // loss and latency (see draw_seed_'s comment). The sender half of the
+  // hash is memoized per pid; only the sequence byte-mix runs per message.
+  if (from < kDenseSenderLimit) {
+    if (from >= senders_.size()) ensure_sender_states(from + 1);
+    SenderState& s = senders_[from];
+    return fnv1a_u64(s.prefix, s.seq++);
   }
+  return fnv1a_u64(fnv1a_u64(kFnv1aBasis ^ draw_seed_, from),
+                   sparse_send_seq_[from]++);
+}
+
+void Network::deliver_after_draw(ProcessId from, ProcessId to,
+                                 MessagePtr msg) {
   const double eps =
       loss_model_ ? loss_model_(from, to) : config_.loss_probability;
   PMC_EXPECTS(eps >= 0.0 && eps <= 1.0);
-  // Labeled per-message draw: (seed, sender, sender-sequence) alone decide
-  // loss and latency (see draw_seed_'s comment). The dense counter array
-  // covers every realistic pid; a sentinel-like sender falls back to the
-  // sparse map instead of forcing a huge resize.
-  std::uint64_t seq = 0;
-  if (from < (ProcessId{1} << 26)) {
-    if (from >= send_seq_.size()) send_seq_.resize(from + 1, 0);
-    seq = send_seq_[from]++;
-  } else {
-    seq = sparse_send_seq_[from]++;
-  }
-  Rng draw(fnv1a_u64(fnv1a_u64(kFnv1aBasis ^ draw_seed_, from), seq));
+  Rng draw(next_draw_seed(from));
   if (eps > 0.0 && draw.bernoulli(eps)) {
     ++counters_.lost;
     return;
@@ -89,14 +116,60 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
       (span > 0 ? static_cast<SimTime>(
                       draw.next_below(static_cast<std::uint64_t>(span) + 1))
                 : 0);
+  // The capture list fits UniqueFunction's inline storage: delivery costs
+  // no allocation beyond the shared payload's refcount bump.
   sched_.schedule_after(latency, [this, from, to, msg = std::move(msg)] {
-    if (to < handlers_.size() && handlers_[to]) {
+    if (to < handlers_.size() && handlers_[to].fn != nullptr) {
       ++counters_.delivered;
-      handlers_[to](from, msg);
+      handlers_[to].fn(handlers_[to].ctx, from, msg);
     } else {
       ++counters_.dead_target;
     }
   });
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  PMC_EXPECTS(msg != nullptr);
+  ++counters_.sent;
+  if (!passes_filters(from, to)) {
+    ++counters_.filtered;
+    return;
+  }
+  if (transcoder_) {
+    msg = transcoder_(msg);
+    if (msg == nullptr) {
+      ++counters_.filtered;
+      return;
+    }
+  }
+  deliver_after_draw(from, to, std::move(msg));
+}
+
+void Network::send_multi(ProcessId from, std::span<const ProcessId> to,
+                         const MessagePtr& msg) {
+  PMC_EXPECTS(msg != nullptr);
+  // The transcoder runs at most once for the whole fan-out — but only
+  // when some destination actually passes the filters, so a fully
+  // partitioned fan-out costs (and counts) exactly what N send() calls
+  // would.
+  MessagePtr shared = msg;
+  bool transcoded = transcoder_ == nullptr;
+  for (const ProcessId dest : to) {
+    ++counters_.sent;
+    if (!passes_filters(from, dest)) {
+      ++counters_.filtered;
+      continue;
+    }
+    if (!transcoded) {
+      shared = transcoder_(shared);
+      transcoded = true;
+    }
+    if (shared == nullptr) {
+      ++counters_.filtered;
+      continue;
+    }
+    deliver_after_draw(from, dest, shared);
+  }
 }
 
 }  // namespace pmc

@@ -3,11 +3,19 @@
 // [latency_min, latency_max], which the analysis requires to stay below the
 // gossip period P. Loss can change mid-run (scenario loss bursts) and any
 // number of link filters can be layered to model concurrent partitions.
+//
+// The send path is built to stay allocation-free per message: receive
+// handlers are a fixed (context, function-pointer) dispatch table instead
+// of std::functions, the per-sender half of the labeled draw hash is
+// memoized, the delivery callback fits the scheduler's inline callback
+// storage, and send_multi() fans one shared payload out to many
+// destinations without re-running per-message setup.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -74,12 +82,29 @@ struct NetworkCounters {
 
 class Network {
  public:
+  /// Devirtualized receive dispatch: one raw function pointer plus an
+  /// opaque context, so delivering a message is a single indirect call
+  /// with no std::function indirection or allocation. Process attaches a
+  /// captureless-lambda thunk over `this`.
+  using DispatchFn = void (*)(void* ctx, ProcessId from, const MessagePtr&);
+  /// Boxed std::function handlers remain available for tests and ad-hoc
+  /// wiring (the capturing lambda is heap-boxed once at attach time, not
+  /// per message).
   using Handler = std::function<void(ProcessId from, const MessagePtr&)>;
   using LinkFilter = std::function<bool(ProcessId from, ProcessId to)>;
 
   Network(Scheduler& sched, NetworkConfig config, Rng rng);
 
-  /// Registers the receive handler for `id`; overrides any previous one.
+  /// Pre-sizes the handler table and the per-sender draw-state table for
+  /// `max_processes` pids. Purely an optimization — the tables still grow
+  /// on demand — but a harness that knows its population up front (e.g. a
+  /// sharded runtime's K * 2 * capacity) avoids every mid-run resize and
+  /// rehash this way.
+  void reserve(std::size_t max_processes);
+
+  /// Registers the receive dispatch for `id`; overrides any previous one.
+  void attach(ProcessId id, void* ctx, DispatchFn fn);
+  /// As above, for a capturing std::function (boxed once; tests use this).
   void attach(ProcessId id, Handler handler);
   /// Removes the handler (in-flight messages to `id` are counted dead).
   void detach(ProcessId id);
@@ -87,6 +112,16 @@ class Network {
 
   /// Sends `msg` from `from` to `to`; loss and latency are applied here.
   void send(ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// Fans `msg` out to every pid in `to`, drawing loss and latency per
+  /// destination from exactly the same labeled streams N individual send()
+  /// calls would use (tests/network_test.cpp asserts the equivalence), but
+  /// sharing the payload and the per-sender setup, and running the
+  /// transcoder at most once for the whole fan-out. Requires the installed
+  /// transcoder (if any) to be pure — true for the wire codec round trip,
+  /// which depends only on the message bytes.
+  void send_multi(ProcessId from, std::span<const ProcessId> to,
+                  const MessagePtr& msg);
 
   /// Changes ε mid-run (scenario loss bursts). Messages already in flight
   /// are unaffected; only subsequent send() calls draw against the new ε.
@@ -116,7 +151,8 @@ class Network {
   /// When set, every message passes through this hook before delivery —
   /// e.g. a serialize-then-parse round trip through the wire codec, so
   /// tests exercise the exact bytes a deployment would put on a socket.
-  /// Returning nullptr drops the message (counted as filtered).
+  /// Returning nullptr drops the message (counted as filtered). Must be a
+  /// pure function of the message (send_multi runs it once per fan-out).
   using Transcoder = std::function<MessagePtr(const MessagePtr&)>;
   void set_transcoder(Transcoder transcoder) {
     transcoder_ = std::move(transcoder);
@@ -129,6 +165,27 @@ class Network {
   const NetworkConfig& config() const noexcept { return config_; }
 
  private:
+  struct HandlerSlot {
+    DispatchFn fn = nullptr;
+    void* ctx = nullptr;
+  };
+  /// Per-sender draw state: the send count, and the memoized sender half
+  /// of the labeled draw hash (it depends only on (draw_seed_, sender), so
+  /// hashing it again for every message would be pure waste).
+  struct SenderState {
+    std::uint64_t prefix = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// True when (from, to) passes the legacy filter and every layered one.
+  bool passes_filters(ProcessId from, ProcessId to) const;
+  /// The labeled per-message draw seed for `from`'s next send (advances
+  /// the sender's sequence).
+  std::uint64_t next_draw_seed(ProcessId from);
+  /// Applies the loss/latency draw and schedules delivery.
+  void deliver_after_draw(ProcessId from, ProcessId to, MessagePtr msg);
+  void ensure_sender_states(std::size_t count);
+
   Scheduler& sched_;
   NetworkConfig config_;
   /// Loss/latency draws are not pulled from one shared stream: the draw for
@@ -138,9 +195,12 @@ class Network {
   /// this for isolation; within one group it also makes per-link behavior
   /// independent of global send interleaving.
   std::uint64_t draw_seed_;
-  std::vector<std::uint64_t> send_seq_;  // per-sender send counts
+  std::vector<SenderState> senders_;  // indexed by ProcessId (dense pids)
   std::unordered_map<ProcessId, std::uint64_t> sparse_send_seq_;
-  std::vector<Handler> handlers_;        // indexed by ProcessId
+  std::vector<HandlerSlot> handlers_;  // indexed by ProcessId
+  /// Backing storage for std::function handlers attached through the
+  /// compat overload (keyed by pid; freed on detach/re-attach).
+  std::unordered_map<ProcessId, std::unique_ptr<Handler>> boxed_handlers_;
   LinkFilter filter_;
   std::vector<std::pair<FilterToken, LinkFilter>> filters_;
   FilterToken next_filter_token_ = 1;

@@ -1,0 +1,130 @@
+#include "sim/reference_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+std::uint32_t ReferenceScheduler::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].pos;
+    slots_[slot].busy = true;
+    return slot;
+  }
+  PMC_EXPECTS(slots_.size() < kNoSlot);
+  slots_.push_back(Slot{0, 1, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ReferenceScheduler::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.busy = false;
+  ++s.generation;
+  s.pos = free_head_;
+  free_head_ = slot;
+}
+
+void ReferenceScheduler::place(std::size_t i, Entry entry) noexcept {
+  heap_[i] = std::move(entry);
+  slots_[heap_[i].slot].pos = static_cast<std::uint32_t>(i);
+}
+
+void ReferenceScheduler::sift_up(std::size_t i) noexcept {
+  Entry entry = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(entry, heap_[parent])) break;
+    place(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  place(i, std::move(entry));
+}
+
+void ReferenceScheduler::sift_down(std::size_t i) noexcept {
+  Entry entry = std::move(heap_[i]);
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], entry)) break;
+    place(i, std::move(heap_[child]));
+    i = child;
+  }
+  place(i, std::move(entry));
+}
+
+void ReferenceScheduler::erase_at(std::size_t i) noexcept {
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    place(i, std::move(heap_[last]));
+    heap_.pop_back();
+    // The displaced entry may belong above or below its new position; only
+    // one of the two sifts will actually move it.
+    sift_down(i);
+    sift_up(i);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+ReferenceScheduler::Entry ReferenceScheduler::extract_top() noexcept {
+  Entry top = std::move(heap_[0]);
+  release_slot(top.slot);
+  erase_at(0);
+  return top;
+}
+
+EventToken ReferenceScheduler::schedule_at(SimTime at, Callback fn) {
+  PMC_EXPECTS(at >= now_);
+  PMC_EXPECTS(fn != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  const EventToken token = token_for(slot);
+  heap_.push_back(Entry{at, next_seq_++, slot, std::move(fn)});
+  slots_[slot].pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return token;
+}
+
+void ReferenceScheduler::cancel(EventToken token) {
+  const auto slot = static_cast<std::uint32_t>(token & 0xffffffffULL);
+  const auto generation = static_cast<std::uint32_t>(token >> 32);
+  if (slot >= slots_.size()) return;
+  const Slot& s = slots_[slot];
+  if (!s.busy || s.generation != generation) return;
+  const std::size_t pos = s.pos;
+  release_slot(slot);
+  erase_at(pos);
+}
+
+bool ReferenceScheduler::step() {
+  if (heap_.empty()) return false;
+  // Extracting (and releasing the slot) before invoking makes cancelling
+  // the running event's own token a no-op, and lets the callback schedule
+  // further events freely.
+  Entry top = extract_top();
+  now_ = top.at;
+  ++executed_;
+  top.fn();
+  return true;
+}
+
+void ReferenceScheduler::run_until(SimTime deadline) {
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void ReferenceScheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n >= max_events)
+      throw std::runtime_error("ReferenceScheduler::run exceeded max_events");
+  }
+}
+
+}  // namespace pmc

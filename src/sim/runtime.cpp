@@ -39,9 +39,13 @@ void Runtime::schedule_crashes(std::span<Process* const> victims,
 
 Process::Process(Runtime& rt, ProcessId id)
     : rt_(rt), id_(id), rng_(rt.make_process_stream(id)) {
-  rt_.network().attach(id_, [this](ProcessId from, const MessagePtr& msg) {
-    if (alive_) on_message(from, msg);
-  });
+  // Captureless thunk over `this`: receive dispatch is one indirect call,
+  // no std::function boxing per process.
+  rt_.network().attach(
+      id_, this, [](void* ctx, ProcessId from, const MessagePtr& msg) {
+        auto* self = static_cast<Process*>(ctx);
+        if (self->alive_) self->on_message(from, msg);
+      });
 }
 
 Process::~Process() {

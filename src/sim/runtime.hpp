@@ -96,6 +96,11 @@ class Process {
   void send(ProcessId to, MessagePtr msg) {
     rt_.network().send(id_, to, std::move(msg));
   }
+  /// Fans one shared payload out to several destinations; draw-for-draw
+  /// equivalent to send() per destination (see Network::send_multi).
+  void send_multi(std::span<const ProcessId> to, const MessagePtr& msg) {
+    rt_.network().send_multi(id_, to, msg);
+  }
 
   Runtime& runtime() noexcept { return rt_; }
   Rng& rng() noexcept { return rng_; }

@@ -1,13 +1,27 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "common/contract.hpp"
 
 namespace pmc {
 
-std::uint32_t Scheduler::acquire_slot() {
+CalendarScheduler::CalendarScheduler(std::uint32_t bucket_width_log2,
+                                     std::uint32_t bucket_count_log2)
+    : width_log2_(bucket_width_log2),
+      bucket_mask_((std::uint64_t{1} << bucket_count_log2) - 1),
+      bucket_count_(std::uint64_t{1} << bucket_count_log2) {
+  PMC_EXPECTS(bucket_width_log2 <= 30);
+  PMC_EXPECTS(bucket_count_log2 >= 6 && bucket_count_log2 <= 22);
+  buckets_.resize(bucket_count_);
+  occupancy_.assign(bucket_count_ / 64, 0);
+}
+
+// --- slot table ------------------------------------------------------------
+
+std::uint32_t CalendarScheduler::acquire_slot() {
   if (free_head_ != kNoSlot) {
     const std::uint32_t slot = free_head_;
     free_head_ = slots_[slot].pos;
@@ -15,11 +29,11 @@ std::uint32_t Scheduler::acquire_slot() {
     return slot;
   }
   PMC_EXPECTS(slots_.size() < kNoSlot);
-  slots_.push_back(Slot{0, 1, true});
+  slots_.push_back(Slot{0, 0, 1, true});
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Scheduler::release_slot(std::uint32_t slot) noexcept {
+void CalendarScheduler::release_slot(std::uint32_t slot) noexcept {
   Slot& s = slots_[slot];
   s.busy = false;
   ++s.generation;
@@ -27,99 +41,263 @@ void Scheduler::release_slot(std::uint32_t slot) noexcept {
   free_head_ = slot;
 }
 
-void Scheduler::place(std::size_t i, Entry entry) noexcept {
-  heap_[i] = std::move(entry);
-  slots_[heap_[i].slot].pos = static_cast<std::uint32_t>(i);
+// --- wheel -----------------------------------------------------------------
+
+void CalendarScheduler::wheel_insert(std::uint32_t index, Entry entry) {
+  auto& bucket = buckets_[index];
+  slots_[entry.slot].home = index;
+  slots_[entry.slot].pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(std::move(entry));
+  set_occupied(index);
+  ++wheel_count_;
+  // An append behind the cursor's sorted tail must be folded in before the
+  // next pop (it may precede later tail entries in (at, seq) order).
+  if (index == index_of(cursor_)) active_dirty_ = true;
 }
 
-void Scheduler::sift_up(std::size_t i) noexcept {
-  Entry entry = std::move(heap_[i]);
+void CalendarScheduler::erase_from_wheel(std::uint32_t index,
+                                         std::uint32_t pos) {
+  auto& bucket = buckets_[index];
+  const std::size_t last = bucket.size() - 1;
+  if (pos != last) {
+    bucket[pos] = std::move(bucket[last]);
+    slots_[bucket[pos].slot].pos = pos;
+    if (index == index_of(cursor_)) active_dirty_ = true;
+  }
+  bucket.pop_back();
+  --wheel_count_;
+  const bool is_cursor = index == index_of(cursor_);
+  if (bucket.size() == (is_cursor ? active_pos_ : 0)) {
+    bucket.clear();  // drops the consumed prefix too
+    if (is_cursor) {
+      active_pos_ = 0;
+      active_dirty_ = false;
+    }
+    clear_occupied(index);
+  }
+}
+
+std::uint32_t CalendarScheduler::scan_occupied(
+    std::uint32_t from) const noexcept {
+  // First candidate is the bit after `from`; wrap around the whole wheel.
+  const auto words = static_cast<std::uint32_t>(occupancy_.size());
+  std::uint32_t bit = (from + 1) & static_cast<std::uint32_t>(bucket_mask_);
+  std::uint32_t word = bit >> 6;
+  std::uint64_t w = occupancy_[word] >> (bit & 63);
+  if (w != 0)
+    return bit + static_cast<std::uint32_t>(std::countr_zero(w));
+  for (std::uint32_t i = 1; i <= words; ++i) {
+    const std::uint32_t next = (word + i) % words;
+    if (occupancy_[next] != 0)
+      return next * 64 +
+             static_cast<std::uint32_t>(std::countr_zero(occupancy_[next]));
+  }
+  return from;  // unreachable per contract (caller checked wheel_count_)
+}
+
+// --- overflow heap ---------------------------------------------------------
+
+void CalendarScheduler::heap_place(std::size_t i, Entry entry) noexcept {
+  overflow_[i] = std::move(entry);
+  slots_[overflow_[i].slot].home = kHomeOverflow;
+  slots_[overflow_[i].slot].pos = static_cast<std::uint32_t>(i);
+}
+
+void CalendarScheduler::heap_sift_up(std::size_t i) noexcept {
+  Entry entry = std::move(overflow_[i]);
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!before(entry, heap_[parent])) break;
-    place(i, std::move(heap_[parent]));
+    if (!before(entry, overflow_[parent])) break;
+    heap_place(i, std::move(overflow_[parent]));
     i = parent;
   }
-  place(i, std::move(entry));
+  heap_place(i, std::move(entry));
 }
 
-void Scheduler::sift_down(std::size_t i) noexcept {
-  Entry entry = std::move(heap_[i]);
-  const std::size_t n = heap_.size();
+void CalendarScheduler::heap_sift_down(std::size_t i) noexcept {
+  Entry entry = std::move(overflow_[i]);
+  const std::size_t n = overflow_.size();
   while (true) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
-    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
-    if (!before(heap_[child], entry)) break;
-    place(i, std::move(heap_[child]));
+    if (child + 1 < n && before(overflow_[child + 1], overflow_[child]))
+      ++child;
+    if (!before(overflow_[child], entry)) break;
+    heap_place(i, std::move(overflow_[child]));
     i = child;
   }
-  place(i, std::move(entry));
+  heap_place(i, std::move(entry));
 }
 
-void Scheduler::erase_at(std::size_t i) noexcept {
-  const std::size_t last = heap_.size() - 1;
+void CalendarScheduler::heap_erase_at(std::size_t i) noexcept {
+  const std::size_t last = overflow_.size() - 1;
   if (i != last) {
-    place(i, std::move(heap_[last]));
-    heap_.pop_back();
-    // The displaced entry may belong above or below its new position; only
-    // one of the two sifts will actually move it.
-    sift_down(i);
-    sift_up(i);
+    heap_place(i, std::move(overflow_[last]));
+    overflow_.pop_back();
+    heap_sift_down(i);
+    heap_sift_up(i);
   } else {
-    heap_.pop_back();
+    overflow_.pop_back();
   }
 }
 
-Scheduler::Entry Scheduler::extract_top() noexcept {
-  Entry top = std::move(heap_[0]);
-  release_slot(top.slot);
-  erase_at(0);
-  return top;
+void CalendarScheduler::drain_overflow() {
+  const std::uint64_t limit = cursor_ + bucket_count_;
+  while (!overflow_.empty() && bucket_of(overflow_[0].at) < limit) {
+    Entry entry = std::move(overflow_[0]);
+    const std::size_t last = overflow_.size() - 1;
+    if (last != 0) {
+      heap_place(0, std::move(overflow_[last]));
+      overflow_.pop_back();
+      heap_sift_down(0);
+    } else {
+      overflow_.pop_back();
+    }
+    wheel_insert(index_of(bucket_of(entry.at)), std::move(entry));
+  }
 }
 
-EventToken Scheduler::schedule_at(SimTime at, Callback fn) {
+// --- ordering & execution --------------------------------------------------
+
+void CalendarScheduler::sort_active_tail() {
+  auto& bucket = buckets_[index_of(cursor_)];
+  const std::size_t begin = active_pos_;
+  const std::size_t n = bucket.size() - begin;
+  if (n > 1) {
+    sort_keys_.clear();
+    sort_keys_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sort_keys_.push_back(SortKey{bucket[begin + i].at,
+                                   bucket[begin + i].seq,
+                                   static_cast<std::uint32_t>(i)});
+    std::sort(sort_keys_.begin(), sort_keys_.end(),
+              [](const SortKey& a, const SortKey& b) noexcept {
+                if (a.at != b.at) return a.at < b.at;
+                return a.seq < b.seq;
+              });
+    sorted_scratch_.clear();
+    sorted_scratch_.reserve(n);
+    for (const SortKey& k : sort_keys_)
+      sorted_scratch_.push_back(std::move(bucket[begin + k.idx]));
+    for (std::size_t i = 0; i < n; ++i) {
+      bucket[begin + i] = std::move(sorted_scratch_[i]);
+      slots_[bucket[begin + i].slot].pos =
+          static_cast<std::uint32_t>(begin + i);
+    }
+  }
+  active_dirty_ = false;
+}
+
+bool CalendarScheduler::locate(std::uint64_t cap) {
+  if (pending_ == 0) return false;
+  for (;;) {
+    auto& bucket = buckets_[index_of(cursor_)];
+    if (bucket.size() > active_pos_) return true;
+    // The cursor bucket holds at most a consumed prefix: retire it and
+    // advance to wherever the next event lives.
+    if (!bucket.empty()) bucket.clear();
+    clear_occupied(index_of(cursor_));
+    active_pos_ = 0;
+    active_dirty_ = false;
+
+    std::uint64_t next;
+    if (wheel_count_ > 0) {
+      const std::uint32_t idx = scan_occupied(index_of(cursor_));
+      next = cursor_ + ((idx - index_of(cursor_)) & bucket_mask_);
+    } else if (!overflow_.empty()) {
+      next = bucket_of(overflow_[0].at);
+    } else {
+      return false;
+    }
+    if (next > cap) return false;  // nothing due at or before the cap
+    cursor_ = next;
+    // The bucket the cursor just reached was filled while it was not the
+    // cursor bucket, so it has never been put in (at, seq) order.
+    active_dirty_ = true;
+    // The window end moved forward with the cursor: overflow events whose
+    // bucket it passed drain in now. Drained buckets always lie at or
+    // after `next` (they were beyond the previous window end), so the
+    // bucket just selected stays the earliest.
+    drain_overflow();
+  }
+}
+
+void CalendarScheduler::run_front() {
+  auto& bucket = buckets_[index_of(cursor_)];
+  Entry& entry = bucket[active_pos_];
+  // Move the callback out and release the slot before invoking: cancelling
+  // the running event's own token is then a no-op, the callback may
+  // schedule freely (bucket reallocation cannot invalidate anything still
+  // needed), and the consumed entry stays behind as an inert husk until
+  // its bucket is exhausted and cleared.
+  Callback fn = std::move(entry.fn);
+  const SimTime at = entry.at;
+  release_slot(entry.slot);
+  ++active_pos_;
+  --wheel_count_;
+  --pending_;
+  now_ = at;
+  ++executed_;
+  fn();
+}
+
+// --- public API ------------------------------------------------------------
+
+EventToken CalendarScheduler::schedule_at(SimTime at, Callback fn) {
   PMC_EXPECTS(at >= now_);
   PMC_EXPECTS(fn != nullptr);
   const std::uint32_t slot = acquire_slot();
   const EventToken token = token_for(slot);
-  heap_.push_back(Entry{at, next_seq_++, slot, std::move(fn)});
-  slots_[slot].pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  sift_up(heap_.size() - 1);
+  insert(Entry{at, next_seq_++, slot, std::move(fn)});
+  ++pending_;
   return token;
 }
 
-void Scheduler::cancel(EventToken token) {
+void CalendarScheduler::insert(Entry entry) {
+  // at >= now_ >= cursor bucket start whenever user code runs, so the
+  // target bucket is never behind the cursor.
+  const std::uint64_t abs = bucket_of(entry.at);
+  if (abs < cursor_ + bucket_count_) {
+    wheel_insert(index_of(abs), std::move(entry));
+  } else {
+    slots_[entry.slot].home = kHomeOverflow;
+    overflow_.push_back(std::move(entry));
+    heap_sift_up(overflow_.size() - 1);
+  }
+}
+
+void CalendarScheduler::cancel(EventToken token) {
   const auto slot = static_cast<std::uint32_t>(token & 0xffffffffULL);
   const auto generation = static_cast<std::uint32_t>(token >> 32);
   if (slot >= slots_.size()) return;
-  const Slot& s = slots_[slot];
+  const Slot s = slots_[slot];
   if (!s.busy || s.generation != generation) return;
-  const std::size_t pos = s.pos;
   release_slot(slot);
-  erase_at(pos);
+  --pending_;
+  if (s.home == kHomeOverflow)
+    heap_erase_at(s.pos);
+  else
+    erase_from_wheel(s.home, s.pos);
 }
 
-bool Scheduler::step() {
-  if (heap_.empty()) return false;
-  // Extracting (and releasing the slot) before invoking makes cancelling
-  // the running event's own token a no-op, and lets the callback schedule
-  // further events freely.
-  Entry top = extract_top();
-  now_ = top.at;
-  ++executed_;
-  top.fn();
+bool CalendarScheduler::step() {
+  if (!locate(kNoCap)) return false;
+  if (active_dirty_) sort_active_tail();
+  run_front();
   return true;
 }
 
-void Scheduler::run_until(SimTime deadline) {
-  while (!heap_.empty() && heap_.front().at <= deadline) {
-    if (!step()) break;
+void CalendarScheduler::run_until(SimTime deadline) {
+  const std::uint64_t cap = deadline < 0 ? 0 : bucket_of(deadline);
+  while (locate(cap)) {
+    if (active_dirty_) sort_active_tail();
+    if (buckets_[index_of(cursor_)][active_pos_].at > deadline) break;
+    run_front();
   }
   now_ = std::max(now_, deadline);
 }
 
-void Scheduler::run(std::uint64_t max_events) {
+void CalendarScheduler::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (step()) {
     if (++n >= max_events)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate pmcast-bench-v1 JSON files and gate scheduler performance.
+
+Usage:
+    check_bench_json.py FILE [FILE...]
+        Schema-check every file (exit 1 on the first violation).
+
+    check_bench_json.py --gate-scheduler MICRO_FILE [FILE...]
+        Additionally require MICRO_FILE (a micro_benchmarks --json dump) to
+        show the calendar-queue scheduler at or above the PR-1 performance
+        envelope at the 131072-event point.
+
+The scheduler gate is deliberately *counter-based*, not wall-clock-based:
+CI machines differ wildly in absolute speed, so the gate compares the
+calendar queue against the legacy tombstone scheduler measured in the same
+process on the same machine. PR 1's indexed heap recorded a 1.38x ratio
+over the legacy scheduler (1.84M vs 1.33M sched-ops/s at 131k events);
+regressing below that ratio would mean the calendar queue lost PR 1's win,
+never mind PR 5's. The required ratio is 2.0 — comfortably above PR 1's
+1.38, comfortably below the ~4-5x the calendar queue actually shows — so
+the gate trips on real regressions, not scheduler-neutral machine noise.
+"""
+
+import json
+import sys
+
+SCHEMA = "pmcast-bench-v1"
+GATE_POINT = "131072"
+GATE_NUMERATOR = f"BM_SchedulerCalendarQueue/{GATE_POINT}"
+GATE_DENOMINATOR = f"BM_SchedulerLegacyTombstones/{GATE_POINT}"
+GATE_MIN_RATIO = 2.0
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_and_validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("binary"), str) or not doc["binary"]:
+        fail(f"{path}: missing/empty 'binary'")
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or not tables:
+        fail(f"{path}: 'tables' must be a non-empty list")
+    for t in tables:
+        title = t.get("title")
+        headers = t.get("headers")
+        rows = t.get("rows")
+        if not isinstance(title, str) or not title:
+            fail(f"{path}: table without a title")
+        if not isinstance(headers, list) or not headers:
+            fail(f"{path}: table {title!r} has no headers")
+        if not isinstance(rows, list) or not rows:
+            fail(f"{path}: table {title!r} has no rows")
+        for row in rows:
+            if not isinstance(row, list) or len(row) != len(headers):
+                fail(
+                    f"{path}: table {title!r} row width {len(row)} != "
+                    f"{len(headers)} headers"
+                )
+            for cell in row:
+                if not isinstance(cell, (int, float, str)):
+                    fail(f"{path}: table {title!r} has a non-scalar cell")
+    print(f"check_bench_json: OK: {path} ({doc['binary']}, "
+          f"{len(tables)} table(s))")
+    return doc
+
+
+def micro_items_per_second(doc, path, name):
+    for t in doc["tables"]:
+        try:
+            name_col = t["headers"].index("name")
+            ips_col = t["headers"].index("items_per_second")
+        except ValueError:
+            continue
+        for row in t["rows"]:
+            if row[name_col] == name:
+                value = row[ips_col]
+                if not isinstance(value, (int, float)) or value <= 0:
+                    fail(f"{path}: {name} items_per_second is {value!r}")
+                return float(value)
+    fail(f"{path}: benchmark {name!r} not found (run micro_benchmarks with "
+         f"--benchmark_filter=Scheduler --json {path})")
+
+
+def main(argv):
+    args = argv[1:]
+    gate_file = None
+    if args and args[0] == "--gate-scheduler":
+        if len(args) < 2:
+            fail("--gate-scheduler needs a micro_benchmarks JSON file")
+        gate_file = args[1]
+        args = args[1:]
+    if not args:
+        fail("no files given")
+
+    docs = {path: load_and_validate(path) for path in args}
+
+    if gate_file is not None:
+        doc = docs[gate_file]
+        calendar = micro_items_per_second(doc, gate_file, GATE_NUMERATOR)
+        legacy = micro_items_per_second(doc, gate_file, GATE_DENOMINATOR)
+        ratio = calendar / legacy
+        print(
+            f"check_bench_json: scheduler @{GATE_POINT} events: "
+            f"calendar {calendar / 1e6:.2f}M/s, legacy {legacy / 1e6:.2f}M/s, "
+            f"ratio {ratio:.2f} (required >= {GATE_MIN_RATIO})"
+        )
+        if ratio < GATE_MIN_RATIO:
+            fail(
+                f"calendar/legacy ratio {ratio:.2f} < {GATE_MIN_RATIO}: "
+                f"the scheduler regressed below the PR-1 envelope"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
