@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addr/address.cpp" "CMakeFiles/pmcast.dir/src/addr/address.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/addr/address.cpp.o.d"
+  "/root/repo/src/addr/netmap.cpp" "CMakeFiles/pmcast.dir/src/addr/netmap.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/addr/netmap.cpp.o.d"
+  "/root/repo/src/addr/space.cpp" "CMakeFiles/pmcast.dir/src/addr/space.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/addr/space.cpp.o.d"
+  "/root/repo/src/analysis/env_estimator.cpp" "CMakeFiles/pmcast.dir/src/analysis/env_estimator.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/analysis/env_estimator.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "CMakeFiles/pmcast.dir/src/analysis/markov.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/analysis/markov.cpp.o.d"
+  "/root/repo/src/analysis/rounds.cpp" "CMakeFiles/pmcast.dir/src/analysis/rounds.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/analysis/rounds.cpp.o.d"
+  "/root/repo/src/analysis/tree_analysis.cpp" "CMakeFiles/pmcast.dir/src/analysis/tree_analysis.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/analysis/tree_analysis.cpp.o.d"
+  "/root/repo/src/baselines/flooding.cpp" "CMakeFiles/pmcast.dir/src/baselines/flooding.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/baselines/flooding.cpp.o.d"
+  "/root/repo/src/baselines/genuine.cpp" "CMakeFiles/pmcast.dir/src/baselines/genuine.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/baselines/genuine.cpp.o.d"
+  "/root/repo/src/baselines/treecast.cpp" "CMakeFiles/pmcast.dir/src/baselines/treecast.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/baselines/treecast.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/pmcast.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/pmcast.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/event/event.cpp" "CMakeFiles/pmcast.dir/src/event/event.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/event/event.cpp.o.d"
+  "/root/repo/src/event/value.cpp" "CMakeFiles/pmcast.dir/src/event/value.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/event/value.cpp.o.d"
+  "/root/repo/src/filter/interval.cpp" "CMakeFiles/pmcast.dir/src/filter/interval.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/filter/interval.cpp.o.d"
+  "/root/repo/src/filter/parser.cpp" "CMakeFiles/pmcast.dir/src/filter/parser.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/filter/parser.cpp.o.d"
+  "/root/repo/src/filter/predicate.cpp" "CMakeFiles/pmcast.dir/src/filter/predicate.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/filter/predicate.cpp.o.d"
+  "/root/repo/src/filter/regroup.cpp" "CMakeFiles/pmcast.dir/src/filter/regroup.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/filter/regroup.cpp.o.d"
+  "/root/repo/src/filter/subscription.cpp" "CMakeFiles/pmcast.dir/src/filter/subscription.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/filter/subscription.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "CMakeFiles/pmcast.dir/src/harness/experiment.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "CMakeFiles/pmcast.dir/src/harness/scenario.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/harness/scenario.cpp.o.d"
+  "/root/repo/src/harness/shard.cpp" "CMakeFiles/pmcast.dir/src/harness/shard.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/harness/shard.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "CMakeFiles/pmcast.dir/src/harness/table.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/harness/table.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "CMakeFiles/pmcast.dir/src/harness/workload.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/harness/workload.cpp.o.d"
+  "/root/repo/src/membership/election.cpp" "CMakeFiles/pmcast.dir/src/membership/election.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/membership/election.cpp.o.d"
+  "/root/repo/src/membership/sync.cpp" "CMakeFiles/pmcast.dir/src/membership/sync.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/membership/sync.cpp.o.d"
+  "/root/repo/src/membership/tree.cpp" "CMakeFiles/pmcast.dir/src/membership/tree.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/membership/tree.cpp.o.d"
+  "/root/repo/src/membership/view.cpp" "CMakeFiles/pmcast.dir/src/membership/view.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/membership/view.cpp.o.d"
+  "/root/repo/src/pmcast/node.cpp" "CMakeFiles/pmcast.dir/src/pmcast/node.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/pmcast/node.cpp.o.d"
+  "/root/repo/src/pmcast/view_provider.cpp" "CMakeFiles/pmcast.dir/src/pmcast/view_provider.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/pmcast/view_provider.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/pmcast.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/reference_scheduler.cpp" "CMakeFiles/pmcast.dir/src/sim/reference_scheduler.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/sim/reference_scheduler.cpp.o.d"
+  "/root/repo/src/sim/runtime.cpp" "CMakeFiles/pmcast.dir/src/sim/runtime.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/sim/runtime.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/pmcast.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/wire/codec.cpp" "CMakeFiles/pmcast.dir/src/wire/codec.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/wire/codec.cpp.o.d"
+  "/root/repo/src/wire/messages.cpp" "CMakeFiles/pmcast.dir/src/wire/messages.cpp.o" "gcc" "CMakeFiles/pmcast.dir/src/wire/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

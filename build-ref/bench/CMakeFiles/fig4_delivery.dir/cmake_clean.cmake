@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_delivery.dir/fig4_delivery.cpp.o"
+  "CMakeFiles/fig4_delivery.dir/fig4_delivery.cpp.o.d"
+  "fig4_delivery"
+  "fig4_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

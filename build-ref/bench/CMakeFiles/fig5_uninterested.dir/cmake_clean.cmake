@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_uninterested.dir/fig5_uninterested.cpp.o"
+  "CMakeFiles/fig5_uninterested.dir/fig5_uninterested.cpp.o.d"
+  "fig5_uninterested"
+  "fig5_uninterested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_uninterested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

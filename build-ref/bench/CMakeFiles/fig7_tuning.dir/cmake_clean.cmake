@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tuning.dir/fig7_tuning.cpp.o"
+  "CMakeFiles/fig7_tuning.dir/fig7_tuning.cpp.o.d"
+  "fig7_tuning"
+  "fig7_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

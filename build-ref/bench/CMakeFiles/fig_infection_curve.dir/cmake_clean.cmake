@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_infection_curve.dir/fig_infection_curve.cpp.o"
+  "CMakeFiles/fig_infection_curve.dir/fig_infection_curve.cpp.o.d"
+  "fig_infection_curve"
+  "fig_infection_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_infection_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ablation.dir/table_ablation.cpp.o"
+  "CMakeFiles/table_ablation.dir/table_ablation.cpp.o.d"
+  "table_ablation"
+  "table_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

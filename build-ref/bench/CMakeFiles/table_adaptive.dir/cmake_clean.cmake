@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_adaptive.dir/table_adaptive.cpp.o"
+  "CMakeFiles/table_adaptive.dir/table_adaptive.cpp.o.d"
+  "table_adaptive"
+  "table_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

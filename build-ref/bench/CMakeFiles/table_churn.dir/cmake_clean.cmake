@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_churn.dir/table_churn.cpp.o"
+  "CMakeFiles/table_churn.dir/table_churn.cpp.o.d"
+  "table_churn"
+  "table_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_rounds.dir/table_rounds.cpp.o"
+  "CMakeFiles/table_rounds.dir/table_rounds.cpp.o.d"
+  "table_rounds"
+  "table_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_scale.dir/table_scale.cpp.o"
+  "CMakeFiles/table_scale.dir/table_scale.cpp.o.d"
+  "table_scale"
+  "table_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_shards.dir/table_shards.cpp.o"
+  "CMakeFiles/table_shards.dir/table_shards.cpp.o.d"
+  "table_shards"
+  "table_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

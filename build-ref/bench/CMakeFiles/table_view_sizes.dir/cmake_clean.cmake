@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_view_sizes.dir/table_view_sizes.cpp.o"
+  "CMakeFiles/table_view_sizes.dir/table_view_sizes.cpp.o.d"
+  "table_view_sizes"
+  "table_view_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_view_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-ref/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[table_adaptive_smoke]=] "/root/repo/build-ref/bench/table_adaptive")
+set_tests_properties([=[table_adaptive_smoke]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;19;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[table_scale_smoke]=] "/root/repo/build-ref/bench/table_scale" "--max-processes" "1100" "--json" "table_scale_smoke.json")
+set_tests_properties([=[table_scale_smoke]=] PROPERTIES  FIXTURES_SETUP "bench_json" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_json_check]=] "/root/.pyenv/shims/python3" "/root/repo/tools/check_bench_json.py" "/root/repo/build-ref/bench/table_scale_smoke.json")
+set_tests_properties([=[bench_json_check]=] PROPERTIES  FIXTURES_REQUIRED "bench_json" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")

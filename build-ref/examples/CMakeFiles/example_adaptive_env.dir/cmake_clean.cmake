@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_env.dir/adaptive_env.cpp.o"
+  "CMakeFiles/example_adaptive_env.dir/adaptive_env.cpp.o.d"
+  "example_adaptive_env"
+  "example_adaptive_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_churn.dir/churn.cpp.o"
+  "CMakeFiles/example_churn.dir/churn.cpp.o.d"
+  "example_churn"
+  "example_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_full_stack.dir/full_stack.cpp.o"
+  "CMakeFiles/example_full_stack.dir/full_stack.cpp.o.d"
+  "example_full_stack"
+  "example_full_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_full_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

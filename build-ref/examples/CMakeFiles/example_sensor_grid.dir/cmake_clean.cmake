@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_grid.dir/sensor_grid.cpp.o"
+  "CMakeFiles/example_sensor_grid.dir/sensor_grid.cpp.o.d"
+  "example_sensor_grid"
+  "example_sensor_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

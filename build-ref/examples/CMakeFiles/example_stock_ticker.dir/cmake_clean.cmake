@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stock_ticker.dir/stock_ticker.cpp.o"
+  "CMakeFiles/example_stock_ticker.dir/stock_ticker.cpp.o.d"
+  "example_stock_ticker"
+  "example_stock_ticker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stock_ticker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topic_shards.dir/topic_shards.cpp.o"
+  "CMakeFiles/example_topic_shards.dir/topic_shards.cpp.o.d"
+  "example_topic_shards"
+  "example_topic_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topic_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

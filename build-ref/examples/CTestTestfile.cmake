@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-ref/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_churn_smoke]=] "/root/repo/build-ref/examples/example_churn")
+set_tests_properties([=[example_churn_smoke]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_topic_shards_smoke]=] "/root/repo/build-ref/examples/example_topic_shards")
+set_tests_properties([=[example_topic_shards_smoke]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_adaptive_env_smoke]=] "/root/repo/build-ref/examples/example_adaptive_env")
+set_tests_properties([=[example_adaptive_env_smoke]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_test.dir/address_test.cpp.o"
+  "CMakeFiles/address_test.dir/address_test.cpp.o.d"
+  "address_test"
+  "address_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_test.dir/election_test.cpp.o"
+  "CMakeFiles/election_test.dir/election_test.cpp.o.d"
+  "election_test"
+  "election_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmap_test.dir/netmap_test.cpp.o"
+  "CMakeFiles/netmap_test.dir/netmap_test.cpp.o.d"
+  "netmap_test"
+  "netmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcast_node_test.dir/pmcast_node_test.cpp.o"
+  "CMakeFiles/pmcast_node_test.dir/pmcast_node_test.cpp.o.d"
+  "pmcast_node_test"
+  "pmcast_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcast_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regroup_test.dir/regroup_test.cpp.o"
+  "CMakeFiles/regroup_test.dir/regroup_test.cpp.o.d"
+  "regroup_test"
+  "regroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounds_test.dir/rounds_test.cpp.o"
+  "CMakeFiles/rounds_test.dir/rounds_test.cpp.o.d"
+  "rounds_test"
+  "rounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

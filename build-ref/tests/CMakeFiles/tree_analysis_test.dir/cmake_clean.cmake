@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_analysis_test.dir/tree_analysis_test.cpp.o"
+  "CMakeFiles/tree_analysis_test.dir/tree_analysis_test.cpp.o.d"
+  "tree_analysis_test"
+  "tree_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

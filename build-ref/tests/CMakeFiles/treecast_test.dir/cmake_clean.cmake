@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treecast_test.dir/treecast_test.cpp.o"
+  "CMakeFiles/treecast_test.dir/treecast_test.cpp.o.d"
+  "treecast_test"
+  "treecast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcast_sim.dir/pmcast_sim.cpp.o"
+  "CMakeFiles/pmcast_sim.dir/pmcast_sim.cpp.o.d"
+  "pmcast_sim"
+  "pmcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-ref/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[pmcast_sim_help]=] "/root/repo/build-ref/tools/pmcast_sim" "--help" "--runs" "5")
+set_tests_properties([=[pmcast_sim_help]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[pmcast_sim_help_audit]=] "/root/repo/build-ref/tools/pmcast_sim" "--help")
+set_tests_properties([=[pmcast_sim_help_audit]=] PROPERTIES  PASS_REGULAR_EXPRESSION "--adaptive\\[=A\\]" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[pmcast_sim_shards_repro]=] "/root/repo/build-ref/tools/pmcast_sim" "--shards" "4" "--shard-scenario" "demo" "--horizon" "1500ms" "--repro-check")
+set_tests_properties([=[pmcast_sim_shards_repro]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[pmcast_sim_adaptive_repro]=] "/root/repo/build-ref/tools/pmcast_sim" "--scenario" "demo" "--adaptive" "--horizon" "2500ms" "--repro-check")
+set_tests_properties([=[pmcast_sim_adaptive_repro]=] PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[docs_link_check]=] "/root/.pyenv/shims/python3" "/root/repo/tools/check_links.py" "/root/repo")
+set_tests_properties([=[docs_link_check]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
