@@ -33,14 +33,18 @@ int main() {
     TreeConfig tc;
     tc.depth = 1;
     tc.redundancy = 1;
-    const GroupTree tree(tc, members);
+    Interns interns;
+    const GroupTree tree(tc, members, interns);
     const TreeViewProvider views(tree);
     NetworkConfig net;
     net.loss_probability = loss;
     Runtime rt(net, 1000 + seed);
-    std::unordered_map<Address, ProcessId, AddressHash> dir;
-    for (std::size_t i = 0; i < members.size(); ++i)
-      dir.emplace(members[i].address, static_cast<ProcessId>(i));
+    std::vector<ProcessId> dir;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const AddrId id = interns.addrs.intern(members[i].address);
+      if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+      dir[id] = static_cast<ProcessId>(i);
+    }
     PmcastConfig config;
     config.tree = tc;
     config.fanout = fanout;
@@ -50,9 +54,8 @@ int main() {
     for (std::size_t i = 0; i < members.size(); ++i)
       nodes.push_back(std::make_unique<PmcastNode>(
           rt, static_cast<ProcessId>(i), config, members[i].address,
-          members[i].subscription, views, [&dir](const Address& a) {
-            const auto it = dir.find(a);
-            return it == dir.end() ? kNoProcess : it->second;
+          members[i].subscription, views, [&dir](AddrId id) {
+            return id < dir.size() ? dir[id] : kNoProcess;
           }));
     nodes[0]->pmcast(make_event_at(0, seed, 0.5));
 

@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "membership/election.hpp"
+#include "membership/sync.hpp"
 #include "membership/tree.hpp"
 #include "pmcast/node.hpp"
 #include "sim/network.hpp"
@@ -98,7 +99,8 @@ void BM_GroupTreeBuild(benchmark::State& state) {
   tc.depth = 3;
   tc.redundancy = 3;
   for (auto _ : state) {
-    GroupTree tree(tc, members);
+    Interns interns;
+    GroupTree tree(tc, members, interns);
     benchmark::DoNotOptimize(tree.process_count());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -113,7 +115,8 @@ void BM_GroupTreeChurn(benchmark::State& state) {
   TreeConfig tc;
   tc.depth = 3;
   tc.redundancy = 3;
-  GroupTree tree(tc, members);
+  Interns interns;
+  GroupTree tree(tc, members, interns);
   const Address victim = members[members.size() / 2].address;
   const Subscription sub = members[members.size() / 2].subscription;
   for (auto _ : state) {
@@ -122,6 +125,136 @@ void BM_GroupTreeChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupTreeChurn);
+
+// --- Membership hot loops: SoA DepthView vs the legacy AoS row table -------
+
+/// One view row in the layout this repo shipped with before the intern/SoA
+/// refactor: heap-allocated Address delegates and an inline InterestSummary
+/// per row. Kept as the baseline the BM_*SoA figures are measured against.
+struct LegacyRow {
+  AddrComponent infix = 0;
+  std::uint64_t version = 0;
+  std::uint64_t process_count = 0;
+  bool alive = true;
+  std::vector<Address> delegates;
+  InterestSummary interests;
+};
+
+/// Builds matched populations: `n` rows, 2 delegates each, interests drawn
+/// from a small recurring set (realistic: subscriptions repeat, which is
+/// what lets the SoA path pool them).
+std::vector<LegacyRow> legacy_rows(std::size_t n) {
+  Rng rng(9);
+  std::vector<InterestSummary> pool;
+  for (int i = 0; i < 64; ++i)
+    pool.push_back(
+        InterestSummary::from(interval_subscription(rng.next_double(), 0.05)));
+  std::vector<LegacyRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i].infix = static_cast<AddrComponent>(i);
+    rows[i].version = i + 1;
+    rows[i].process_count = 3;
+    rows[i].delegates = {
+        Address(std::vector<AddrComponent>{static_cast<AddrComponent>(i), 0}),
+        Address(std::vector<AddrComponent>{static_cast<AddrComponent>(i), 1}),
+    };
+    rows[i].interests = pool[i % pool.size()];
+  }
+  return rows;
+}
+
+void soa_view_from(const std::vector<LegacyRow>& rows, Interns& interns,
+                   DepthView& v) {
+  v.bind(interns);
+  for (const auto& row : rows) {
+    ViewRow r;
+    r.infix = row.infix;
+    r.version = row.version;
+    r.process_count = row.process_count;
+    r.alive = row.alive;
+    r.delegates = row.delegates;
+    r.interests = row.interests;
+    v.upsert(r);
+  }
+}
+
+void BM_RecompactScanLegacyRows(benchmark::State& state) {
+  // The SyncNode::recompact_own_rows inner loop over the old row layout:
+  // merge live interests, gather delegate candidates, sum process counts.
+  const auto rows = legacy_rows(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    InterestSummary summary;
+    std::vector<Address> candidates;
+    std::uint64_t count = 0;
+    for (const auto& row : rows) {
+      if (!row.alive) continue;
+      summary.merge(row.interests);
+      candidates.insert(candidates.end(), row.delegates.begin(),
+                        row.delegates.end());
+      count += row.process_count;
+    }
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecompactScanLegacyRows)->Arg(1024)->Arg(16384);
+
+void BM_RecompactScanSoA(benchmark::State& state) {
+  // The same scan over the production struct-of-arrays DepthView.
+  const auto rows = legacy_rows(static_cast<std::size_t>(state.range(0)));
+  Interns interns;
+  DepthView v;
+  soa_view_from(rows, interns, v);
+  std::vector<AddrId> candidates;
+  for (auto _ : state) {
+    InterestSummary summary;
+    candidates.clear();
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!v.alive(i)) continue;
+      summary.merge(v.interests(i));
+      const auto ids = v.delegates(i);
+      candidates.insert(candidates.end(), ids.begin(), ids.end());
+      count += v.process_count(i);
+    }
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecompactScanSoA)->Arg(1024)->Arg(16384);
+
+void BM_DigestBuildLegacyRows(benchmark::State& state) {
+  // SyncNode::make_digest over the old layout: one (depth, infix, version)
+  // triple per row, pointer-chasing through the AoS rows.
+  const auto rows = legacy_rows(static_cast<std::size_t>(state.range(0)));
+  std::vector<RowDigest> out;
+  for (auto _ : state) {
+    out.clear();
+    for (const auto& row : rows)
+      out.push_back(RowDigest{1, row.infix, row.version});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DigestBuildLegacyRows)->Arg(1024)->Arg(16384);
+
+void BM_DigestBuildSoA(benchmark::State& state) {
+  const auto rows = legacy_rows(static_cast<std::size_t>(state.range(0)));
+  Interns interns;
+  DepthView v;
+  soa_view_from(rows, interns, v);
+  std::vector<RowDigest> out;
+  for (auto _ : state) {
+    out.clear();
+    for (std::size_t i = 0; i < v.size(); ++i)
+      out.push_back(RowDigest{1, v.infix(i), v.version(i)});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DigestBuildSoA)->Arg(1024)->Arg(16384);
 
 // --- Scheduler: calendar queue vs indexed heap vs tombstone queue ----------
 

@@ -48,15 +48,19 @@ int main(int argc, char** argv) {
       TreeConfig tc;
       tc.depth = 2;
       tc.redundancy = 3;
-      const GroupTree tree(tc, members);
+      Interns interns;
+      const GroupTree tree(tc, members, interns);
       const TreeViewProvider views(tree);
       std::uint64_t messages = 0;
       std::size_t delivered = 0;
       for (std::uint64_t seed = 0; seed < runs; ++seed) {
         Runtime rt(NetworkConfig{}, 55 + seed);
-        std::unordered_map<Address, ProcessId, AddressHash> dir;
-        for (std::size_t i = 0; i < members.size(); ++i)
-          dir.emplace(members[i].address, static_cast<ProcessId>(i));
+        std::vector<ProcessId> dir;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          const AddrId id = interns.addrs.intern(members[i].address);
+          if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+          dir[id] = static_cast<ProcessId>(i);
+        }
         PmcastConfig pc;
         pc.tree = tc;
         pc.fanout = 3;
@@ -65,9 +69,8 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < members.size(); ++i)
           nodes.push_back(std::make_unique<PmcastNode>(
               rt, static_cast<ProcessId>(i), pc, members[i].address,
-              members[i].subscription, views, [&dir](const Address& a) {
-                const auto it = dir.find(a);
-                return it == dir.end() ? kNoProcess : it->second;
+              members[i].subscription, views, [&dir](AddrId id) {
+                return id < dir.size() ? dir[id] : kNoProcess;
               }));
         // Cluster 0 subscribes around u = 0.05; publish from inside it.
         nodes[0]->pmcast(make_event_at(0, seed, 0.05));

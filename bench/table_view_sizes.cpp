@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       TreeConfig tc;
       tc.depth = c.d;
       tc.redundancy = c.r;
-      const GroupTree tree(tc, members);
+      Interns interns;
+      const GroupTree tree(tc, members, interns);
       measured =
           tree.materialize_view(members[n / 2].address).known_processes();
     }

@@ -21,7 +21,8 @@ int main() {
   TreeConfig tree_config;
   tree_config.depth = 2;
   tree_config.redundancy = 2;
-  const GroupTree tree(tree_config, members);
+  Interns interns;
+  const GroupTree tree(tree_config, members, interns);
 
   Runtime runtime(NetworkConfig{.loss_probability = 0.02,
                                 .latency_min = sim_us(100),
@@ -32,11 +33,17 @@ int main() {
     return wire::decode_message(wire::encode_message(*msg));
   });
 
-  // Directories: sync processes at pid i, pmcast processes at pid i+100.
-  std::unordered_map<Address, ProcessId, AddressHash> sync_dir, pm_dir;
+  // Directories: sync processes at pid i, pmcast processes at pid i+100,
+  // both as dense AddrId-indexed vectors.
+  std::vector<ProcessId> sync_dir, pm_dir;
   for (std::size_t i = 0; i < members.size(); ++i) {
-    sync_dir.emplace(members[i].address, static_cast<ProcessId>(i));
-    pm_dir.emplace(members[i].address, static_cast<ProcessId>(i + 100));
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (sync_dir.size() <= id) {
+      sync_dir.resize(id + 1, kNoProcess);
+      pm_dir.resize(id + 1, kNoProcess);
+    }
+    sync_dir[id] = static_cast<ProcessId>(i);
+    pm_dir[id] = static_cast<ProcessId>(i + 100);
   }
 
   SyncConfig sync_config;
@@ -51,9 +58,8 @@ int main() {
         runtime, static_cast<ProcessId>(i), sync_config,
         tree.materialize_view(members[i].address),
         members[i].subscription));
-    sync_nodes.back()->set_directory([&sync_dir](const Address& a) {
-      const auto it = sync_dir.find(a);
-      return it == sync_dir.end() ? kNoProcess : it->second;
+    sync_nodes.back()->set_directory([&sync_dir](AddrId id) {
+      return id < sync_dir.size() ? sync_dir[id] : kNoProcess;
     });
   }
 
@@ -71,15 +77,14 @@ int main() {
     pm_nodes.push_back(std::make_unique<PmcastNode>(
         runtime, static_cast<ProcessId>(i + 100), pm_config,
         members[i].address, members[i].subscription, *providers[i],
-        [&pm_dir](const Address& a) {
-          const auto it = pm_dir.find(a);
-          return it == pm_dir.end() ? kNoProcess : it->second;
+        [&pm_dir](AddrId id) {
+          return id < pm_dir.size() ? pm_dir[id] : kNoProcess;
         }));
     pm_nodes.back()->set_deliver_handler(
         [&delivered](const Event&) { ++delivered; });
     SyncNode* sync = sync_nodes[i].get();
     pm_nodes.back()->set_piggyback(
-        [sync](const Address& target) { return sync->rows_to_share(target); },
+        [sync](AddrId target) { return sync->rows_to_share(target); },
         [sync](const Address& sender, const std::vector<DepthRow>& rows) {
           sync->absorb_rows(sender, rows);
         });
@@ -102,15 +107,16 @@ int main() {
 
   std::cout << "\nCrashing 2.1; failure detection (with confirmation) "
                "tombstones it...\n";
-  const auto victim = sync_dir.at(Address::parse("2.1"));
+  const auto victim = sync_dir.at(interns.addrs.find(Address::parse("2.1")));
   sync_nodes[victim]->crash();
   pm_nodes[victim]->crash();
   runtime.run_for(sim_ms(4000));
   std::size_t aware = 0;
   for (const auto& n : sync_nodes) {
     if (!n->alive() || n->address().component(0) != 2) continue;
-    const auto* row = n->view().view(2).find(1);
-    if (row != nullptr && !row->alive) ++aware;
+    const auto& leaf = n->view().view(2);
+    const std::size_t row = leaf.find_index(1);
+    if (row != DepthView::npos && !leaf.alive(row)) ++aware;
   }
   std::cout << "  leaf neighbors aware of the crash: " << aware << "/3\n";
 

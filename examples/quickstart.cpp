@@ -29,7 +29,8 @@ int main() {
   TreeConfig tree_config;
   tree_config.depth = 2;
   tree_config.redundancy = 2;
-  GroupTree tree(tree_config, members);
+  Interns interns;
+  GroupTree tree(tree_config, members, interns);
   const TreeViewProvider views(tree);
 
   // 4. Simulation runtime with 5% message loss.
@@ -37,14 +38,16 @@ int main() {
   net.loss_probability = 0.05;
   Runtime runtime(net, /*seed=*/2024);
 
-  // 5. One pmcast node per process; the directory resolves addresses to
-  //    simulated process ids.
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
-  for (std::size_t i = 0; i < members.size(); ++i)
-    directory.emplace(members[i].address, static_cast<ProcessId>(i));
-  const auto lookup = [&directory](const Address& a) {
-    const auto it = directory.find(a);
-    return it == directory.end() ? kNoProcess : it->second;
+  // 5. One pmcast node per process; the directory resolves interned
+  //    address ids to simulated process ids.
+  std::vector<ProcessId> directory;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (directory.size() <= id) directory.resize(id + 1, kNoProcess);
+    directory[id] = static_cast<ProcessId>(i);
+  }
+  const auto lookup = [&directory](AddrId id) {
+    return id < directory.size() ? directory[id] : kNoProcess;
   };
 
   PmcastConfig config;

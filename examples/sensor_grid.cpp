@@ -41,16 +41,19 @@ int main() {
   TreeConfig tree_config;
   tree_config.depth = 3;
   tree_config.redundancy = 3;
-  GroupTree tree(tree_config, members);
+  Interns interns;
+  GroupTree tree(tree_config, members, interns);
   const TreeViewProvider views(tree);
 
   Runtime runtime(NetworkConfig{}, 5);
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
-  for (std::size_t i = 0; i < members.size(); ++i)
-    directory.emplace(members[i].address, static_cast<ProcessId>(i));
-  const auto lookup = [&directory](const Address& a) {
-    const auto it = directory.find(a);
-    return it == directory.end() ? kNoProcess : it->second;
+  std::vector<ProcessId> directory;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (directory.size() <= id) directory.resize(id + 1, kNoProcess);
+    directory[id] = static_cast<ProcessId>(i);
+  }
+  const auto lookup = [&directory](AddrId id) {
+    return id < directory.size() ? directory[id] : kNoProcess;
   };
 
   PmcastConfig config;

@@ -16,6 +16,7 @@ TreecastNode::TreecastNode(Runtime& rt, ProcessId pid, TreecastConfig config,
   config_.tree.validate();
   PMC_EXPECTS(self_.depth() == config_.tree.depth);
   PMC_EXPECTS(directory_ != nullptr);
+  self_id_ = views.interns().addrs.intern(self_);
 }
 
 void TreecastNode::multicast(Event event) {
@@ -42,13 +43,13 @@ void TreecastNode::forward_from(const std::shared_ptr<const Event>& event,
        ++depth) {
     const DepthView& view = views_->view(self_, depth);
     const AddrComponent own_infix = self_.component(depth - 1);
-    for (const auto& row : view.rows()) {
-      if (!row.alive || row.delegates.empty()) continue;
-      if (!row.interests.match(*event)) continue;
-      if (depth < config_.tree.depth && row.infix == own_infix)
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (!view.alive(i) || view.delegates(i).empty()) continue;
+      if (!view.interests(i).match(*event)) continue;
+      if (depth < config_.tree.depth && view.infix(i) == own_infix)
         continue;  // our own branch: we keep descending ourselves
-      if (row.delegates.front() == self_) continue;
-      const ProcessId target = directory_(row.delegates.front());
+      if (view.first_delegate(i) == self_id_) continue;
+      const ProcessId target = directory_(view.first_delegate(i));
       if (target == kNoProcess) continue;
       auto msg = std::make_shared<TreecastMsg>();
       msg->event = event;

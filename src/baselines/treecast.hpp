@@ -38,7 +38,7 @@ struct TreecastConfig {
 class TreecastNode final : public Process {
  public:
   using DeliverHandler = std::function<void(const Event&)>;
-  using Directory = std::function<ProcessId(const Address&)>;
+  using Directory = std::function<ProcessId(AddrId)>;
 
   TreecastNode(Runtime& rt, ProcessId pid, TreecastConfig config,
                Address self, Subscription subscription,
@@ -76,6 +76,7 @@ class TreecastNode final : public Process {
 
   TreecastConfig config_;
   Address self_;
+  AddrId self_id_ = kNoAddr;
   Subscription subscription_;
   const ViewProvider* views_;
   Directory directory_;

@@ -1,0 +1,84 @@
+// Sorted-vector map for small dense integer keys (AddrId contact tables).
+//
+// SyncNode keeps a handful of per-neighbor timestamps (last contact, grace
+// windows, pending suspicions). An unordered_map<Address, SimTime> spends a
+// heap node plus a component-vector copy per entry; with interned ids the
+// same table is one contiguous vector of 12-byte pairs and a binary search —
+// smaller than the unordered_map's bucket array alone at typical neighbor
+// counts, and trivially iterable in deterministic (key) order.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace pmc {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() noexcept { return entries_.begin(); }
+  iterator end() noexcept { return entries_.end(); }
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator find(K key) {
+    const auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  const_iterator find(K key) const {
+    const auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  bool contains(K key) const { return find(key) != entries_.end(); }
+
+  /// Inserts or overwrites; returns the entry's value slot.
+  V& insert_or_assign(K key, V value) {
+    const auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(value);
+      return it->second;
+    }
+    return entries_.insert(it, {key, std::move(value)})->second;
+  }
+
+  /// operator[]-style access, default-constructing missing entries.
+  V& operator[](K key) {
+    const auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, V{}})->second;
+  }
+
+  bool erase(K key) {
+    const auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+  iterator erase(iterator it) { return entries_.erase(it); }
+
+ private:
+  iterator lower_bound(K key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, K k) { return e.first < k; });
+  }
+  const_iterator lower_bound(K key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, K k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;  // sorted by key, unique keys
+};
+
+}  // namespace pmc

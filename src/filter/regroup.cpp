@@ -1,9 +1,11 @@
 #include "filter/regroup.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 
 namespace pmc {
 
@@ -347,6 +349,63 @@ std::size_t InterestSummary::complexity() const noexcept {
   for (const auto& [attr, ivs] : numeric_) n += ivs.size();
   for (const auto& [attr, allowed] : strings_) n += allowed.size();
   return n;
+}
+
+namespace {
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) noexcept {
+  h = fnv1a_u64(h, s.size());
+  for (const char c : s) h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+std::uint64_t hash_interval(std::uint64_t h, const Interval& iv) noexcept {
+  h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(iv.lo));
+  h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(iv.hi));
+  h = fnv1a_byte(h, static_cast<std::uint8_t>((iv.lo_open ? 1 : 0) |
+                                              (iv.hi_open ? 2 : 0)));
+  return h;
+}
+
+std::uint64_t hash_clause(std::uint64_t h, const Clause& c) noexcept {
+  h = fnv1a_byte(h, c.contradictory() ? 1 : 0);
+  h = fnv1a_u64(h, c.numeric().size());
+  for (const auto& [attr, iv] : c.numeric()) {
+    h = hash_string(h, attr);
+    h = hash_interval(h, iv);
+  }
+  h = fnv1a_u64(h, c.strings().size());
+  for (const auto& [attr, allowed] : c.strings()) {
+    h = hash_string(h, attr);
+    h = fnv1a_u64(h, allowed.size());
+    for (const auto& s : allowed) h = hash_string(h, s);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t InterestSummary::hash() const noexcept {
+  std::uint64_t h = kFnv1aBasis;
+  h = fnv1a_byte(h, wildcard_ ? 1 : 0);
+  h = fnv1a_u64(h, numeric_.size());
+  for (const auto& [attr, ivs] : numeric_) {
+    h = hash_string(h, attr);
+    h = fnv1a_u64(h, ivs.size());
+    for (const auto& iv : ivs.intervals()) h = hash_interval(h, iv);
+  }
+  h = fnv1a_u64(h, strings_.size());
+  for (const auto& [attr, allowed] : strings_) {
+    h = hash_string(h, attr);
+    h = fnv1a_u64(h, allowed.size());
+    for (const auto& s : allowed) h = hash_string(h, s);
+  }
+  h = fnv1a_u64(h, clauses_.size());
+  for (const auto& c : clauses_) h = hash_clause(h, c);
+  h = fnv1a_u64(h, opaque_.size());
+  for (const auto& p : opaque_)
+    h = fnv1a_u64(h, reinterpret_cast<std::uintptr_t>(p.get()));
+  return h;
 }
 
 std::string InterestSummary::to_string() const {

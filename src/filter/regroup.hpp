@@ -22,6 +22,7 @@
 // mechanism sketched in the paper's concluding remarks.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -129,6 +130,11 @@ class InterestSummary {
   /// Structural equality (opaque predicates compare by pointer identity).
   friend bool operator==(const InterestSummary&, const InterestSummary&) =
       default;
+
+  /// Structural FNV-1a hash consistent with operator== (equal summaries hash
+  /// equal; opaque predicates hash by pointer identity, matching ==). Feeds
+  /// InternPool<InterestSummary> content addressing.
+  std::uint64_t hash() const noexcept;
 
   std::string to_string() const;
 

@@ -67,11 +67,15 @@ PmcastConfig ExperimentConfig::pmcast_config() const {
 namespace {
 
 /// Shared per-configuration state reused across runs: the member population,
-/// its tree, and the address -> pid directory.
+/// its intern state, its tree, and the interned-address -> pid directory.
 struct Population {
   std::vector<Member> members;
+  /// Declared before the tree, which holds a reference into it. Mutable:
+  /// protocol nodes intern their own address through the (const) provider.
+  mutable Interns interns;
   std::unique_ptr<GroupTree> tree;
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  /// Dense AddrId -> pid directory; kNoProcess for foreign ids.
+  std::vector<ProcessId> pid_by_id;
 
   explicit Population(const ExperimentConfig& config, bool build_tree) {
     config.validate();
@@ -82,23 +86,25 @@ struct Population {
                   ? clustered_interest_members(space, config.pd,
                                                config.cluster_jitter, rng)
                   : uniform_interest_members(space, config.pd, rng);
+    interns.reserve(members.size(), config.d);
     if (build_tree) {
       TreeConfig tc;
       tc.depth = config.d;
       tc.redundancy = config.r;
       GroupTreeOptions opts;
       opts.coarsen_depth_leq = config.coarsen_depth_leq;
-      tree = std::make_unique<GroupTree>(tc, members, opts);
+      tree = std::make_unique<GroupTree>(tc, members, interns, opts);
     }
-    directory.reserve(members.size());
-    for (std::size_t i = 0; i < members.size(); ++i)
-      directory.emplace(members[i].address, static_cast<ProcessId>(i));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const AddrId id = interns.addrs.intern(members[i].address);
+      if (pid_by_id.size() <= id) pid_by_id.resize(id + 1, kNoProcess);
+      pid_by_id[id] = static_cast<ProcessId>(i);
+    }
   }
 
   PmcastNode::Directory directory_fn() const {
-    return [this](const Address& a) {
-      const auto it = directory.find(a);
-      return it == directory.end() ? kNoProcess : it->second;
+    return [this](AddrId id) {
+      return id < pid_by_id.size() ? pid_by_id[id] : kNoProcess;
     };
   }
 };

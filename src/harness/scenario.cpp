@@ -406,8 +406,12 @@ ChurnSim::ChurnSim(ChurnConfig config)
   owned_rt_ = std::make_unique<Runtime>(net, config_.seed);
   rt_ = owned_rt_.get();
   // Two protocol nodes per address: pre-size the handler and sender tables
-  // so a full group never resizes them mid-run.
+  // so a full group never resizes them mid-run. Same idea for the intern
+  // arenas: the whole address space is interned during init_population.
   rt_->network().reserve(2 * config_.capacity());
+  owned_interns_ = std::make_unique<Interns>();
+  owned_interns_->reserve(config_.capacity(), config_.d);
+  interns_ = owned_interns_.get();
   if (config_.wire_transcode) {
     rt_->network().set_transcoder([](const MessagePtr& msg) {
       return wire::decode_message(wire::encode_message(*msg));
@@ -418,10 +422,11 @@ ChurnSim::ChurnSim(ChurnConfig config)
 }
 
 ChurnSim::ChurnSim(Runtime& runtime, ChurnConfig config, ProcessId pid_base,
-                   std::uint64_t stream_salt)
+                   std::uint64_t stream_salt, Interns& interns)
     : config_(config),
       space_(make_space(config_)),
       rt_(&runtime),
+      interns_(&interns),
       pid_base_(pid_base),
       stream_salt_(stream_salt) {
   // Runtime-wide knobs (latency, wire transcoding, base ε) belong to the
@@ -437,13 +442,14 @@ void ChurnSim::init_population() {
   // on (seed, address), so churn never re-shuffles anyone else's interests.
   const auto addresses = space_.enumerate();
   slots_.reserve(addresses.size());
-  index_.reserve(addresses.size());
   for (std::size_t i = 0; i < addresses.size(); ++i) {
     Slot slot;
     auto member = stable_member(addresses[i], config_.pd, config_.seed);
     slot.address = std::move(member.address);
     slot.subscription = std::move(member.subscription);
-    index_.emplace(slot.address, i);
+    const AddrId id = interns_->addrs.intern(slot.address);
+    if (slot_of_id_.size() <= id) slot_of_id_.resize(id + 1, kNoSlot);
+    slot_of_id_[id] = i;
     slots_.push_back(std::move(slot));
   }
 
@@ -464,7 +470,7 @@ void ChurnSim::init_population() {
   TreeConfig tc;
   tc.depth = config_.d;
   tc.redundancy = config_.r;
-  oracle_ = std::make_unique<GroupTree>(tc, std::move(members));
+  oracle_ = std::make_unique<GroupTree>(tc, std::move(members), *interns_);
 
   for (const auto i : picks) spawn(i, /*founder=*/true, kNoProcess);
 
@@ -499,17 +505,21 @@ void ChurnSim::set_loss_hook(std::function<void(double)> hook) {
   apply_loss_ = std::move(hook);
 }
 
+std::size_t ChurnSim::slot_for(AddrId id) const noexcept {
+  return id < slot_of_id_.size() ? slot_of_id_[id] : kNoSlot;
+}
+
 SyncNode::Directory ChurnSim::sync_directory() {
-  return [this](const Address& a) {
-    const auto it = index_.find(a);
-    return it == index_.end() ? kNoProcess : sync_pid(it->second);
+  return [this](AddrId id) {
+    const std::size_t slot = slot_for(id);
+    return slot == kNoSlot ? kNoProcess : sync_pid(slot);
   };
 }
 
 PmcastNode::Directory ChurnSim::pm_directory() {
-  return [this](const Address& a) {
-    const auto it = index_.find(a);
-    return it == index_.end() ? kNoProcess : pm_pid(it->second);
+  return [this](AddrId id) {
+    const std::size_t slot = slot_for(id);
+    return slot == kNoSlot ? kNoProcess : pm_pid(slot);
   };
 }
 
@@ -542,7 +552,7 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   } else {
     slot.sync = std::make_unique<SyncNode>(*rt_, sync_pid(slot_idx), sc,
                                            slot.address, slot.subscription,
-                                           contact);
+                                           contact, *interns_);
   }
   slot.sync->set_directory(sync_directory());
 
@@ -576,7 +586,7 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   });
   SyncNode* sync = slot.sync.get();
   slot.pm->set_piggyback(
-      [sync](const Address& target) { return sync->rows_to_share(target); },
+      [sync](AddrId target) { return sync->rows_to_share(target); },
       [sync](const Address& sender, const std::vector<DepthRow>& rows) {
         sync->absorb_rows(sender, rows);
       });
@@ -783,7 +793,7 @@ void ChurnSim::apply(const ScenarioAction& action,
               }
               const std::size_t contact =
                   contacts[rng->next_below(contacts.size())];
-              const std::size_t idx = index_.at(address);
+              const std::size_t idx = slot_for(interns_->addrs.intern(address));
               spawn(idx, /*founder=*/false, sync_pid(contact));
               oracle_->add_member(address, slots_[idx].subscription);
               ++counters_.joins_requested;

@@ -304,9 +304,11 @@ class ChurnSim {
   /// Shard mode: hosts the group on `runtime` (owned elsewhere), with pids
   /// offset by `pid_base` and every labeled stream salted by `stream_salt`.
   /// The owner is responsible for runtime-wide settings (wire transcoding,
-  /// base latency) and for scoping loss via set_loss_hook.
+  /// base latency), for scoping loss via set_loss_hook, and provides the
+  /// shared intern state (shards use the same address space, so one table
+  /// serves them all).
   ChurnSim(Runtime& runtime, ChurnConfig config, ProcessId pid_base,
-           std::uint64_t stream_salt);
+           std::uint64_t stream_salt, Interns& interns);
 
   ~ChurnSim();
 
@@ -322,6 +324,7 @@ class ChurnSim {
   SimTime now() const noexcept;
 
   Runtime& runtime() noexcept { return *rt_; }
+  Interns& interns() noexcept { return *interns_; }
   const ChurnConfig& config() const noexcept { return config_; }
   const ChurnCounters& counters() const noexcept { return counters_; }
 
@@ -377,6 +380,8 @@ class ChurnSim {
 
   ProcessId sync_pid(std::size_t slot) const noexcept;
   ProcessId pm_pid(std::size_t slot) const noexcept;
+  /// The slot owning interned address `id`; kNoSlot for foreign ids.
+  std::size_t slot_for(AddrId id) const noexcept;
   /// Labeled stream salted with this group's shard tag (no-op salt when the
   /// group owns its runtime).
   Rng stream(std::uint64_t tag) const;
@@ -405,17 +410,23 @@ class ChurnSim {
   void retarget_pending_joiners(Rng& rng);
   void publish_one(Rng& rng);
 
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   ChurnConfig config_;
   AddressSpace space_;
   std::unique_ptr<Runtime> owned_rt_;  ///< set only in single-group mode
   Runtime* rt_ = nullptr;              ///< owned_rt_.get() or the shared one
+  std::unique_ptr<Interns> owned_interns_;  ///< single-group mode only
+  Interns* interns_ = nullptr;  ///< owned_interns_.get() or the shared one
   ProcessId pid_base_ = 0;
   std::uint64_t stream_salt_ = 0;  ///< 0 in single-group mode (tags as-is)
   SimTime adaptive_interval_ = 0;  ///< resolved sampling window (adaptive)
   std::function<void(double)> apply_loss_;  ///< see set_loss_hook
   std::unique_ptr<GroupTree> oracle_;  ///< intended membership bookkeeping
   std::vector<Slot> slots_;
-  std::unordered_map<Address, std::size_t, AddressHash> index_;
+  /// Dense AddrId -> slot directory (every slot address is interned up
+  /// front, so protocol-node lookups are a bounds check + array read).
+  std::vector<std::size_t> slot_of_id_;
   std::vector<std::size_t> crashed_pool_;  ///< recover candidates, FIFO
   /// Per-(time, kind) ordinals for action stream labels; persists across
   /// play() calls so appended timelines never reuse a label.

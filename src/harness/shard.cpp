@@ -129,6 +129,10 @@ ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
   }
 
   const std::size_t capacity = config_.shard.capacity();
+  // Every shard enumerates the same address space, so the shared table
+  // holds exactly `capacity` distinct addresses however many shards run.
+  interns_ = std::make_unique<Interns>();
+  interns_->reserve(capacity, config_.shard.d);
   shard_loss_.assign(config_.shards, config_.shard.loss);
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -143,7 +147,7 @@ ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
     }
     shards_.push_back(std::make_unique<ChurnSim>(
         *runtime_, cfg, static_cast<ProcessId>(s * 2 * capacity),
-        shard_tag(kShardStreamSalt, s)));
+        shard_tag(kShardStreamSalt, s), *interns_));
     // Scope LossBurst actions to this shard's slice of the loss model.
     shards_.back()->set_loss_hook(
         [this, s](double eps) { shard_loss_[s] = eps; });

@@ -138,6 +138,10 @@ class ShardedSim {
 
   ShardedConfig config_;
   std::unique_ptr<Runtime> runtime_;
+  /// Intern state shared by every shard: all shards draw from the same
+  /// address space, so one table serves them all (declared before shards_,
+  /// which hold references into it).
+  std::unique_ptr<Interns> interns_;
   std::vector<std::unique_ptr<ChurnSim>> shards_;
   /// Current ε per shard, read by the network's loss model; LossBurst
   /// actions write their shard's entry through set_loss_hook.

@@ -30,4 +30,21 @@ std::vector<Address> elect_delegates(std::span<const Address> members,
   return elect_delegates(members, r, smallest_address_rank());
 }
 
+void elect_delegate_ids(std::span<const AddrId> members, std::size_t r,
+                        const AddrInternTable& table,
+                        std::vector<AddrId>& out) {
+  PMC_EXPECTS(r >= 1);
+  out.assign(members.begin(), members.end());
+  const auto by_address = [&table](AddrId a, AddrId b) {
+    return table.less(a, b);
+  };
+  if (out.size() > r) {
+    std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(r),
+                      out.end(), by_address);
+    out.resize(r);
+  } else {
+    std::sort(out.begin(), out.end(), by_address);
+  }
+}
+
 }  // namespace pmc

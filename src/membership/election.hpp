@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "addr/address.hpp"
+#include "addr/intern.hpp"
 
 namespace pmc {
 
@@ -31,5 +32,13 @@ std::vector<Address> elect_delegates(std::span<const Address> members,
 
 std::vector<Address> elect_delegates(std::span<const Address> members,
                                      std::size_t r);
+
+/// Interned-id election under the paper's default criterion: the winners
+/// are ranked by their *addresses* (ids are first-intern order, never a
+/// valid ranking), resolved through `table`. Writes into `out` (cleared
+/// first) so the recompaction hot path elects without allocating.
+void elect_delegate_ids(std::span<const AddrId> members, std::size_t r,
+                        const AddrInternTable& table,
+                        std::vector<AddrId>& out);
 
 }  // namespace pmc

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "membership/election.hpp"
 
 namespace pmc {
+
+namespace {
+
+constexpr std::uint64_t kNeverRecompacted = ~std::uint64_t{0};
+
+}  // namespace
 
 SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config,
                    MembershipView view, Subscription subscription)
@@ -16,19 +23,26 @@ SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config,
   config_.tree.validate();
   // Continue from the highest version present so local edits sort after
   // everything already in the bootstrap view (Lamport-style).
-  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth)
-    for (const auto& row : view_.view(depth).rows())
-      version_counter_ = std::max(version_counter_, row.version);
+  for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth) {
+    const DepthView& dv = view_.view(depth);
+    for (std::size_t i = 0; i < dv.size(); ++i)
+      version_counter_ = std::max(version_counter_, dv.version(i));
+  }
+  recompact_cache_.assign(config_.tree.depth,
+                          {kNeverRecompacted, kNeverRecompacted});
   arm_periodic(config_.gossip_period);
 }
 
 SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
-                   Subscription subscription, ProcessId contact)
+                   Subscription subscription, ProcessId contact,
+                   Interns& interns)
     : Process(rt, pid),
       config_(config),
-      view_(std::move(self), config.tree),
+      view_(std::move(self), config.tree, interns),
       subscription_(std::move(subscription)),
       join_contact_(contact) {
+  recompact_cache_.assign(config_.tree.depth,
+                          {kNeverRecompacted, kNeverRecompacted});
   send_join_request();
   arm_periodic(config_.gossip_period);
 }
@@ -52,10 +66,12 @@ void SyncNode::leave() {
   auto msg = std::make_shared<LeaveMsg>();
   msg->leaver = view_.self();
   // Inform the immediate (leaf-depth) neighbors.
-  for (const auto& row : view_.view(config_.tree.depth).rows()) {
-    if (!row.alive || row.delegates.empty()) continue;
-    if (row.delegates.front() == view_.self()) continue;
-    send_to(row.delegates.front(), msg);
+  const DepthView& leaf = view_.view(config_.tree.depth);
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    if (!leaf.alive(i) || leaf.delegates(i).empty()) continue;
+    const AddrId neighbor = leaf.first_delegate(i);
+    if (neighbor == view_.self_id()) continue;
+    send_to(neighbor, msg);
   }
   crash();  // fail-stop semantics: the process simply stops participating
 }
@@ -107,7 +123,7 @@ void SyncNode::on_period() {
   recompact_own_rows();
   check_neighbor_timeouts();
 
-  const auto peers = known_peers();
+  const auto& peers = known_peers();
   if (peers.empty()) return;
   auto digest = std::make_shared<MembershipDigestMsg>();
   digest->sender = view_.self();
@@ -131,14 +147,17 @@ void SyncNode::on_period() {
   // Leaf subgroups actively ping each other (paper Sec. 6): one extra
   // digest per period to a round-robin immediate neighbor keeps the
   // last-contact table fresh and failure detection accurate.
-  std::vector<const Address*> neighbors;
-  for (const auto& row : view_.view(config_.tree.depth).rows()) {
-    if (!row.alive || row.delegates.empty()) continue;
-    if (row.delegates.front() == view_.self()) continue;
-    neighbors.push_back(&row.delegates.front());
+  neighbor_scratch_.clear();
+  const DepthView& leaf = view_.view(config_.tree.depth);
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    if (!leaf.alive(i) || leaf.delegates(i).empty()) continue;
+    const AddrId neighbor = leaf.first_delegate(i);
+    if (neighbor == view_.self_id()) continue;
+    neighbor_scratch_.push_back(neighbor);
   }
-  if (!neighbors.empty()) {
-    const Address& ping = *neighbors[ping_cursor_++ % neighbors.size()];
+  if (!neighbor_scratch_.empty()) {
+    const AddrId ping =
+        neighbor_scratch_[ping_cursor_++ % neighbor_scratch_.size()];
     if (directory_) {
       const ProcessId pid = directory_(ping);
       if (pid != kNoProcess) digest_targets_.push_back(pid);
@@ -158,13 +177,16 @@ void SyncNode::handle_digest(ProcessId from, const MembershipDigestMsg& m) {
   std::vector<DepthRow> newer;
   for (std::size_t depth = 1; depth <= std::min(shared, config_.tree.depth);
        ++depth) {
-    for (const auto& row : view_.view(depth).rows()) {
+    const DepthView& dv = view_.view(depth);
+    for (std::size_t i = 0; i < dv.size(); ++i) {
+      const AddrComponent infix = dv.infix(i);
       const auto it = std::find_if(
           m.digests.begin(), m.digests.end(), [&](const RowDigest& d) {
-            return d.depth == depth && d.infix == row.infix;
+            return d.depth == depth && d.infix == infix;
           });
-      if (it == m.digests.end() || it->version < row.version)
-        newer.push_back(DepthRow{static_cast<std::uint32_t>(depth), row});
+      if (it == m.digests.end() || it->version < dv.version(i))
+        newer.push_back(
+            DepthRow{static_cast<std::uint32_t>(depth), dv.materialize(i)});
     }
   }
   // With ack_digests every digest is answered — an empty update is a pure
@@ -204,12 +226,13 @@ void SyncNode::handle_join(ProcessId from, const JoinRequestMsg& m) {
   // Try to route closer: a delegate of a deeper subgroup on the joiner's
   // path knows strictly more of the joiner's neighborhood than we do.
   if (shared + 1 < config_.tree.depth && m.hops < config_.max_join_hops) {
-    const auto* row = view_.view(shared + 1).find(m.joiner.component(shared));
-    if (row != nullptr && row->alive && !row->delegates.empty() &&
-        !(row->delegates.front() == view_.self())) {
+    const DepthView& dv = view_.view(shared + 1);
+    const std::size_t i = dv.find_index(m.joiner.component(shared));
+    if (i != DepthView::npos && dv.alive(i) && !dv.delegates(i).empty() &&
+        dv.first_delegate(i) != view_.self_id()) {
       auto fwd = std::make_shared<JoinRequestMsg>(m);
       fwd->hops = m.hops + 1;
-      send_to(row->delegates.front(), std::move(fwd));
+      send_to(dv.first_delegate(i), std::move(fwd));
       ++stats_.joins_forwarded;
       return;
     }
@@ -230,7 +253,7 @@ void SyncNode::handle_join(ProcessId from, const JoinRequestMsg& m) {
 
   auto transfer = std::make_shared<ViewTransferMsg>();
   transfer->sender = view_.self();
-  transfer->rows = rows_for(m.joiner);
+  transfer->rows = rows_for(addrs().intern(m.joiner));
   send(m.joiner_pid, std::move(transfer));
   ++stats_.joins_served;
 }
@@ -250,7 +273,7 @@ void SyncNode::handle_view_transfer(const ViewTransferMsg& m) {
     self_row.interests = InterestSummary::from(subscription_);
     self_row.process_count = 1;
     self_row.version = next_version();
-    view_.view(config_.tree.depth).upsert(std::move(self_row));
+    view_.view(config_.tree.depth).upsert(self_row);
   }
 }
 
@@ -258,16 +281,10 @@ void SyncNode::handle_leave(const LeaveMsg& m) {
   // Tombstone the leaver's leaf row; anti-entropy spreads it.
   const std::size_t shared = view_.self().common_prefix_length(m.leaver);
   const std::size_t depth = std::min(shared + 1, config_.tree.depth);
-  const auto* row = view_.view(depth).find(
-      m.leaver.component(depth - 1));
-  if (row == nullptr || !row->alive) return;
-  ViewRow tomb = *row;
-  tomb.alive = false;
-  tomb.version = std::max(next_version(), row->version + 1);
-  version_counter_ = std::max(version_counter_, tomb.version);
-  view_.view(depth).upsert(std::move(tomb));
-  ++stats_.tombstones;
-  ++stats_.deaths_observed;
+  DepthView& dv = view_.view(depth);
+  const std::size_t i = dv.find_index(m.leaver.component(depth - 1));
+  if (i == DepthView::npos || !dv.alive(i)) return;
+  tombstone_row(dv, i);
 }
 
 bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
@@ -280,24 +297,28 @@ bool SyncNode::apply_row(std::uint32_t depth, const ViewRow& row) {
     alive_row.alive = true;
     alive_row.version = next_version();
     ++stats_.rebuttals;
-    return view_.view(depth).upsert(std::move(alive_row));
+    return view_.view(depth).upsert(alive_row);
   }
-  const auto* current = view_.view(depth).find(row.infix);
-  const bool was_alive = current != nullptr && current->alive;
-  const bool changed = view_.view(depth).upsert(row);
+  DepthView& dv = view_.view(depth);
+  const std::size_t current = dv.find_index(row.infix);
+  const bool was_alive = current != DepthView::npos && dv.alive(current);
+  const bool changed = dv.upsert(row);
   // A known-live row absorbed as a tombstone is observed incarnation
   // churn: the raw signal behind the online crash-rate estimate.
   if (changed && was_alive && !row.alive) ++stats_.deaths_observed;
   return changed;
 }
 
-std::vector<DepthRow> SyncNode::rows_for(const Address& other) const {
-  const std::size_t shared = view_.self().common_prefix_length(other);
+std::vector<DepthRow> SyncNode::rows_for(AddrId other) const {
+  const std::size_t shared =
+      addrs().common_prefix_length(view_.self_id(), other);
   std::vector<DepthRow> out;
   for (std::size_t depth = 1;
        depth <= std::min(shared + 1, config_.tree.depth); ++depth) {
-    for (const auto& row : view_.view(depth).rows())
-      out.push_back(DepthRow{static_cast<std::uint32_t>(depth), row});
+    const DepthView& dv = view_.view(depth);
+    for (std::size_t i = 0; i < dv.size(); ++i)
+      out.push_back(
+          DepthRow{static_cast<std::uint32_t>(depth), dv.materialize(i)});
   }
   return out;
 }
@@ -305,9 +326,10 @@ std::vector<DepthRow> SyncNode::rows_for(const Address& other) const {
 std::vector<RowDigest> SyncNode::make_digest() const {
   std::vector<RowDigest> out;
   for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth) {
-    for (const auto& row : view_.view(depth).rows())
-      out.push_back(RowDigest{static_cast<std::uint32_t>(depth), row.infix,
-                              row.version});
+    const DepthView& dv = view_.view(depth);
+    for (std::size_t i = 0; i < dv.size(); ++i)
+      out.push_back(RowDigest{static_cast<std::uint32_t>(depth), dv.infix(i),
+                              dv.version(i)});
   }
   return out;
 }
@@ -319,51 +341,68 @@ void SyncNode::recompact_own_rows() {
   if (config_.tree.depth < 2) return;
   for (std::size_t depth = config_.tree.depth - 1; depth >= 1; --depth) {
     const DepthView& deeper = view_.view(depth + 1);
-    if (deeper.empty()) continue;
+    DepthView& own = view_.view(depth);
+    // The compaction is a pure function of (deeper table, own table): while
+    // neither mutated since the pass that established the cache, re-running
+    // it would conclude "nothing changed" — skip it outright.
+    auto& cache = recompact_cache_[depth - 1];
+    if (cache.first == deeper.mutations() && cache.second == own.mutations())
+      continue;
+    if (deeper.empty()) {
+      cache = {deeper.mutations(), own.mutations()};
+      continue;
+    }
 
     InterestSummary summary;
-    std::vector<Address> candidates;
+    candidate_scratch_.clear();
     std::uint64_t count = 0;
-    for (const auto& r : deeper.rows()) {
-      if (!r.alive) continue;
-      summary.merge(r.interests);
-      candidates.insert(candidates.end(), r.delegates.begin(),
-                        r.delegates.end());
-      count += r.process_count;
+    for (std::size_t i = 0; i < deeper.size(); ++i) {
+      if (!deeper.alive(i)) continue;
+      summary.merge(deeper.interests(i));
+      const auto ids = deeper.delegates(i);
+      candidate_scratch_.insert(candidate_scratch_.end(), ids.begin(),
+                                ids.end());
+      count += deeper.process_count(i);
     }
-    if (count == 0) continue;
-    auto delegates = elect_delegates(candidates, config_.tree.redundancy);
+    if (count == 0) {
+      cache = {deeper.mutations(), own.mutations()};
+      continue;
+    }
+    elect_delegate_ids(candidate_scratch_, config_.tree.redundancy, addrs(),
+                       delegate_scratch_);
 
     // Publish only if we are one of the delegates of our own subgroup.
-    if (std::find(delegates.begin(), delegates.end(), view_.self()) ==
-        delegates.end())
+    if (std::find(delegate_scratch_.begin(), delegate_scratch_.end(),
+                  view_.self_id()) == delegate_scratch_.end()) {
+      cache = {deeper.mutations(), own.mutations()};
       continue;
+    }
 
     const AddrComponent own_infix = view_.self().component(depth - 1);
-    const auto* current = view_.view(depth).find(own_infix);
-    if (current != nullptr && current->alive &&
-        current->delegates == delegates &&
-        current->process_count == count && current->interests == summary)
+    const std::size_t current = own.find_index(own_infix);
+    if (current != DepthView::npos && own.alive(current) &&
+        std::ranges::equal(own.delegates(current), delegate_scratch_) &&
+        own.process_count(current) == count &&
+        own.interests(current) == summary) {
+      cache = {deeper.mutations(), own.mutations()};
       continue;  // nothing changed
+    }
 
-    ViewRow row;
-    row.infix = own_infix;
-    row.delegates = std::move(delegates);
-    row.interests = std::move(summary);
-    row.process_count = count;
-    row.version = next_version();
-    view_.view(depth).upsert(std::move(row));
+    own.upsert_pooled(own_infix, delegate_scratch_,
+                      view_.interns().summaries.intern(std::move(summary)),
+                      count, next_version(), true);
+    cache = {deeper.mutations(), own.mutations()};
   }
 }
 
 void SyncNode::check_neighbor_timeouts() {
   const SimTime now = runtime().now();
-  auto& leaf = view_.view(config_.tree.depth);
-  std::vector<Address> suspects;
-  for (const auto& row : leaf.rows()) {
-    if (!row.alive || row.delegates.empty()) continue;
-    const Address& neighbor = row.delegates.front();
-    if (neighbor == view_.self()) continue;
+  DepthView& leaf = view_.view(config_.tree.depth);
+  suspect_scratch_.clear();
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    if (!leaf.alive(i) || leaf.delegates(i).empty()) continue;
+    const AddrId neighbor = leaf.first_delegate(i);
+    if (neighbor == view_.self_id()) continue;
     const auto it = last_contact_.find(neighbor);
     SimTime last = it == last_contact_.end() ? SimTime{0} : it->second;
     const auto grace = grace_until_.find(neighbor);
@@ -371,12 +410,17 @@ void SyncNode::check_neighbor_timeouts() {
     if (now - last <= config_.suspicion_timeout) continue;
     if (it == last_contact_.end() && now <= config_.suspicion_timeout)
       continue;  // grace period right after startup
-    suspects.push_back(neighbor);
+    suspect_scratch_.push_back(neighbor);
   }
 
-  for (const Address& suspect : suspects) {
+  for (const AddrId suspect : suspect_scratch_) {
+    const auto tombstone_suspect = [&] {
+      const std::size_t i = leaf.find_index(
+          addrs().component(suspect, config_.tree.depth - 1));
+      if (i != DepthView::npos && leaf.alive(i)) tombstone_row(leaf, i);
+    };
     if (!config_.confirm_suspicion) {
-      tombstone_neighbor(suspect);
+      tombstone_suspect();
       continue;
     }
     // Agreement-before-exclusion: ask one other live neighbor first.
@@ -386,34 +430,35 @@ void SyncNode::check_neighbor_timeouts() {
       // gone too; fall back to unilateral exclusion.
       if (now - pending->second > config_.suspicion_timeout) {
         pending_suspicions_.erase(pending);
-        tombstone_neighbor(suspect);
+        tombstone_suspect();
       }
       continue;
     }
-    const Address* confirmer = nullptr;
-    for (const auto& row : leaf.rows()) {
-      if (!row.alive || row.delegates.empty()) continue;
-      const Address& candidate = row.delegates.front();
-      if (candidate == view_.self() || candidate == suspect) continue;
-      confirmer = &candidate;
+    AddrId confirmer = kNoAddr;
+    for (std::size_t i = 0; i < leaf.size(); ++i) {
+      if (!leaf.alive(i) || leaf.delegates(i).empty()) continue;
+      const AddrId candidate = leaf.first_delegate(i);
+      if (candidate == view_.self_id() || candidate == suspect) continue;
+      confirmer = candidate;
       break;
     }
-    if (confirmer == nullptr) {
-      tombstone_neighbor(suspect);  // nobody to ask
+    if (confirmer == kNoAddr) {
+      tombstone_suspect();  // nobody to ask
       continue;
     }
     auto query = std::make_shared<SuspectQueryMsg>();
     query->sender = view_.self();
-    query->suspect = suspect;
-    send_to(*confirmer, std::move(query));
-    pending_suspicions_.emplace(suspect, now);
+    query->suspect = addrs().resolve(suspect);
+    send_to(confirmer, std::move(query));
+    pending_suspicions_.insert_or_assign(suspect, now);
   }
 }
 
 void SyncNode::handle_suspect_query(ProcessId from,
                                     const SuspectQueryMsg& m) {
   note_contact(m.sender);
-  const auto it = last_contact_.find(m.suspect);
+  const AddrId suspect = addrs().intern(m.suspect);
+  const auto it = last_contact_.find(suspect);
   const bool heard =
       it != last_contact_.end() &&
       runtime().now() - it->second <= config_.suspicion_timeout;
@@ -426,51 +471,53 @@ void SyncNode::handle_suspect_query(ProcessId from,
 
 void SyncNode::handle_suspect_reply(const SuspectReplyMsg& m) {
   note_contact(m.sender);
-  const auto it = pending_suspicions_.find(m.suspect);
+  const AddrId suspect = addrs().intern(m.suspect);
+  const auto it = pending_suspicions_.find(suspect);
   if (it == pending_suspicions_.end()) return;  // stale reply
   pending_suspicions_.erase(it);
   if (m.heard_recently) {
     // The suspect is alive elsewhere: extend our deadline — but only as a
     // grace note, never as direct contact (see grace_until_ comment).
-    grace_until_[m.suspect] = runtime().now();
+    grace_until_.insert_or_assign(suspect, runtime().now());
   } else {
-    tombstone_neighbor(m.suspect);
+    DepthView& leaf = view_.view(config_.tree.depth);
+    const std::size_t i = leaf.find_index(
+        addrs().component(suspect, config_.tree.depth - 1));
+    if (i != DepthView::npos && leaf.alive(i)) tombstone_row(leaf, i);
   }
 }
 
-void SyncNode::tombstone_neighbor(const Address& neighbor) {
-  auto& leaf = view_.view(config_.tree.depth);
-  const auto* row = leaf.find(neighbor.component(config_.tree.depth - 1));
-  if (row == nullptr || !row->alive) return;
-  ViewRow tomb = *row;
-  tomb.alive = false;
-  tomb.version = std::max(next_version(), row->version + 1);
-  version_counter_ = std::max(version_counter_, tomb.version);
-  leaf.upsert(std::move(tomb));
+void SyncNode::tombstone_row(DepthView& leaf, std::size_t i) {
+  const std::uint64_t v = std::max(next_version(), leaf.version(i) + 1);
+  version_counter_ = std::max(version_counter_, v);
+  leaf.upsert_pooled(leaf.infix(i), leaf.delegates(i), leaf.interests_ptr(i),
+                     leaf.process_count(i), v, false);
   ++stats_.tombstones;
   ++stats_.deaths_observed;
 }
 
 void SyncNode::note_contact(const Address& a) {
-  last_contact_[a] = runtime().now();
+  last_contact_.insert_or_assign(addrs().intern(a), runtime().now());
 }
 
-std::vector<Address> SyncNode::known_peers() const {
-  std::vector<Address> out;
+const std::vector<AddrId>& SyncNode::known_peers() const {
+  peer_scratch_.clear();
   for (std::size_t depth = 1; depth <= config_.tree.depth; ++depth) {
-    for (const auto& row : view_.view(depth).rows()) {
-      if (!row.alive) continue;
-      for (const auto& d : row.delegates) {
-        if (d == view_.self()) continue;
-        if (std::find(out.begin(), out.end(), d) == out.end())
-          out.push_back(d);
+    const DepthView& dv = view_.view(depth);
+    for (std::size_t i = 0; i < dv.size(); ++i) {
+      if (!dv.alive(i)) continue;
+      for (const AddrId d : dv.delegates(i)) {
+        if (d == view_.self_id()) continue;
+        if (std::find(peer_scratch_.begin(), peer_scratch_.end(), d) ==
+            peer_scratch_.end())
+          peer_scratch_.push_back(d);
       }
     }
   }
-  return out;
+  return peer_scratch_;
 }
 
-void SyncNode::send_to(const Address& a, MessagePtr msg) {
+void SyncNode::send_to(AddrId a, MessagePtr msg) {
   if (!directory_) return;
   const ProcessId pid = directory_(a);
   if (pid == kNoProcess) return;

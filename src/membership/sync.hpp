@@ -21,14 +21,21 @@
 // Row recomputation: delegates periodically recompact the row describing
 // their own subgroup at each depth they represent (interest regrouping,
 // process count, delegate list) from the next-deeper table, bumping the
-// version when the row materially changed.
+// version when the row materially changed. The recompaction is a pure
+// function of the two adjacent tables, so it is skipped outright while
+// neither table mutated since the last pass (the steady-state common case).
+//
+// Hot-path state is interned: peers, neighbors and contact tables hold
+// AddrIds; wire messages keep carrying full Addresses (the codec and all
+// protocol bytes are unchanged by the representation).
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "membership/tree.hpp"
 #include "membership/view.hpp"
 #include "sim/runtime.hpp"
@@ -136,9 +143,10 @@ class SyncNode final : public Process {
 
   /// A joining process: starts with an empty view and contacts `contact`.
   SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
-           Subscription subscription, ProcessId contact);
+           Subscription subscription, ProcessId contact, Interns& interns);
 
   const Address& address() const noexcept { return view_.self(); }
+  AddrId address_id() const noexcept { return view_.self_id(); }
   const MembershipView& view() const noexcept { return view_; }
   const Subscription& subscription() const noexcept { return subscription_; }
   bool joined() const noexcept { return joined_; }
@@ -174,16 +182,16 @@ class SyncNode final : public Process {
   /// budget. A no-op once joined.
   void retarget_join(ProcessId contact);
 
-  /// Resolves a known process address to its simulation ProcessId.
-  /// The directory is simulation plumbing (in a deployment this would be the
-  /// transport address carried in the view rows).
-  using Directory = std::function<ProcessId(const Address&)>;
+  /// Resolves a known process address (interned) to its simulation
+  /// ProcessId. The directory is simulation plumbing (in a deployment this
+  /// would be the transport address carried in the view rows).
+  using Directory = std::function<ProcessId(AddrId)>;
   void set_directory(Directory directory) { directory_ = std::move(directory); }
 
   /// Piggybacking support (Sec. 2.3: "membership information can be
   /// piggybacked when gossiping events"): the rows worth attaching to a
   /// message for `other`, and ingestion of rows that arrived piggybacked.
-  std::vector<DepthRow> rows_to_share(const Address& other) const {
+  std::vector<DepthRow> rows_to_share(AddrId other) const {
     return rows_for(other);
   }
   void absorb_rows(const Address& sender,
@@ -202,22 +210,25 @@ class SyncNode final : public Process {
   void handle_leave(const LeaveMsg& m);
   void handle_suspect_query(ProcessId from, const SuspectQueryMsg& m);
   void handle_suspect_reply(const SuspectReplyMsg& m);
-  void tombstone_neighbor(const Address& neighbor);
+  void tombstone_row(DepthView& leaf, std::size_t i);
 
   /// Applies a row if it is newer; returns true when the view changed.
   bool apply_row(std::uint32_t depth, const ViewRow& row);
   /// Rows of this view relevant for a process with address `other`
   /// (depths 1..common_prefix+1).
-  std::vector<DepthRow> rows_for(const Address& other) const;
+  std::vector<DepthRow> rows_for(AddrId other) const;
   std::vector<RowDigest> make_digest() const;
   /// Recompacts own-subgroup rows at every depth where self is a delegate.
   void recompact_own_rows();
   void check_neighbor_timeouts();
   void note_contact(const Address& a);
-  /// All (address, pid-resolvable) gossip candidates, excluding self.
-  std::vector<Address> known_peers() const;
-  void send_to(const Address& a, MessagePtr msg);
+  /// All (address, pid-resolvable) gossip candidates, excluding self —
+  /// depth-ascending, row order, first sighting wins. Returns a scratch
+  /// buffer reused across periods (invalidated by the next call).
+  const std::vector<AddrId>& known_peers() const;
+  void send_to(AddrId a, MessagePtr msg);
   std::uint64_t next_version() { return ++version_counter_; }
+  AddrInternTable& addrs() const noexcept { return view_.interns().addrs; }
 
   SyncConfig config_;
   MembershipView view_;
@@ -236,13 +247,24 @@ class SyncNode final : public Process {
   /// Suspect queries are answered from this map only — never from grace —
   /// otherwise two suspecting processes can keep a dead neighbor "alive" by
   /// echoing each other's second-hand confidence.
-  std::unordered_map<Address, SimTime, AddressHash> last_contact_;
+  FlatMap<AddrId, SimTime> last_contact_;
   /// Deadline extensions granted by positive confirmations.
-  std::unordered_map<Address, SimTime, AddressHash> grace_until_;
-  std::unordered_map<Address, SimTime, AddressHash> pending_suspicions_;
+  FlatMap<AddrId, SimTime> grace_until_;
+  FlatMap<AddrId, SimTime> pending_suspicions_;
   /// Resolved pids for the periodic digest fan-out, so one shared digest
   /// goes out through Network::send_multi instead of per-target copies.
   std::vector<ProcessId> digest_targets_;
+  // Reusable per-period scratch buffers (the sync path allocates nothing in
+  // steady state).
+  mutable std::vector<AddrId> peer_scratch_;
+  std::vector<AddrId> neighbor_scratch_;
+  std::vector<AddrId> suspect_scratch_;
+  std::vector<AddrId> candidate_scratch_;
+  std::vector<AddrId> delegate_scratch_;
+  /// Per-depth (deeper-table, own-table) mutation counters observed by the
+  /// last recompaction pass; index = depth-1. The pass is skipped while both
+  /// counters are unchanged.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> recompact_cache_;
   Stats stats_;
 };
 

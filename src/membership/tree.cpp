@@ -15,8 +15,8 @@ bool member_less(const Member& a, const Member& b) {
 }  // namespace
 
 GroupTree::GroupTree(TreeConfig config, std::vector<Member> members,
-                     GroupTreeOptions options)
-    : config_(config), options_(options) {
+                     Interns& interns, GroupTreeOptions options)
+    : config_(config), options_(options), interns_(&interns) {
   config_.validate();
   std::sort(members.begin(), members.end(), member_less);
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -30,16 +30,17 @@ GroupTree::GroupTree(TreeConfig config, std::vector<Member> members,
   std::vector<Prefix> leaves;
   for (auto& m : members) {
     const Prefix lp = m.address.prefix(leaf_len);
-    auto [it, inserted] = nodes_.try_emplace(lp);
-    if (inserted) leaves.push_back(lp);
-    it->second.members.push_back(std::move(m));
+    const bool fresh = !nodes_.contains(lp);
+    Node& n = ensure_node(lp);
+    if (fresh) leaves.push_back(lp);
+    n.members.push_back(std::move(m));
   }
   // Ensure ancestor nodes exist (including the root even when empty).
-  nodes_.try_emplace(Prefix::root());
+  ensure_node(Prefix::root());
   for (const auto& lp : leaves) {
     for (Prefix p = lp; !p.is_root();) {
       p = p.parent();
-      nodes_.try_emplace(p);
+      ensure_node(p);
     }
   }
   for (const auto& lp : leaves) rebuild_leaf(lp);
@@ -65,6 +66,12 @@ GroupTree::Node& GroupTree::node(const Prefix& p) {
 const GroupTree::Node& GroupTree::node(const Prefix& p) const {
   const auto it = nodes_.find(p);
   PMC_EXPECTS(it != nodes_.end());
+  return it->second;
+}
+
+GroupTree::Node& GroupTree::ensure_node(const Prefix& p) {
+  const auto [it, inserted] = nodes_.try_emplace(p);
+  if (inserted) it->second.child_view.bind(*interns_);
   return it->second;
 }
 
@@ -151,12 +158,15 @@ bool GroupTree::is_delegate_at(const Address& a, std::size_t depth) const {
 }
 
 MembershipView GroupTree::materialize_view(const Address& self) const {
-  MembershipView mv(self, config_);
+  MembershipView mv(self, config_, *interns_);
   for (std::size_t depth = 1; depth <= config_.depth; ++depth) {
     const auto it = nodes_.find(self.prefix(depth - 1));
     if (it == nodes_.end()) continue;
-    for (const auto& row : it->second.child_view.rows())
-      mv.view(depth).upsert(row);
+    const DepthView& dv = it->second.child_view;
+    for (std::size_t i = 0; i < dv.size(); ++i)
+      mv.view(depth).upsert_pooled(dv.infix(i), dv.delegates(i),
+                                   dv.interests_ptr(i), dv.process_count(i),
+                                   dv.version(i), dv.alive(i));
   }
   return mv;
 }
@@ -167,6 +177,7 @@ void GroupTree::rebuild_leaf(const Prefix& leaf_prefix) {
   std::sort(n.members.begin(), n.members.end(), member_less);
 
   DepthView view;
+  view.bind(*interns_);
   InterestSummary summary;
   std::vector<Address> addrs;
   addrs.reserve(n.members.size());
@@ -178,7 +189,7 @@ void GroupTree::rebuild_leaf(const Prefix& leaf_prefix) {
     row.process_count = 1;
     row.version = version_counter_++;
     summary.merge(row.interests);
-    view.upsert(std::move(row));
+    view.upsert(row);
     addrs.push_back(m.address);
   }
   n.child_view = std::move(view);
@@ -204,23 +215,30 @@ void GroupTree::push_row_to_parent(const Prefix& child) {
   if (child.length() <= options_.coarsen_depth_leq) row.interests.coarsen();
   row.process_count = c.process_count;
   row.version = version_counter_++;
-  parent.child_view.upsert(std::move(row));
+  parent.child_view.upsert(row);
 }
 
 void GroupTree::recompute_aggregates(Node& n) {
   n.process_count = n.child_view.total_processes();
   InterestSummary summary;
-  std::vector<Address> candidates;
-  for (const auto& row : n.child_view.rows()) {
-    if (!row.alive) continue;
-    summary.merge(row.interests);
-    candidates.insert(candidates.end(), row.delegates.begin(),
-                      row.delegates.end());
+  candidate_scratch_.clear();
+  const DepthView& dv = n.child_view;
+  for (std::size_t i = 0; i < dv.size(); ++i) {
+    if (!dv.alive(i)) continue;
+    summary.merge(dv.interests(i));
+    const auto ids = dv.delegates(i);
+    candidate_scratch_.insert(candidate_scratch_.end(), ids.begin(),
+                              ids.end());
   }
   n.summary = std::move(summary);
   // The R smallest addresses under a subgroup are among its children's
   // R-smallest (delegate sets), so electing from the union is exact.
-  n.delegates = elect_delegates(candidates, config_.redundancy);
+  elect_delegate_ids(candidate_scratch_, config_.redundancy, interns_->addrs,
+                     delegate_scratch_);
+  n.delegates.clear();
+  n.delegates.reserve(delegate_scratch_.size());
+  for (const AddrId id : delegate_scratch_)
+    n.delegates.push_back(interns_->addrs.resolve(id));
 }
 
 void GroupTree::refresh_ancestors(const Prefix& child) {
@@ -236,10 +254,10 @@ void GroupTree::add_member(Address address, Subscription subscription) {
   PMC_EXPECTS(!contains(address));
   const Prefix lp = address.prefix(config_.depth - 1);
   // Materialize any missing nodes on the path.
-  nodes_.try_emplace(lp);
+  ensure_node(lp);
   for (Prefix p = lp; !p.is_root();) {
     p = p.parent();
-    nodes_.try_emplace(p);
+    ensure_node(p);
   }
   node(lp).members.push_back(
       Member{std::move(address), std::move(subscription)});

@@ -50,11 +50,13 @@ struct GroupTreeOptions {
 class GroupTree {
  public:
   /// Builds the tree for an initial population. Addresses must be unique and
-  /// all of depth config.depth.
-  GroupTree(TreeConfig config, std::vector<Member> members,
+  /// all of depth config.depth. All views the tree hands out intern through
+  /// `interns`, which must outlive the tree.
+  GroupTree(TreeConfig config, std::vector<Member> members, Interns& interns,
             GroupTreeOptions options = {});
 
   const TreeConfig& config() const noexcept { return config_; }
+  Interns& interns() const noexcept { return *interns_; }
   std::size_t process_count() const noexcept;
 
   /// Child view of the subgroup denoted by `prefix`
@@ -115,6 +117,8 @@ class GroupTree {
 
   Node& node(const Prefix& p);
   const Node& node(const Prefix& p) const;
+  /// try_emplace that binds a fresh node's child view to the intern state.
+  Node& ensure_node(const Prefix& p);
 
   void rebuild_leaf(const Prefix& leaf_prefix);
   /// Writes (or erases, when empty) the row describing `child` in its
@@ -127,8 +131,11 @@ class GroupTree {
 
   TreeConfig config_;
   GroupTreeOptions options_;
+  Interns* interns_ = nullptr;
   std::unordered_map<Prefix, Node, PrefixHash> nodes_;
   std::uint64_t version_counter_ = 1;
+  std::vector<AddrId> candidate_scratch_;
+  std::vector<AddrId> delegate_scratch_;
 };
 
 }  // namespace pmc

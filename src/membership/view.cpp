@@ -1,78 +1,164 @@
 #include "membership/view.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <functional>
 #include <sstream>
 
 namespace pmc {
 
-namespace {
-
-auto row_lower_bound(std::vector<ViewRow>& rows, AddrComponent infix) {
-  return std::lower_bound(
-      rows.begin(), rows.end(), infix,
-      [](const ViewRow& r, AddrComponent v) { return r.infix < v; });
+std::size_t DepthView::find_index(AddrComponent infix) const noexcept {
+  const auto it = std::lower_bound(infix_.begin(), infix_.end(), infix);
+  if (it != infix_.end() && *it == infix)
+    return static_cast<std::size_t>(it - infix_.begin());
+  return npos;
 }
 
-}  // namespace
-
-const ViewRow* DepthView::find(AddrComponent infix) const noexcept {
-  const auto it = std::lower_bound(
-      rows_.begin(), rows_.end(), infix,
-      [](const ViewRow& r, AddrComponent v) { return r.infix < v; });
-  if (it != rows_.end() && it->infix == infix) return &*it;
-  return nullptr;
+bool DepthView::upsert(const ViewRow& row) {
+  auto& in = interns();
+  id_scratch_.clear();
+  id_scratch_.reserve(row.delegates.size());
+  for (const auto& d : row.delegates) id_scratch_.push_back(in.addrs.intern(d));
+  return upsert_pooled(row.infix, id_scratch_,
+                       in.summaries.intern(row.interests), row.process_count,
+                       row.version, row.alive);
 }
 
-bool DepthView::upsert(ViewRow row) {
-  auto it = row_lower_bound(rows_, row.infix);
-  if (it != rows_.end() && it->infix == row.infix) {
-    if (row.version <= it->version) return false;
-    *it = std::move(row);
-    return true;
+bool DepthView::upsert_pooled(AddrComponent infix,
+                              std::span<const AddrId> delegates,
+                              std::shared_ptr<const InterestSummary> interests,
+                              std::uint64_t process_count,
+                              std::uint64_t version, bool alive) {
+  const auto it = std::lower_bound(infix_.begin(), infix_.end(), infix);
+  const auto i = static_cast<std::size_t>(it - infix_.begin());
+  if (it != infix_.end() && *it == infix) {
+    if (version <= version_[i]) return false;
+    live_delegates_ -= del_len_[i];
+    return store(i, delegates, std::move(interests), process_count, version,
+                 alive);
   }
-  rows_.insert(it, std::move(row));
+  infix_.insert(it, infix);
+  version_.insert(version_.begin() + static_cast<std::ptrdiff_t>(i), 0);
+  count_.insert(count_.begin() + static_cast<std::ptrdiff_t>(i), 0);
+  alive_.insert(alive_.begin() + static_cast<std::ptrdiff_t>(i), 1);
+  interests_.insert(interests_.begin() + static_cast<std::ptrdiff_t>(i),
+                    nullptr);
+  del_begin_.insert(del_begin_.begin() + static_cast<std::ptrdiff_t>(i), 0);
+  del_len_.insert(del_len_.begin() + static_cast<std::ptrdiff_t>(i), 0);
+  return store(i, delegates, std::move(interests), process_count, version,
+               alive);
+}
+
+bool DepthView::store(std::size_t i, std::span<const AddrId> delegates,
+                      std::shared_ptr<const InterestSummary> interests,
+                      std::uint64_t process_count, std::uint64_t version,
+                      bool alive) {
+  set_delegates(i, delegates);
+  interests_[i] = std::move(interests);
+  count_[i] = process_count;
+  version_[i] = version;
+  alive_[i] = alive ? 1 : 0;
+  ++mutations_;
   return true;
 }
 
-bool DepthView::erase(AddrComponent infix) {
-  auto it = row_lower_bound(rows_, infix);
-  if (it != rows_.end() && it->infix == infix) {
-    rows_.erase(it);
-    return true;
+void DepthView::set_delegates(std::size_t i, std::span<const AddrId> ids) {
+  // The new list may alias this view's own pool (a caller forwarding
+  // delegates(j)); detach it before the pool reallocates or compacts.
+  const std::less<const AddrId*> lt;
+  if (!ids.empty() && !lt(ids.data(), del_pool_.data()) &&
+      lt(ids.data(), del_pool_.data() + del_pool_.size())) {
+    alias_scratch_.assign(ids.begin(), ids.end());
+    ids = alias_scratch_;
   }
-  return false;
+  // Reuse the row's slice when the new list fits (the common case: the
+  // redundancy R is fixed), else append to the pool and reclaim once the
+  // garbage outweighs the live entries.
+  if (ids.size() > del_len_[i]) {
+    del_begin_[i] = static_cast<std::uint32_t>(del_pool_.size());
+    del_pool_.resize(del_pool_.size() + ids.size());
+  }
+  del_len_[i] = static_cast<std::uint32_t>(ids.size());
+  std::copy(ids.begin(), ids.end(),
+            del_pool_.begin() + del_begin_[i]);
+  live_delegates_ += ids.size();
+  if (del_pool_.size() > 2 * live_delegates_ + 64) compact_pool();
+}
+
+void DepthView::compact_pool() {
+  std::vector<AddrId> packed;
+  packed.reserve(live_delegates_);
+  for (std::size_t i = 0; i < infix_.size(); ++i) {
+    const auto begin = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), del_pool_.begin() + del_begin_[i],
+                  del_pool_.begin() + del_begin_[i] + del_len_[i]);
+    del_begin_[i] = begin;
+  }
+  del_pool_ = std::move(packed);
+}
+
+bool DepthView::erase(AddrComponent infix) {
+  const std::size_t i = find_index(infix);
+  if (i == npos) return false;
+  live_delegates_ -= del_len_[i];
+  const auto d = static_cast<std::ptrdiff_t>(i);
+  infix_.erase(infix_.begin() + d);
+  version_.erase(version_.begin() + d);
+  count_.erase(count_.begin() + d);
+  alive_.erase(alive_.begin() + d);
+  interests_.erase(interests_.begin() + d);
+  del_begin_.erase(del_begin_.begin() + d);
+  del_len_.erase(del_len_.begin() + d);
+  ++mutations_;
+  return true;
 }
 
 std::size_t DepthView::live_count() const noexcept {
   return static_cast<std::size_t>(
-      std::count_if(rows_.begin(), rows_.end(),
-                    [](const ViewRow& r) { return r.alive; }));
+      std::count(alive_.begin(), alive_.end(), std::uint8_t{1}));
 }
 
 std::uint64_t DepthView::total_processes() const noexcept {
-  return std::accumulate(rows_.begin(), rows_.end(), std::uint64_t{0},
-                         [](std::uint64_t acc, const ViewRow& r) {
-                           return acc + (r.alive ? r.process_count : 0);
-                         });
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < count_.size(); ++i)
+    if (alive_[i]) n += count_[i];
+  return n;
+}
+
+ViewRow DepthView::materialize(std::size_t i) const {
+  PMC_EXPECTS(i < infix_.size());
+  ViewRow row;
+  row.infix = infix_[i];
+  const auto ids = delegates(i);
+  row.delegates.reserve(ids.size());
+  for (const AddrId id : ids)
+    row.delegates.push_back(interns().addrs.resolve(id));
+  row.interests = *interests_[i];
+  row.process_count = count_[i];
+  row.version = version_[i];
+  row.alive = alive_[i] != 0;
+  return row;
 }
 
 std::string DepthView::to_string() const {
   std::ostringstream os;
-  for (const auto& r : rows_) {
-    os << "  " << r.infix << (r.alive ? "" : " (gone)") << " | "
-       << r.interests.to_string() << " | count=" << r.process_count << " |";
-    for (const auto& d : r.delegates) os << " " << d.to_string();
+  for (std::size_t i = 0; i < infix_.size(); ++i) {
+    os << "  " << infix_[i] << (alive_[i] ? "" : " (gone)") << " | "
+       << interests_[i]->to_string() << " | count=" << count_[i] << " |";
+    for (const AddrId id : delegates(i))
+      os << " " << interns().addrs.resolve(id).to_string();
     os << "\n";
   }
   return os.str();
 }
 
-MembershipView::MembershipView(Address self, TreeConfig config)
-    : self_(std::move(self)), config_(config) {
+MembershipView::MembershipView(Address self, TreeConfig config,
+                               Interns& interns)
+    : self_(std::move(self)), config_(config), interns_(&interns) {
   config_.validate();
   PMC_EXPECTS(self_.depth() == config_.depth);
+  self_id_ = interns_->addrs.intern(self_);
   depths_.resize(config_.depth);
+  for (auto& dv : depths_) dv.bind(*interns_);
 }
 
 DepthView& MembershipView::view(std::size_t depth) {
@@ -87,10 +173,9 @@ const DepthView& MembershipView::view(std::size_t depth) const {
 
 std::size_t MembershipView::known_processes() const noexcept {
   std::size_t n = 0;
-  for (std::size_t depth = 1; depth <= depths_.size(); ++depth) {
-    for (const auto& row : depths_[depth - 1].rows()) {
-      if (row.alive) n += row.delegates.size();
-    }
+  for (const auto& dv : depths_) {
+    for (std::size_t i = 0; i < dv.size(); ++i)
+      if (dv.alive(i)) n += dv.delegates(i).size();
   }
   return n;
 }

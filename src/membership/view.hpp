@@ -7,18 +7,48 @@
 // leaf depth d a row is a single immediate-neighbor process. Rows carry a
 // version for the gossip-pull anti-entropy of Sec. 2.3 (newer version wins)
 // and an `alive` flag so departures/failures propagate as tombstones.
+//
+// Layout: DepthView is struct-of-arrays. A row is not a struct — it is index
+// i into parallel arrays (infix, version, count, alive, pooled interest
+// summary, CSR slice of interned delegate ids), so recompact_own_rows and
+// digest construction are linear scans over flat memory and a row costs a
+// few dozen bytes instead of a ViewRow's several heap blocks. The ViewRow
+// struct remains as the *exchange* format — the unit the wire codec encodes
+// and anti-entropy ships — materialized from / interned into the arrays at
+// the network boundary only.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "addr/address.hpp"
+#include "addr/intern.hpp"
+#include "common/intern_pool.hpp"
 #include "filter/regroup.hpp"
 #include "membership/config.hpp"
 
 namespace pmc {
+
+/// The shared interning state of one simulation/runtime: every view, node
+/// and directory hosted together binds to one Interns so AddrIds and pooled
+/// summaries are comparable across them. Owned by the harness (ChurnSim /
+/// ShardedSim / experiment population) or by the test itself.
+struct Interns {
+  AddrInternTable addrs;
+  /// Anti-entropy converges whole subgroups onto structurally identical
+  /// summaries; pooling stores each distinct value once per simulation.
+  InternPool<InterestSummary> summaries;
+
+  /// Pre-size for `processes` distinct addresses of depth `depth`
+  /// (mirrors Network::reserve).
+  void reserve(std::size_t processes, std::size_t depth) {
+    addrs.reserve(processes, depth);
+  }
+};
 
 struct ViewRow {
   AddrComponent infix = 0;          ///< subgroup's component at this depth
@@ -37,32 +67,106 @@ struct DepthRow {
   ViewRow row;
 };
 
-/// One depth's table: rows sorted by infix, unique per infix.
+/// One depth's table: rows sorted by infix, unique per infix, stored as
+/// parallel arrays (see file comment). Must be bound to an Interns before
+/// any row is inserted.
 class DepthView {
  public:
-  const std::vector<ViewRow>& rows() const noexcept { return rows_; }
-  std::size_t size() const noexcept { return rows_.size(); }
-  bool empty() const noexcept { return rows_.empty(); }
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  const ViewRow* find(AddrComponent infix) const noexcept;
+  DepthView() = default;
 
-  /// Inserts or replaces; on replace the higher version wins (ties keep the
+  void bind(Interns& interns) noexcept { interns_ = &interns; }
+  Interns& interns() const {
+    PMC_EXPECTS(interns_ != nullptr);
+    return *interns_;
+  }
+
+  std::size_t size() const noexcept { return infix_.size(); }
+  bool empty() const noexcept { return infix_.empty(); }
+
+  /// Index of the row with this infix, or npos.
+  std::size_t find_index(AddrComponent infix) const noexcept;
+
+  AddrComponent infix(std::size_t i) const { return infix_[i]; }
+  std::uint64_t version(std::size_t i) const { return version_[i]; }
+  std::uint64_t process_count(std::size_t i) const { return count_[i]; }
+  bool alive(std::size_t i) const { return alive_[i] != 0; }
+  const InterestSummary& interests(std::size_t i) const {
+    return *interests_[i];
+  }
+  const std::shared_ptr<const InterestSummary>& interests_ptr(
+      std::size_t i) const {
+    return interests_[i];
+  }
+  /// The row's delegates, in their published order.
+  std::span<const AddrId> delegates(std::size_t i) const {
+    return {del_pool_.data() + del_begin_[i], del_len_[i]};
+  }
+  AddrId first_delegate(std::size_t i) const {
+    PMC_EXPECTS(del_len_[i] > 0);
+    return del_pool_[del_begin_[i]];
+  }
+
+  /// Inserts or replaces from the exchange format (interning delegates and
+  /// pooling the summary); on replace the higher version wins (ties keep the
   /// incumbent). Returns true if the table changed.
-  bool upsert(ViewRow row);
+  bool upsert(const ViewRow& row);
+
+  /// Same merge rule, already-interned inputs (the recompaction hot path:
+  /// no Address or summary copies).
+  bool upsert_pooled(AddrComponent infix, std::span<const AddrId> delegates,
+                     std::shared_ptr<const InterestSummary> interests,
+                     std::uint64_t process_count, std::uint64_t version,
+                     bool alive);
 
   /// Removes a row outright (local maintenance; prefer tombstones for
   /// anti-entropy-visible departures).
   bool erase(AddrComponent infix);
+
+  /// Bumped on every change (upsert that took effect, erase). Lets callers
+  /// cache derived state — recompaction skips depths whose inputs did not
+  /// change since the last pass.
+  std::uint64_t mutations() const noexcept { return mutations_; }
 
   /// Number of live rows.
   std::size_t live_count() const noexcept;
   /// Sum of process_count over live rows.
   std::uint64_t total_processes() const noexcept;
 
+  /// Rebuilds the exchange-format row byte-for-byte (delegates in published
+  /// order) for wire encodes and anti-entropy replies.
+  ViewRow materialize(std::size_t i) const;
+
   std::string to_string() const;
 
  private:
-  std::vector<ViewRow> rows_;
+  bool store(std::size_t i, std::span<const AddrId> delegates,
+             std::shared_ptr<const InterestSummary> interests,
+             std::uint64_t process_count, std::uint64_t version, bool alive);
+  void set_delegates(std::size_t i, std::span<const AddrId> delegates);
+  void compact_pool();
+
+  Interns* interns_ = nullptr;
+
+  // Parallel arrays, index = row, sorted by infix_, unique infixes.
+  std::vector<AddrComponent> infix_;
+  std::vector<std::uint64_t> version_;
+  std::vector<std::uint64_t> count_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::shared_ptr<const InterestSummary>> interests_;
+  std::vector<std::uint32_t> del_begin_;  ///< offset into del_pool_
+  std::vector<std::uint32_t> del_len_;
+
+  /// CSR delegate-id pool. Replacements reuse the slice in place when the
+  /// new list fits, else append; compact_pool() reclaims once garbage
+  /// dominates.
+  std::vector<AddrId> del_pool_;
+  std::size_t live_delegates_ = 0;  ///< referenced entries of del_pool_
+  std::vector<AddrId> id_scratch_;     ///< upsert() interning buffer
+  std::vector<AddrId> alias_scratch_;  ///< set_delegates() detach buffer
+
+  std::uint64_t mutations_ = 0;
 };
 
 /// The complete membership knowledge of one process: its address plus one
@@ -70,11 +174,12 @@ class DepthView {
 /// the paper.
 class MembershipView {
  public:
-  MembershipView() = default;
-  MembershipView(Address self, TreeConfig config);
+  MembershipView(Address self, TreeConfig config, Interns& interns);
 
   const Address& self() const noexcept { return self_; }
+  AddrId self_id() const noexcept { return self_id_; }
   const TreeConfig& config() const noexcept { return config_; }
+  Interns& interns() const noexcept { return *interns_; }
 
   DepthView& view(std::size_t depth);
   const DepthView& view(std::size_t depth) const;
@@ -88,7 +193,9 @@ class MembershipView {
 
  private:
   Address self_;
+  AddrId self_id_ = kNoAddr;
   TreeConfig config_;
+  Interns* interns_ = nullptr;
   std::vector<DepthView> depths_;
 };
 

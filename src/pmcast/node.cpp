@@ -19,6 +19,7 @@ PmcastNode::PmcastNode(Runtime& rt, ProcessId pid, PmcastConfig config,
   config_.validate();
   PMC_EXPECTS(self_.depth() == config_.tree.depth);
   PMC_EXPECTS(directory_ != nullptr);
+  self_id_ = views.interns().addrs.intern(self_);
   gossips_.resize(config_.tree.depth);
 }
 
@@ -37,9 +38,9 @@ void PmcastNode::pmcast(Event event) {
       const DepthView& view = views_->view(self_, depth);
       const AddrComponent own_infix = self_.component(depth - 1);
       bool foreign_interest = false;
-      for (const auto& row : view.rows()) {
-        if (!row.alive || row.infix == own_infix) continue;
-        if (row.interests.match(*ev)) {
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        if (!view.alive(i) || view.infix(i) == own_infix) continue;
+        if (view.interests(i).match(*ev)) {
           foreign_interest = true;
           break;
         }
@@ -121,7 +122,7 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
       target_scratch_.clear();
       for (const Candidate& cand : candidates) {
         if (!cand.interested) continue;
-        const ProcessId target = directory_(*cand.address);
+        const ProcessId target = directory_(cand.id);
         if (target == kNoProcess) continue;
         target_scratch_.push_back(target);
       }
@@ -178,14 +179,14 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
         for (const auto ci : chosen) {
           const Candidate& cand = candidates[ci];
           if (!cand.interested) continue;  // line 13: filter before sending
-          const ProcessId target = directory_(*cand.address);
+          const ProcessId target = directory_(cand.id);
           if (target == kNoProcess) continue;
           auto msg = std::make_shared<GossipMsg>();
           msg->event = entry.event;
           msg->rate = entry.rate;
           msg->round = entry.round;
           msg->depth = static_cast<std::uint32_t>(depth);
-          msg->piggyback = piggyback_source_(*cand.address);
+          msg->piggyback = piggyback_source_(cand.id);
           if (!msg->piggyback.empty()) msg->sender = self_;
           send(target, std::move(msg));
           ++stats_.gossips_sent;
@@ -197,7 +198,7 @@ void PmcastNode::gossip_entries_at(std::size_t depth) {
         for (const auto ci : chosen) {
           const Candidate& cand = candidates[ci];
           if (!cand.interested) continue;  // line 13: filter before sending
-          const ProcessId target = directory_(*cand.address);
+          const ProcessId target = directory_(cand.id);
           if (target == kNoProcess) continue;
           target_scratch_.push_back(target);
         }
@@ -241,12 +242,12 @@ void PmcastNode::candidates_at(std::size_t depth, const Event& e,
   const DepthView& view = views_->view(self_, depth);
   out.clear();
   std::size_t interested = 0;
-  for (const auto& row : view.rows()) {
-    if (!row.alive) continue;
-    const bool row_interested = row.interests.match(e);
-    for (const auto& addr : row.delegates) {
-      if (addr == self_) continue;
-      out.push_back(Candidate{&addr, row_interested});
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (!view.alive(i)) continue;
+    const bool row_interested = view.interests(i).match(e);
+    for (const AddrId id : view.delegates(i)) {
+      if (id == self_id_) continue;
+      out.push_back(Candidate{id, row_interested});
       if (row_interested) ++interested;
     }
   }
@@ -309,16 +310,16 @@ void PmcastNode::run_recovery_round() {
   const DepthView& leaf = views_->view(self_, config_.tree.depth);
 
   // Per leaf neighbor, the ids of retained events its interests match.
-  std::vector<std::pair<const Address*, std::vector<EventId>>> digests;
-  for (const auto& row : leaf.rows()) {
-    if (!row.alive || row.delegates.empty()) continue;
-    const Address& neighbor = row.delegates.front();
-    if (neighbor == self_) continue;
+  std::vector<std::pair<AddrId, std::vector<EventId>>> digests;
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    if (!leaf.alive(i) || leaf.delegates(i).empty()) continue;
+    const AddrId neighbor = leaf.first_delegate(i);
+    if (neighbor == self_id_) continue;
     std::vector<EventId> ids;
     for (const auto& [id, retained] : store_) {
-      if (row.interests.match(*retained.event)) ids.push_back(id);
+      if (leaf.interests(i).match(*retained.event)) ids.push_back(id);
     }
-    if (!ids.empty()) digests.emplace_back(&neighbor, std::move(ids));
+    if (!ids.empty()) digests.emplace_back(neighbor, std::move(ids));
   }
 
   // Digest fanout F among the neighbors with matching retained events.
@@ -327,7 +328,7 @@ void PmcastNode::run_recovery_round() {
   if (picks > 0) {
     const auto chosen = rng().sample_without_replacement(digests.size(), picks);
     for (const auto ci : chosen) {
-      const ProcessId target = directory_(*digests[ci].first);
+      const ProcessId target = directory_(digests[ci].first);
       if (target == kNoProcess) continue;
       auto msg = std::make_shared<EventDigestMsg>();
       msg->ids = std::move(digests[ci].second);

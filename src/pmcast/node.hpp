@@ -85,7 +85,9 @@ std::size_t tuning_start_index(const EventId& id, std::size_t n);
 class PmcastNode final : public Process {
  public:
   using DeliverHandler = std::function<void(const Event&)>;
-  using Directory = std::function<ProcessId(const Address&)>;
+  /// Resolves an interned known-process address to its simulation
+  /// ProcessId (the ids live in the ViewProvider's intern table).
+  using Directory = std::function<ProcessId(AddrId)>;
 
   PmcastNode(Runtime& rt, ProcessId pid, PmcastConfig config, Address self,
              Subscription subscription, const ViewProvider& views,
@@ -107,7 +109,7 @@ class PmcastNode final : public Process {
   /// SyncNode::rows_to_share / SyncNode::absorb_rows, so membership spreads
   /// with events instead of (only) dedicated gossips.
   using PiggybackSource =
-      std::function<std::vector<DepthRow>(const Address& target)>;
+      std::function<std::vector<DepthRow>(AddrId target)>;
   using PiggybackSink = std::function<void(const Address& sender,
                                            const std::vector<DepthRow>&)>;
   void set_piggyback(PiggybackSource source, PiggybackSink sink) {
@@ -129,6 +131,7 @@ class PmcastNode final : public Process {
   }
 
   const Address& address() const noexcept { return self_; }
+  AddrId address_id() const noexcept { return self_id_; }
   const Subscription& subscription() const noexcept { return subscription_; }
 
   bool interested_in(const Event& e) const { return subscription_.match(e); }
@@ -168,7 +171,7 @@ class PmcastNode final : public Process {
 
   /// One view member that could be gossiped to.
   struct Candidate {
-    const Address* address = nullptr;
+    AddrId id = kNoAddr;
     bool interested = false;
   };
 
@@ -198,6 +201,7 @@ class PmcastNode final : public Process {
 
   PmcastConfig config_;
   Address self_;
+  AddrId self_id_ = kNoAddr;
   Subscription subscription_;
   const ViewProvider* views_;
   Directory directory_;

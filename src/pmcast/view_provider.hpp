@@ -20,6 +20,10 @@ class ViewProvider {
   /// The depth-i table of process `self` (i in [1, d]).
   virtual const DepthView& view(const Address& self,
                                 std::size_t depth) const = 0;
+  /// The intern state the provided tables are expressed in. Nodes intern
+  /// their own address here at construction so the hot path never touches
+  /// component vectors.
+  virtual Interns& interns() const = 0;
 };
 
 class TreeViewProvider final : public ViewProvider {
@@ -27,6 +31,7 @@ class TreeViewProvider final : public ViewProvider {
   explicit TreeViewProvider(const GroupTree& tree) : tree_(&tree) {}
   const DepthView& view(const Address& self,
                         std::size_t depth) const override;
+  Interns& interns() const override { return tree_->interns(); }
 
  private:
   const GroupTree* tree_;
@@ -37,6 +42,7 @@ class LocalViewProvider final : public ViewProvider {
   explicit LocalViewProvider(const MembershipView& view) : view_(&view) {}
   const DepthView& view(const Address& self,
                         std::size_t depth) const override;
+  Interns& interns() const override { return view_->interns(); }
 
  private:
   const MembershipView* view_;

@@ -45,6 +45,10 @@ void CalendarScheduler::release_slot(std::uint32_t slot) noexcept {
 
 void CalendarScheduler::wheel_insert(std::uint32_t index, Entry entry) {
   auto& bucket = buckets_[index];
+  if (bucket.capacity() == 0 && !spares_.empty()) {
+    bucket = std::move(spares_.back());  // adopt the largest spare buffer
+    spares_.pop_back();
+  }
   slots_[entry.slot].home = index;
   slots_[entry.slot].pos = static_cast<std::uint32_t>(bucket.size());
   bucket.push_back(std::move(entry));
@@ -68,13 +72,26 @@ void CalendarScheduler::erase_from_wheel(std::uint32_t index,
   --wheel_count_;
   const bool is_cursor = index == index_of(cursor_);
   if (bucket.size() == (is_cursor ? active_pos_ : 0)) {
-    bucket.clear();  // drops the consumed prefix too
+    recycle_bucket(bucket);  // drops the consumed prefix too
     if (is_cursor) {
       active_pos_ = 0;
       active_dirty_ = false;
     }
     clear_occupied(index);
   }
+}
+
+void CalendarScheduler::recycle_bucket(std::vector<Entry>& bucket) {
+  bucket.clear();
+  if (bucket.capacity() == 0) return;
+  const auto it = std::lower_bound(
+      spares_.begin(), spares_.end(), bucket.capacity(),
+      [](const std::vector<Entry>& s, std::size_t cap) noexcept {
+        return s.capacity() < cap;
+      });
+  spares_.insert(it, std::move(bucket));
+  bucket = std::vector<Entry>();
+  if (spares_.size() > kMaxSpares) spares_.erase(spares_.begin());
 }
 
 std::uint32_t CalendarScheduler::scan_occupied(
@@ -195,7 +212,7 @@ bool CalendarScheduler::locate(std::uint64_t cap) {
     if (bucket.size() > active_pos_) return true;
     // The cursor bucket holds at most a consumed prefix: retire it and
     // advance to wherever the next event lives.
-    if (!bucket.empty()) bucket.clear();
+    if (bucket.capacity() != 0) recycle_bucket(bucket);
     clear_occupied(index_of(cursor_));
     active_pos_ = 0;
     active_dirty_ = false;

@@ -138,6 +138,14 @@ class CalendarScheduler {
   /// Swap-removes a (cancelled) wheel entry and cleans up the bucket if no
   /// live entries remain.
   void erase_from_wheel(std::uint32_t index, std::uint32_t pos);
+  /// Empties a bucket and moves its heap buffer into the spare stash
+  /// (largest-capacity buffers win) instead of leaving the capacity parked
+  /// on the bucket. Period-aligned timer cohorts land in a *different*
+  /// bucket every period, so without recycling every bucket that ever
+  /// hosted a cohort retains a cohort-sized buffer — the dominant memory
+  /// cost of a 10^6-process run. With it, a handful of big buffers cycle
+  /// through the boundary buckets.
+  void recycle_bucket(std::vector<Entry>& bucket);
 
   // Overflow heap (indexed, like ReferenceScheduler's).
   void heap_place(std::size_t i, Entry entry) noexcept;
@@ -184,6 +192,10 @@ class CalendarScheduler {
 
   std::vector<SortKey> sort_keys_;     // sort scratch, capacity reused
   std::vector<Entry> sorted_scratch_;  // permutation-apply scratch
+
+  static constexpr std::size_t kMaxSpares = 4;
+  std::vector<std::vector<Entry>> spares_;  // recycled bucket buffers,
+                                            // ascending capacity
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;

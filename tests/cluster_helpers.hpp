@@ -1,10 +1,9 @@
 // Shared helpers for tests that spin up a full pmcast cluster in the
-// simulator: builds the population, the group tree, the directory and one
-// PmcastNode per process.
+// simulator: builds the population, the intern state, the group tree, the
+// directory and one PmcastNode per process.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "harness/workload.hpp"
@@ -14,17 +13,24 @@ namespace pmc::testing {
 
 struct Cluster {
   std::vector<Member> members;
+  // Declared before the tree, which holds a reference into it.
+  std::unique_ptr<Interns> interns;
   std::unique_ptr<GroupTree> tree;
   std::unique_ptr<Runtime> runtime;
   std::unique_ptr<TreeViewProvider> views;
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  std::vector<ProcessId> pid_by_id;  ///< dense AddrId -> pid directory
   std::vector<std::unique_ptr<PmcastNode>> nodes;
 
   PmcastNode::Directory directory_fn() const {
-    return [this](const Address& a) {
-      const auto it = directory.find(a);
-      return it == directory.end() ? kNoProcess : it->second;
+    return [this](AddrId id) {
+      return id < pid_by_id.size() ? pid_by_id[id] : kNoProcess;
     };
+  }
+
+  /// Pid of an address that is known to be in the cluster.
+  ProcessId pid_of(const Address& a) const {
+    const AddrId id = interns->addrs.find(a);
+    return id == kNoAddr ? kNoProcess : pid_by_id.at(id);
   }
 };
 
@@ -40,7 +46,9 @@ inline Cluster make_cluster(std::size_t a, std::size_t d, std::size_t r,
   TreeConfig tc;
   tc.depth = d;
   tc.redundancy = r;
-  c.tree = std::make_unique<GroupTree>(tc, c.members);
+  c.interns = std::make_unique<Interns>();
+  c.interns->reserve(c.members.size(), d);
+  c.tree = std::make_unique<GroupTree>(tc, c.members, *c.interns);
   c.views = std::make_unique<TreeViewProvider>(*c.tree);
 
   NetworkConfig net;
@@ -48,8 +56,11 @@ inline Cluster make_cluster(std::size_t a, std::size_t d, std::size_t r,
   c.runtime = std::make_unique<Runtime>(net, seed ^ 0x5a5a5a5aULL);
 
   config.tree = tc;
-  for (std::size_t i = 0; i < c.members.size(); ++i)
-    c.directory.emplace(c.members[i].address, static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    const AddrId id = c.interns->addrs.intern(c.members[i].address);
+    if (c.pid_by_id.size() <= id) c.pid_by_id.resize(id + 1, kNoProcess);
+    c.pid_by_id[id] = static_cast<ProcessId>(i);
+  }
   for (std::size_t i = 0; i < c.members.size(); ++i) {
     c.nodes.push_back(std::make_unique<PmcastNode>(
         *c.runtime, static_cast<ProcessId>(i), config,

@@ -96,15 +96,19 @@ TEST(Coarsening, RowsNearRootGetSimpler) {
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 2;
-  const GroupTree exact(tc, two_attr_members());
+  Interns exact_interns;
+  const GroupTree exact(tc, two_attr_members(), exact_interns);
   GroupTreeOptions opts;
   opts.coarsen_depth_leq = 1;
-  const GroupTree coarse(tc, two_attr_members(), opts);
+  Interns coarse_interns;
+  const GroupTree coarse(tc, two_attr_members(), coarse_interns, opts);
   std::size_t exact_complexity = 0, coarse_complexity = 0;
-  for (const auto& row : exact.view_at(Prefix::root()).rows())
-    exact_complexity += row.interests.complexity();
-  for (const auto& row : coarse.view_at(Prefix::root()).rows())
-    coarse_complexity += row.interests.complexity();
+  const auto& exact_root = exact.view_at(Prefix::root());
+  for (std::size_t i = 0; i < exact_root.size(); ++i)
+    exact_complexity += exact_root.interests(i).complexity();
+  const auto& coarse_root = coarse.view_at(Prefix::root());
+  for (std::size_t i = 0; i < coarse_root.size(); ++i)
+    coarse_complexity += coarse_root.interests(i).complexity();
   EXPECT_LT(coarse_complexity, exact_complexity);
 }
 
@@ -115,7 +119,8 @@ TEST(Coarsening, NeverLosesAnInterestedProcess) {
   tc.redundancy = 2;
   GroupTreeOptions opts;
   opts.coarsen_depth_leq = 1;
-  const GroupTree coarse(tc, members, opts);
+  Interns interns;
+  const GroupTree coarse(tc, members, interns, opts);
   Rng rng(8);
   for (int trial = 0; trial < 300; ++trial) {
     Event e;
@@ -124,10 +129,10 @@ TEST(Coarsening, NeverLosesAnInterestedProcess) {
     for (const auto& m : members) {
       if (!m.subscription.match(e)) continue;
       // The root row covering this member must still match.
-      const auto* row = coarse.view_at(Prefix::root())
-                            .find(m.address.component(0));
-      ASSERT_NE(row, nullptr);
-      EXPECT_TRUE(row->interests.match(e));
+      const auto& root = coarse.view_at(Prefix::root());
+      const std::size_t row = root.find_index(m.address.component(0));
+      ASSERT_NE(row, DepthView::npos);
+      EXPECT_TRUE(root.interests(row).match(e));
     }
   }
 }
@@ -142,16 +147,20 @@ TEST(Coarsening, DeliveryPreservedEndToEnd) {
   tc.redundancy = 2;
   GroupTreeOptions opts;
   opts.coarsen_depth_leq = 1;
-  const GroupTree tree(tc, members, opts);
+  Interns interns;
+  const GroupTree tree(tc, members, interns, opts);
   const TreeViewProvider views(tree);
 
   std::size_t successes = 0;
   const std::size_t attempts = 8;
   for (std::uint64_t seed = 0; seed < attempts; ++seed) {
     Runtime rt(NetworkConfig{}, 10 + seed);
-    std::unordered_map<Address, ProcessId, AddressHash> dir;
-    for (std::size_t i = 0; i < members.size(); ++i)
-      dir.emplace(members[i].address, static_cast<ProcessId>(i));
+    std::vector<ProcessId> dir;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const AddrId id = interns.addrs.intern(members[i].address);
+      if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+      dir[id] = static_cast<ProcessId>(i);
+    }
     PmcastConfig config = default_config();
     config.tree = tc;
     config.fanout = 4;
@@ -163,9 +172,8 @@ TEST(Coarsening, DeliveryPreservedEndToEnd) {
     for (std::size_t i = 0; i < members.size(); ++i)
       nodes.push_back(std::make_unique<PmcastNode>(
           rt, static_cast<ProcessId>(i), config, members[i].address,
-          members[i].subscription, views, [&dir](const Address& a) {
-            const auto it = dir.find(a);
-            return it == dir.end() ? kNoProcess : it->second;
+          members[i].subscription, views, [&dir](AddrId id) {
+            return id < dir.size() ? dir[id] : kNoProcess;
           }));
     // Event matching member index 3 (b == 3, u in [0.18, 0.23)).
     Event e(EventId{0, seed});
@@ -181,9 +189,10 @@ TEST(Coarsening, DeliveryPreservedEndToEnd) {
 
 struct SyncPair {
   std::vector<Member> members;
+  std::unique_ptr<Interns> interns = std::make_unique<Interns>();
   std::unique_ptr<GroupTree> tree;
   std::unique_ptr<Runtime> runtime;
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  std::vector<ProcessId> directory;  ///< dense AddrId -> pid
   std::vector<std::unique_ptr<SyncNode>> nodes;
 };
 
@@ -198,18 +207,20 @@ SyncPair make_sync(bool confirm, std::uint64_t seed) {
   config.gossip_period = sim_ms(50);
   config.suspicion_timeout = sim_ms(400);
   config.confirm_suspicion = confirm;
-  c.tree = std::make_unique<GroupTree>(config.tree, c.members);
+  c.tree = std::make_unique<GroupTree>(config.tree, c.members, *c.interns);
   c.runtime = std::make_unique<Runtime>(NetworkConfig{}, seed ^ 0x99);
-  for (std::size_t i = 0; i < c.members.size(); ++i)
-    c.directory.emplace(c.members[i].address, static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    const AddrId id = c.interns->addrs.intern(c.members[i].address);
+    if (c.directory.size() <= id) c.directory.resize(id + 1, kNoProcess);
+    c.directory[id] = static_cast<ProcessId>(i);
+  }
   for (std::size_t i = 0; i < c.members.size(); ++i) {
     c.nodes.push_back(std::make_unique<SyncNode>(
         *c.runtime, static_cast<ProcessId>(i), config,
         c.tree->materialize_view(c.members[i].address),
         c.members[i].subscription));
-    c.nodes.back()->set_directory([&c](const Address& a) {
-      const auto it = c.directory.find(a);
-      return it == c.directory.end() ? kNoProcess : it->second;
+    c.nodes.back()->set_directory([&dir = c.directory](AddrId id) {
+      return id < dir.size() ? dir[id] : kNoProcess;
     });
   }
   return c;
@@ -223,8 +234,9 @@ TEST(SuspicionConfirmation, RealCrashStillDetected) {
   std::size_t tombstoned = 0;
   for (const auto& n : c.nodes) {
     if (!n->alive() || n->address().component(0) != 0) continue;
-    const auto* row = n->view().view(2).find(1);
-    if (row != nullptr && !row->alive) ++tombstoned;
+    const auto& leaf = n->view().view(2);
+    const std::size_t row = leaf.find_index(1);
+    if (row != DepthView::npos && !leaf.alive(row)) ++tombstoned;
   }
   EXPECT_GE(tombstoned, 2u);
 }
@@ -241,8 +253,9 @@ TEST(SuspicionConfirmation, OneSidedSilenceDoesNotExclude) {
           return !(from == victim && to == observer);
         });
     c.runtime->run_for(sim_ms(4000));
-    const auto* row = c.nodes[observer]->view().view(2).find(1);
-    return row != nullptr && row->alive;
+    const auto& leaf = c.nodes[observer]->view().view(2);
+    const std::size_t row = leaf.find_index(1);
+    return row != DepthView::npos && leaf.alive(row);
   };
   EXPECT_TRUE(run(true));    // confirmation saves the healthy process
   EXPECT_FALSE(run(false));  // unilateral exclusion fires

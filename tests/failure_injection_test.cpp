@@ -62,8 +62,8 @@ TEST(FailureInjection, AllDelegatesOfSubgroupCrashed) {
   // unreachable, but the rest of the group must still deliver.
   auto c = make_cluster(4, 2, 2, 1.0, default_config(), 0.0, 9);
   // Subgroup 3's delegates are its R = 2 smallest members: 3.0 and 3.1.
-  c.nodes[c.directory.at(Address::parse("3.0"))]->crash();
-  c.nodes[c.directory.at(Address::parse("3.1"))]->crash();
+  c.nodes[c.pid_of(Address::parse("3.0"))]->crash();
+  c.nodes[c.pid_of(Address::parse("3.1"))]->crash();
   const Event e = make_event_at(0, 0, 0.5);
   c.nodes[0]->pmcast(e);
   c.runtime->run_until_idle();
@@ -77,7 +77,7 @@ TEST(FailureInjection, AllDelegatesOfSubgroupCrashed) {
   // Non-delegate members of subgroup 3 cannot be reached (their only
   // entry points are gone).
   EXPECT_FALSE(
-      c.nodes[c.directory.at(Address::parse("3.2"))]->has_received(e.id()));
+      c.nodes[c.pid_of(Address::parse("3.2"))]->has_received(e.id()));
 }
 
 TEST(FailureInjection, HeavyLossDegradesButDoesNotWedge) {

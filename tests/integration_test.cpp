@@ -126,13 +126,17 @@ TEST(Integration, MembershipAndDisseminationComposed) {
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 2;
-  const GroupTree tree(tc, members);
+  Interns interns;
+  const GroupTree tree(tc, members, interns);
 
   Runtime rt(NetworkConfig{}, 9);
-  std::unordered_map<Address, ProcessId, AddressHash> dir;
   // Interleave ids: sync node i <-> pmcast node i + 100.
-  for (std::size_t i = 0; i < members.size(); ++i)
-    dir.emplace(members[i].address, static_cast<ProcessId>(i));
+  std::vector<ProcessId> dir;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+    dir[id] = static_cast<ProcessId>(i);
+  }
 
   SyncConfig sc;
   sc.tree = tc;
@@ -143,16 +147,16 @@ TEST(Integration, MembershipAndDisseminationComposed) {
         rt, static_cast<ProcessId>(i), sc,
         tree.materialize_view(members[i].address),
         members[i].subscription));
-    sync_nodes.back()->set_directory([&dir](const Address& a) {
-      const auto it = dir.find(a);
-      return it == dir.end() ? kNoProcess : it->second;
+    sync_nodes.back()->set_directory([&dir](AddrId id) {
+      return id < dir.size() ? dir[id] : kNoProcess;
     });
   }
   rt.run_for(sim_ms(300));  // let membership settle
 
-  std::unordered_map<Address, ProcessId, AddressHash> pm_dir;
+  std::vector<ProcessId> pm_dir(dir.size(), kNoProcess);
   for (std::size_t i = 0; i < members.size(); ++i)
-    pm_dir.emplace(members[i].address, static_cast<ProcessId>(i + 100));
+    pm_dir[interns.addrs.find(members[i].address)] =
+        static_cast<ProcessId>(i + 100);
   PmcastConfig pc = default_config();
   pc.tree = tc;
   std::vector<std::unique_ptr<LocalViewProvider>> providers;
@@ -162,10 +166,8 @@ TEST(Integration, MembershipAndDisseminationComposed) {
         std::make_unique<LocalViewProvider>(sync_nodes[i]->view()));
     pm_nodes.push_back(std::make_unique<PmcastNode>(
         rt, static_cast<ProcessId>(i + 100), pc, members[i].address,
-        members[i].subscription, *providers[i],
-        [&pm_dir](const Address& a) {
-          const auto it = pm_dir.find(a);
-          return it == pm_dir.end() ? kNoProcess : it->second;
+        members[i].subscription, *providers[i], [&pm_dir](AddrId id) {
+          return id < pm_dir.size() ? pm_dir[id] : kNoProcess;
         }));
   }
   const Event e = make_event_at(0, 0, 0.5);

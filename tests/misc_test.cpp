@@ -46,7 +46,9 @@ TEST(Rendering, ClauseToString) {
 }
 
 TEST(Rendering, DepthViewToStringShowsTombstones) {
+  Interns interns;
   DepthView v;
+  v.bind(interns);
   ViewRow row;
   row.infix = 7;
   row.delegates = {Address::parse("7.0")};
@@ -86,7 +88,8 @@ TEST(TreeSeams, ViewForAgreesWithViewAt) {
   TreeConfig tc;
   tc.depth = 3;
   tc.redundancy = 2;
-  const GroupTree tree(tc, members);
+  Interns interns;
+  const GroupTree tree(tc, members, interns);
   const auto self = Address::parse("1.2.0");
   for (std::size_t depth = 1; depth <= 3; ++depth) {
     EXPECT_EQ(&tree.view_for(self, depth),
@@ -103,7 +106,8 @@ TEST(TreeSeams, SummaryOfUnknownPrefixThrows) {
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 1;
-  const GroupTree tree(tc, members);
+  Interns interns;
+  const GroupTree tree(tc, members, interns);
   EXPECT_THROW(tree.summary(Address::parse("9.9").prefix(1)),
                std::logic_error);
   EXPECT_THROW(tree.delegates(Address::parse("9.9").prefix(1)),
@@ -118,7 +122,8 @@ TEST(TreeSeams, SubscriptionLookupOfMissingMemberThrows) {
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 1;
-  const GroupTree tree(tc, members);
+  Interns interns;
+  const GroupTree tree(tc, members, interns);
   EXPECT_THROW(tree.subscription(Address::parse("1.1")), std::logic_error);
 }
 

@@ -17,10 +17,11 @@ namespace {
 
 struct Stack {
   std::vector<Member> members;
+  std::unique_ptr<Interns> interns = std::make_unique<Interns>();
   std::unique_ptr<GroupTree> tree;
   std::unique_ptr<Runtime> runtime;
-  std::unordered_map<Address, ProcessId, AddressHash> sync_dir;
-  std::unordered_map<Address, ProcessId, AddressHash> pm_dir;
+  std::vector<ProcessId> sync_dir;  ///< dense AddrId -> sync pid
+  std::vector<ProcessId> pm_dir;    ///< dense AddrId -> pmcast pid
   std::vector<std::unique_ptr<SyncNode>> sync_nodes;
   std::vector<std::unique_ptr<LocalViewProvider>> providers;
   std::vector<std::unique_ptr<PmcastNode>> pm_nodes;
@@ -37,13 +38,17 @@ Stack make_stack(SimTime sync_period, bool piggyback,
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 2;
-  s.tree = std::make_unique<GroupTree>(tc, s.members);
+  s.tree = std::make_unique<GroupTree>(tc, s.members, *s.interns);
   s.runtime = std::make_unique<Runtime>(NetworkConfig{}, seed ^ 0x42);
 
   for (std::size_t i = 0; i < s.members.size(); ++i) {
-    s.sync_dir.emplace(s.members[i].address, static_cast<ProcessId>(i));
-    s.pm_dir.emplace(s.members[i].address,
-                     static_cast<ProcessId>(i + 100));
+    const AddrId id = s.interns->addrs.intern(s.members[i].address);
+    if (s.sync_dir.size() <= id) {
+      s.sync_dir.resize(id + 1, kNoProcess);
+      s.pm_dir.resize(id + 1, kNoProcess);
+    }
+    s.sync_dir[id] = static_cast<ProcessId>(i);
+    s.pm_dir[id] = static_cast<ProcessId>(i + 100);
   }
   SyncConfig sc;
   sc.tree = tc;
@@ -54,9 +59,8 @@ Stack make_stack(SimTime sync_period, bool piggyback,
         *s.runtime, static_cast<ProcessId>(i), sc,
         s.tree->materialize_view(s.members[i].address),
         s.members[i].subscription));
-    s.sync_nodes.back()->set_directory([&dir = s.sync_dir](const Address& a) {
-      const auto it = dir.find(a);
-      return it == dir.end() ? kNoProcess : it->second;
+    s.sync_nodes.back()->set_directory([&dir = s.sync_dir](AddrId id) {
+      return id < dir.size() ? dir[id] : kNoProcess;
     });
   }
   PmcastConfig pc;
@@ -68,16 +72,13 @@ Stack make_stack(SimTime sync_period, bool piggyback,
     s.pm_nodes.push_back(std::make_unique<PmcastNode>(
         *s.runtime, static_cast<ProcessId>(i + 100), pc,
         s.members[i].address, s.members[i].subscription, *s.providers[i],
-        [&dir = s.pm_dir](const Address& a) {
-          const auto it = dir.find(a);
-          return it == dir.end() ? kNoProcess : it->second;
+        [&dir = s.pm_dir](AddrId id) {
+          return id < dir.size() ? dir[id] : kNoProcess;
         }));
     if (piggyback) {
       SyncNode* sync = s.sync_nodes[i].get();
       s.pm_nodes.back()->set_piggyback(
-          [sync](const Address& target) {
-            return sync->rows_to_share(target);
-          },
+          [sync](AddrId target) { return sync->rows_to_share(target); },
           [sync](const Address& sender, const std::vector<DepthRow>& rows) {
             sync->absorb_rows(sender, rows);
           });
@@ -112,12 +113,13 @@ TEST(Piggyback, SpreadsMembershipWithoutDedicatedGossip) {
   {
     auto& view =
         const_cast<MembershipView&>(s.sync_nodes[0]->view());
-    const auto* row = view.view(2).find(2);
-    ASSERT_NE(row, nullptr);
-    ViewRow tomb = *row;
+    auto& leaf = view.view(2);
+    const std::size_t i = leaf.find_index(2);
+    ASSERT_NE(i, DepthView::npos);
+    ViewRow tomb = leaf.materialize(i);
     tomb.alive = false;
-    tomb.version = row->version + 1000;
-    view.view(2).upsert(tomb);
+    tomb.version += 1000;
+    leaf.upsert(tomb);
   }
 
   // A few events published by node 0 spread the row to subgroup peers.
@@ -126,9 +128,10 @@ TEST(Piggyback, SpreadsMembershipWithoutDedicatedGossip) {
     s.runtime->run_for(sim_sec(3));
   }
 
-  const auto* row = s.sync_nodes[1]->view().view(2).find(2);
-  ASSERT_NE(row, nullptr);
-  EXPECT_FALSE(row->alive) << "piggybacked tombstone did not arrive";
+  const auto& leaf = s.sync_nodes[1]->view().view(2);
+  const std::size_t i = leaf.find_index(2);
+  ASSERT_NE(i, DepthView::npos);
+  EXPECT_FALSE(leaf.alive(i)) << "piggybacked tombstone did not arrive";
 }
 
 TEST(Piggyback, NoHooksNoRows) {

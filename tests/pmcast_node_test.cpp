@@ -138,9 +138,10 @@ TEST(PmcastNode, SurvivesCrashedDelegatesWithRedundancy) {
   // Crash the smallest-address member of each leaf subgroup except the
   // publisher's.
   for (AddrComponent g = 1; g < 4; ++g) {
-    const auto pid = c.directory.at(
-        Address(std::vector<AddrComponent>{g, 0}));
-    c.nodes[pid]->crash();
+    const AddrId id =
+        c.interns->addrs.find(Address(std::vector<AddrComponent>{g, 0}));
+    ASSERT_NE(id, kNoAddr);
+    c.nodes[c.pid_by_id[id]]->crash();
   }
   const Event e = make_event_at(0, 0, 0.5);
   c.nodes[0]->pmcast(e);
@@ -170,12 +171,16 @@ TEST(PmcastNode, LocalInterestShortcutSkipsRootGossip) {
     TreeConfig tc;
     tc.depth = 2;
     tc.redundancy = 2;
-    GroupTree tree(tc, members);
+    Interns interns;
+    GroupTree tree(tc, members, interns);
     TreeViewProvider views(tree);
     Runtime rt(NetworkConfig{}, 17);
-    std::unordered_map<Address, ProcessId, AddressHash> dir;
-    for (std::size_t i = 0; i < members.size(); ++i)
-      dir.emplace(members[i].address, static_cast<ProcessId>(i));
+    std::vector<ProcessId> dir;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const AddrId id = interns.addrs.intern(members[i].address);
+      if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+      dir[id] = static_cast<ProcessId>(i);
+    }
     PmcastConfig config = testing::default_config();
     config.tree = tc;
     config.local_interest_shortcut = shortcut;
@@ -183,10 +188,8 @@ TEST(PmcastNode, LocalInterestShortcutSkipsRootGossip) {
     for (std::size_t i = 0; i < members.size(); ++i)
       nodes.push_back(std::make_unique<PmcastNode>(
           rt, static_cast<ProcessId>(i), config, members[i].address,
-          members[i].subscription, views,
-          [&dir](const Address& a) {
-            const auto it = dir.find(a);
-            return it == dir.end() ? kNoProcess : it->second;
+          members[i].subscription, views, [&dir](AddrId id) {
+            return id < dir.size() ? dir[id] : kNoProcess;
           }));
     nodes[0]->pmcast(make_event_at(0, 0, 0.5));
     rt.run_until_idle();
@@ -229,12 +232,16 @@ TEST(PmcastNode, WorksWithLocalViewProvider) {
   TreeConfig tc;
   tc.depth = 2;
   tc.redundancy = 2;
-  const GroupTree tree(tc, members);
+  Interns interns;
+  const GroupTree tree(tc, members, interns);
 
   Runtime rt(NetworkConfig{}, 31);
-  std::unordered_map<Address, ProcessId, AddressHash> dir;
-  for (std::size_t i = 0; i < members.size(); ++i)
-    dir.emplace(members[i].address, static_cast<ProcessId>(i));
+  std::vector<ProcessId> dir;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+    dir[id] = static_cast<ProcessId>(i);
+  }
 
   std::vector<MembershipView> views;
   views.reserve(members.size());
@@ -247,10 +254,8 @@ TEST(PmcastNode, WorksWithLocalViewProvider) {
     providers.push_back(std::make_unique<LocalViewProvider>(views[i]));
     nodes.push_back(std::make_unique<PmcastNode>(
         rt, static_cast<ProcessId>(i), config, members[i].address,
-        members[i].subscription, *providers[i],
-        [&dir](const Address& a) {
-          const auto it = dir.find(a);
-          return it == dir.end() ? kNoProcess : it->second;
+        members[i].subscription, *providers[i], [&dir](AddrId id) {
+          return id < dir.size() ? dir[id] : kNoProcess;
         }));
   }
   nodes[4]->pmcast(make_event_at(4, 0, 0.5));

@@ -1,0 +1,98 @@
+// Golden end-to-end fingerprints: the full churn/shard stacks must produce
+// byte-identical run digests across refactors of the internal memory
+// layout (address interning, SoA views, summary pooling). The pinned
+// values were captured from the pre-interning implementation, so any drift
+// here means observable behavior changed — RNG draw order, delivery
+// counts, gossip order — not just representation.
+//
+// Configs mirror `pmcast_sim --scenario demo [--wire|--adaptive]` and
+// `pmcast_sim --shards ...` defaults (a=4, d=2, R=2, F=2, eps=0.05,
+// fill=0.75, seed=42, horizon 3500 ms).
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/shard.hpp"
+
+namespace pmc {
+namespace {
+
+ChurnConfig demo_config() {
+  ChurnConfig config;
+  config.a = 4;
+  config.d = 2;
+  config.r = 2;
+  config.pd = 0.5;
+  config.fanout = 2;
+  config.loss = 0.05;
+  config.initial_fill = 0.75;
+  config.seed = 42;
+  return config;
+}
+
+ChurnSummary run_demo(ChurnConfig config) {
+  ChurnSim sim(config);
+  sim.play(ScenarioScript::demo());
+  sim.run_until(sim_ms(3500));
+  return sim.summary();
+}
+
+TEST(ReproGolden, ScenarioDemo) {
+  const ChurnSummary s = run_demo(demo_config());
+  EXPECT_EQ(s.fingerprint, 0x0709bfc910400cbcULL) << s.to_string();
+  EXPECT_EQ(s.counters.delivered, 81u);
+  EXPECT_EQ(s.network.sent, 3560u);
+}
+
+TEST(ReproGolden, ScenarioDemoWireTranscodeIsTransparent) {
+  // Running every message through the frozen wire codec must not change a
+  // single draw or delivery: same fingerprint as the in-memory run.
+  ChurnConfig config = demo_config();
+  config.wire_transcode = true;
+  const ChurnSummary s = run_demo(config);
+  EXPECT_EQ(s.fingerprint, 0x0709bfc910400cbcULL) << s.to_string();
+}
+
+TEST(ReproGolden, ScenarioDemoAdaptive) {
+  ChurnConfig config = demo_config();
+  config.adaptive = true;
+  config.adaptive_alpha = 0.3;
+  const ChurnSummary s = run_demo(config);
+  EXPECT_EQ(s.fingerprint, 0xc21c3172b50fce84ULL) << s.to_string();
+  EXPECT_EQ(s.env_windows, 431u);
+}
+
+ShardedConfig sharded_config(std::size_t shards) {
+  ShardedConfig config;
+  config.shards = shards;
+  config.shard = demo_config();
+  return config;
+}
+
+TEST(ReproGolden, Shards16) {
+  ShardedSim sim(sharded_config(16));
+  sim.run_until(sim_ms(3500));
+  const ShardedSummary s = sim.summary();
+  EXPECT_EQ(s.fingerprint, 0x0f8b319af33eb380ULL) << s.to_string();
+  EXPECT_EQ(s.aggregate.fingerprint, 0x50a6bd223289b406ULL);
+  ASSERT_EQ(s.shards.size(), 16u);
+  EXPECT_EQ(s.shards[0].fingerprint, 0x688f9f4ddc880d45ULL);
+}
+
+TEST(ReproGolden, Shards4Cross2) {
+  ShardedConfig config = sharded_config(4);
+  config.cross.publishers = 2;
+  config.cross.span = 2;
+  config.cross.events = 8;
+  config.cross.spacing = sim_ms(100);
+  ShardedSim sim(config);
+  sim.run_until(sim_ms(3500));
+  const ShardedSummary s = sim.summary();
+  EXPECT_EQ(s.fingerprint, 0x0156089b3f3e12f6ULL) << s.to_string();
+  EXPECT_EQ(s.aggregate.fingerprint, 0xadc2bec9eed60c1dULL);
+  ASSERT_EQ(s.shards.size(), 4u);
+  EXPECT_EQ(s.shards[0].fingerprint, 0x493af6e591c12ab5ULL);
+  EXPECT_EQ(s.shards[1].fingerprint, 0x95dab52657582cdaULL);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "harness/workload.hpp"
 
@@ -12,17 +12,29 @@ namespace {
 
 struct SyncCluster {
   std::vector<Member> members;
+  std::unique_ptr<Interns> interns = std::make_unique<Interns>();
   std::unique_ptr<GroupTree> tree;
   std::unique_ptr<Runtime> runtime;
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  std::vector<ProcessId> pid_by_id;  ///< dense AddrId -> pid directory
   std::vector<std::unique_ptr<SyncNode>> nodes;
   SyncConfig config;
 
+  void register_pid(const Address& a, ProcessId pid) {
+    const AddrId id = interns->addrs.intern(a);
+    if (pid_by_id.size() <= id) pid_by_id.resize(id + 1, kNoProcess);
+    pid_by_id[id] = pid;
+  }
+
   SyncNode::Directory directory_fn() const {
-    return [this](const Address& a) {
-      const auto it = directory.find(a);
-      return it == directory.end() ? kNoProcess : it->second;
+    return [this](AddrId id) {
+      return id < pid_by_id.size() ? pid_by_id[id] : kNoProcess;
     };
+  }
+
+  /// The depth-`depth` row of `node`'s view with infix `c`; npos if absent.
+  static std::size_t row_of(const SyncNode& node, std::size_t depth,
+                            AddrComponent c) {
+    return node.view().view(depth).find_index(c);
   }
 };
 
@@ -38,10 +50,10 @@ SyncCluster make_sync_cluster(std::size_t a, std::size_t d, std::size_t r,
   c.config.gossip_period = sim_ms(50);
   c.config.gossip_fanout = 3;
   c.config.suspicion_timeout = sim_ms(600);
-  c.tree = std::make_unique<GroupTree>(c.config.tree, c.members);
+  c.tree = std::make_unique<GroupTree>(c.config.tree, c.members, *c.interns);
   c.runtime = std::make_unique<Runtime>(NetworkConfig{}, seed ^ 0x1234);
   for (std::size_t i = 0; i < c.members.size(); ++i)
-    c.directory.emplace(c.members[i].address, static_cast<ProcessId>(i));
+    c.register_pid(c.members[i].address, static_cast<ProcessId>(i));
   for (std::size_t i = 0; i < c.members.size(); ++i) {
     c.nodes.push_back(std::make_unique<SyncNode>(
         *c.runtime, static_cast<ProcessId>(i), c.config,
@@ -81,12 +93,13 @@ TEST(SyncNode, JoinerIsAdoptedByNeighbors) {
     if (m.address == newbie) continue;
     small.members.push_back(m);
   }
-  small.tree = std::make_unique<GroupTree>(small.config.tree, small.members);
+  small.tree = std::make_unique<GroupTree>(small.config.tree, small.members,
+                                           *small.interns);
   small.runtime = std::make_unique<Runtime>(NetworkConfig{}, 77);
   for (std::size_t i = 0; i < small.members.size(); ++i)
-    small.directory.emplace(small.members[i].address,
-                            static_cast<ProcessId>(i));
-  small.directory.emplace(newbie, newbie_pid);
+    small.register_pid(small.members[i].address,
+                       static_cast<ProcessId>(i));
+  small.register_pid(newbie, newbie_pid);
   for (std::size_t i = 0; i < small.members.size(); ++i) {
     small.nodes.push_back(std::make_unique<SyncNode>(
         *small.runtime, static_cast<ProcessId>(i), small.config,
@@ -97,7 +110,8 @@ TEST(SyncNode, JoinerIsAdoptedByNeighbors) {
 
   // Join via a *distant* contact (0.0) so the request must be routed.
   SyncNode joiner(*small.runtime, newbie_pid, small.config, newbie,
-                  Subscription::parse("u < 0.3"), /*contact=*/0);
+                  Subscription::parse("u < 0.3"), /*contact=*/0,
+                  *small.interns);
   joiner.set_directory(small.directory_fn());
 
   small.runtime->run_for(sim_ms(1500));
@@ -110,8 +124,9 @@ TEST(SyncNode, JoinerIsAdoptedByNeighbors) {
   std::size_t aware = 0;
   for (const auto& n : small.nodes) {
     if (n->address().component(0) != 2) continue;
-    const auto* row = n->view().view(2).find(2);
-    if (row != nullptr && row->alive) ++aware;
+    const auto& leaf = n->view().view(2);
+    const std::size_t i = SyncCluster::row_of(*n, 2, 2);
+    if (i != DepthView::npos && leaf.alive(i)) ++aware;
   }
   EXPECT_GE(aware, 2u);
 }
@@ -126,8 +141,9 @@ TEST(SyncNode, LeaveTombstonesPropagate) {
   for (const auto& n : c.nodes) {
     if (!n->alive()) continue;
     if (n->address().component(0) != leaver.component(0)) continue;
-    const auto* row = n->view().view(2).find(leaver.component(1));
-    if (row != nullptr && !row->alive) ++tombstoned;
+    const auto& leaf = n->view().view(2);
+    const std::size_t i = SyncCluster::row_of(*n, 2, leaver.component(1));
+    if (i != DepthView::npos && !leaf.alive(i)) ++tombstoned;
   }
   EXPECT_GE(tombstoned, 2u);  // both surviving neighbors of 1.x
 }
@@ -142,8 +158,9 @@ TEST(SyncNode, CrashedNeighborSuspectedAfterTimeout) {
   for (const auto& n : c.nodes) {
     if (!n->alive()) continue;
     if (n->address().component(0) != victim.component(0)) continue;
-    const auto* row = n->view().view(2).find(victim.component(1));
-    if (row != nullptr && !row->alive) ++suspected;
+    const auto& leaf = n->view().view(2);
+    const std::size_t i = SyncCluster::row_of(*n, 2, victim.component(1));
+    if (i != DepthView::npos && !leaf.alive(i)) ++suspected;
   }
   EXPECT_GE(suspected, 2u);
 }
@@ -160,8 +177,10 @@ TEST(SyncNode, DelegateRecompactionRefreshesCounts) {
   for (const auto& n : c.nodes) {
     if (!n->alive()) continue;
     if (n->address().component(0) == 0) continue;  // other subtrees only
-    const auto* row = n->view().view(1).find(0);
-    if (row != nullptr && row->alive && row->process_count == 2) ++updated;
+    const auto& root = n->view().view(1);
+    const std::size_t i = SyncCluster::row_of(*n, 1, 0);
+    if (i != DepthView::npos && root.alive(i) && root.process_count(i) == 2)
+      ++updated;
   }
   EXPECT_GE(updated, 3u);
 }

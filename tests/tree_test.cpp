@@ -21,36 +21,45 @@ std::vector<Member> regular_members(AddrComponent a, std::size_t d,
   return uniform_interest_members(AddressSpace::regular(a, d), pd, rng);
 }
 
+/// GroupTree stores its rows through an Interns the caller owns; this
+/// helper bundles the two with the right lifetime.
+struct Tree {
+  Interns interns;
+  GroupTree tree;
+  Tree(TreeConfig c, std::vector<Member> members)
+      : tree(c, std::move(members), interns) {}
+};
+
 TEST(GroupTree, ProcessCountMatchesPopulation) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3));
-  EXPECT_EQ(tree.process_count(), 27u);
+  const Tree t(cfg(3, 2), regular_members(3, 3));
+  EXPECT_EQ(t.tree.process_count(), 27u);
 }
 
 TEST(GroupTree, RootViewHasOneRowPerPopulatedChild) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3));
-  const auto& root_view = tree.view_at(Prefix::root());
+  const Tree t(cfg(3, 2), regular_members(3, 3));
+  const auto& root_view = t.tree.view_at(Prefix::root());
   ASSERT_EQ(root_view.size(), 3u);
-  for (const auto& row : root_view.rows()) {
-    EXPECT_EQ(row.process_count, 9u);
-    EXPECT_EQ(row.delegates.size(), 2u);
+  for (std::size_t i = 0; i < root_view.size(); ++i) {
+    EXPECT_EQ(root_view.process_count(i), 9u);
+    EXPECT_EQ(root_view.delegates(i).size(), 2u);
   }
 }
 
 TEST(GroupTree, LeafViewListsIndividualProcesses) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3));
+  const Tree t(cfg(3, 2), regular_members(3, 3));
   const auto self = Address::parse("1.1.0");
-  const auto& leaf = tree.view_for(self, 3);
+  const auto& leaf = t.tree.view_for(self, 3);
   ASSERT_EQ(leaf.size(), 3u);
-  for (const auto& row : leaf.rows()) {
-    EXPECT_EQ(row.process_count, 1u);
-    EXPECT_EQ(row.delegates.size(), 1u);
+  for (std::size_t i = 0; i < leaf.size(); ++i) {
+    EXPECT_EQ(leaf.process_count(i), 1u);
+    EXPECT_EQ(leaf.delegates(i).size(), 1u);
   }
 }
 
 TEST(GroupTree, DelegatesAreSmallestAddresses) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3));
+  const Tree t(cfg(3, 2), regular_members(3, 3));
   // Delegates of subgroup 2.1 are its two smallest members.
-  const auto d = tree.delegates(Address::parse("2.1.0").prefix(2));
+  const auto d = t.tree.delegates(Address::parse("2.1.0").prefix(2));
   ASSERT_EQ(d.size(), 2u);
   EXPECT_EQ(d[0].to_string(), "2.1.0");
   EXPECT_EQ(d[1].to_string(), "2.1.1");
@@ -59,33 +68,34 @@ TEST(GroupTree, DelegatesAreSmallestAddresses) {
 TEST(GroupTree, DelegatesAreNested) {
   // A delegate at depth i is also a delegate at every depth below (paper:
   // "it appears in all successive depths") under smallest-address election.
-  const GroupTree tree(cfg(3, 3), regular_members(4, 3));
-  const auto root_delegates = tree.delegates(Prefix::root());
+  const Tree t(cfg(3, 3), regular_members(4, 3));
+  const auto root_delegates = t.tree.delegates(Prefix::root());
   for (const auto& d : root_delegates) {
     for (std::size_t depth = 1; depth <= 3; ++depth)
-      EXPECT_TRUE(tree.is_delegate_at(d, depth))
+      EXPECT_TRUE(t.tree.is_delegate_at(d, depth))
           << d.to_string() << " at depth " << depth;
   }
 }
 
 TEST(GroupTree, RepresentedCountsEq4) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3));
-  EXPECT_EQ(tree.represented(Prefix::root()), 27u);
-  EXPECT_EQ(tree.represented(Address::parse("1.0.0").prefix(1)), 9u);
-  EXPECT_EQ(tree.represented(Address::parse("1.0.0").prefix(2)), 3u);
-  EXPECT_EQ(tree.represented(Address::parse("9.9.9").prefix(1)), 0u);
+  const Tree t(cfg(3, 2), regular_members(3, 3));
+  EXPECT_EQ(t.tree.represented(Prefix::root()), 27u);
+  EXPECT_EQ(t.tree.represented(Address::parse("1.0.0").prefix(1)), 9u);
+  EXPECT_EQ(t.tree.represented(Address::parse("1.0.0").prefix(2)), 3u);
+  EXPECT_EQ(t.tree.represented(Address::parse("9.9.9").prefix(1)), 0u);
 }
 
 TEST(GroupTree, ViewSizesMatchEq12) {
   // m_i = R*a for i < d and a for i = d in a regular tree.
   const std::size_t a = 4, d = 3, r = 2;
-  const GroupTree tree(cfg(d, r),
-                       regular_members(static_cast<AddrComponent>(a), d));
+  const Tree t(cfg(d, r),
+               regular_members(static_cast<AddrComponent>(a), d));
   const auto self = Address::parse("1.2.3");
   for (std::size_t depth = 1; depth <= d; ++depth) {
-    const auto& view = tree.view_for(self, depth);
+    const auto& view = t.tree.view_for(self, depth);
     std::size_t members = 0;
-    for (const auto& row : view.rows()) members += row.delegates.size();
+    for (std::size_t i = 0; i < view.size(); ++i)
+      members += view.delegates(i).size();
     EXPECT_EQ(members, depth < d ? r * a : a) << "depth " << depth;
   }
 }
@@ -94,7 +104,7 @@ TEST(GroupTree, SubgroupSummaryCoversMemberInterests) {
   // The regrouped interests of every prefix must match any event a member
   // subscription matches (no false negatives through the whole tree).
   const auto members = regular_members(3, 3, 0.15, /*seed=*/7);
-  const GroupTree tree(cfg(3, 2), members);
+  const Tree t(cfg(3, 2), members);
   Rng rng(99);
   for (int trial = 0; trial < 200; ++trial) {
     const Event e = make_uniform_event(0, static_cast<std::uint64_t>(trial),
@@ -102,32 +112,32 @@ TEST(GroupTree, SubgroupSummaryCoversMemberInterests) {
     for (const auto& m : members) {
       if (!m.subscription.match(e)) continue;
       for (std::size_t len = 0; len < 3; ++len)
-        EXPECT_TRUE(tree.summary(m.address.prefix(len)).match(e));
+        EXPECT_TRUE(t.tree.summary(m.address.prefix(len)).match(e));
     }
   }
 }
 
 TEST(GroupTree, ContainsAndSubscription) {
   const auto members = regular_members(3, 2, 0.5);
-  const GroupTree tree(cfg(2, 1), members);
-  EXPECT_TRUE(tree.contains(Address::parse("0.0")));
-  EXPECT_FALSE(tree.contains(Address::parse("3.0")));
-  EXPECT_FALSE(tree.contains(Address::parse("0.0.0")));
-  EXPECT_NO_THROW(tree.subscription(Address::parse("2.2")));
+  const Tree t(cfg(2, 1), members);
+  EXPECT_TRUE(t.tree.contains(Address::parse("0.0")));
+  EXPECT_FALSE(t.tree.contains(Address::parse("3.0")));
+  EXPECT_FALSE(t.tree.contains(Address::parse("0.0.0")));
+  EXPECT_NO_THROW(t.tree.subscription(Address::parse("2.2")));
 }
 
 TEST(GroupTree, AllMembersRoundTrip) {
   const auto members = regular_members(3, 2);
-  const GroupTree tree(cfg(2, 1), members);
-  const auto all = tree.all_members();
+  const Tree t(cfg(2, 1), members);
+  const auto all = t.tree.all_members();
   EXPECT_EQ(all.size(), 9u);
   for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
 }
 
 TEST(GroupTree, DepthOneDegeneratesToFlatGroup) {
-  const GroupTree tree(cfg(1, 2), regular_members(5, 1));
-  EXPECT_EQ(tree.process_count(), 5u);
-  const auto& view = tree.view_at(Prefix::root());
+  const Tree t(cfg(1, 2), regular_members(5, 1));
+  EXPECT_EQ(t.tree.process_count(), 5u);
+  const auto& view = t.tree.view_at(Prefix::root());
   EXPECT_EQ(view.size(), 5u);
 }
 
@@ -136,70 +146,73 @@ TEST(GroupTree, IrregularPopulation) {
   std::vector<Member> members;
   for (const auto* t : {"0.0.0", "0.0.1", "0.2.4", "3.1.1", "3.1.2"})
     members.push_back(Member{Address::parse(t), Subscription()});
-  const GroupTree tree(cfg(3, 2), members);
-  EXPECT_EQ(tree.process_count(), 5u);
-  const auto& root_view = tree.view_at(Prefix::root());
+  const Tree t(cfg(3, 2), members);
+  EXPECT_EQ(t.tree.process_count(), 5u);
+  const auto& root_view = t.tree.view_at(Prefix::root());
   EXPECT_EQ(root_view.size(), 2u);  // subtrees 0 and 3
-  EXPECT_EQ(tree.represented(Address::parse("0.0.0").prefix(1)), 3u);
-  EXPECT_EQ(tree.represented(Address::parse("3.0.0").prefix(1)), 2u);
+  EXPECT_EQ(t.tree.represented(Address::parse("0.0.0").prefix(1)), 3u);
+  EXPECT_EQ(t.tree.represented(Address::parse("3.0.0").prefix(1)), 2u);
 }
 
 TEST(GroupTree, DuplicateAddressRejected) {
   std::vector<Member> members;
   members.push_back(Member{Address::parse("0.0"), Subscription()});
   members.push_back(Member{Address::parse("0.0"), Subscription()});
-  EXPECT_THROW(GroupTree(cfg(2, 1), members), std::logic_error);
+  Interns interns;
+  EXPECT_THROW(GroupTree(cfg(2, 1), members, interns), std::logic_error);
 }
 
 TEST(GroupTree, WrongDepthAddressRejected) {
   std::vector<Member> members;
   members.push_back(Member{Address::parse("0.0.0"), Subscription()});
-  EXPECT_THROW(GroupTree(cfg(2, 1), members), std::logic_error);
+  Interns interns;
+  EXPECT_THROW(GroupTree(cfg(2, 1), members, interns), std::logic_error);
 }
 
 TEST(GroupTree, AddMemberUpdatesPath) {
   auto members = regular_members(3, 2);
   members.pop_back();  // remove 2.2
-  GroupTree tree(cfg(2, 2), members);
-  EXPECT_EQ(tree.process_count(), 8u);
-  tree.add_member(Address::parse("2.2"), Subscription::parse("u < 0.5"));
-  EXPECT_EQ(tree.process_count(), 9u);
-  EXPECT_TRUE(tree.contains(Address::parse("2.2")));
-  EXPECT_EQ(tree.represented(Address::parse("2.0").prefix(1)), 3u);
+  Tree t(cfg(2, 2), members);
+  EXPECT_EQ(t.tree.process_count(), 8u);
+  t.tree.add_member(Address::parse("2.2"), Subscription::parse("u < 0.5"));
+  EXPECT_EQ(t.tree.process_count(), 9u);
+  EXPECT_TRUE(t.tree.contains(Address::parse("2.2")));
+  EXPECT_EQ(t.tree.represented(Address::parse("2.0").prefix(1)), 3u);
 }
 
 TEST(GroupTree, AddMemberIntoEmptySubtreeCreatesNodes) {
   std::vector<Member> members{{Address::parse("0.0.0"), Subscription()}};
-  GroupTree tree(cfg(3, 1), members);
-  tree.add_member(Address::parse("2.1.0"), Subscription());
-  EXPECT_EQ(tree.process_count(), 2u);
-  EXPECT_EQ(tree.view_at(Prefix::root()).size(), 2u);
+  Tree t(cfg(3, 1), members);
+  t.tree.add_member(Address::parse("2.1.0"), Subscription());
+  EXPECT_EQ(t.tree.process_count(), 2u);
+  EXPECT_EQ(t.tree.view_at(Prefix::root()).size(), 2u);
 }
 
 TEST(GroupTree, RemoveMemberUpdatesDelegates) {
-  GroupTree tree(cfg(2, 1), regular_members(3, 2));
+  Tree t(cfg(2, 1), regular_members(3, 2));
   // 0.0 is the single delegate of subgroup 0; removing it promotes 0.1.
-  EXPECT_EQ(tree.delegates(Address::parse("0.0").prefix(1))[0].to_string(),
+  EXPECT_EQ(t.tree.delegates(Address::parse("0.0").prefix(1))[0].to_string(),
             "0.0");
-  tree.remove_member(Address::parse("0.0"));
-  EXPECT_EQ(tree.delegates(Address::parse("0.0").prefix(1))[0].to_string(),
+  t.tree.remove_member(Address::parse("0.0"));
+  EXPECT_EQ(t.tree.delegates(Address::parse("0.0").prefix(1))[0].to_string(),
             "0.1");
-  EXPECT_EQ(tree.process_count(), 8u);
+  EXPECT_EQ(t.tree.process_count(), 8u);
 }
 
 TEST(GroupTree, RemoveLastMemberOfSubgroupDropsRow) {
   std::vector<Member> members;
   for (const auto* t : {"0.0", "0.1", "1.0"})
     members.push_back(Member{Address::parse(t), Subscription()});
-  GroupTree tree(cfg(2, 2), members);
-  tree.remove_member(Address::parse("1.0"));
-  EXPECT_EQ(tree.view_at(Prefix::root()).size(), 1u);
-  EXPECT_EQ(tree.process_count(), 2u);
+  Tree t(cfg(2, 2), members);
+  t.tree.remove_member(Address::parse("1.0"));
+  EXPECT_EQ(t.tree.view_at(Prefix::root()).size(), 1u);
+  EXPECT_EQ(t.tree.process_count(), 2u);
 }
 
 TEST(GroupTree, RemoveNonMemberRejected) {
-  GroupTree tree(cfg(2, 1), regular_members(2, 2));
-  EXPECT_THROW(tree.remove_member(Address::parse("9.9")), std::logic_error);
+  Tree t(cfg(2, 1), regular_members(2, 2));
+  EXPECT_THROW(t.tree.remove_member(Address::parse("9.9")),
+               std::logic_error);
 }
 
 TEST(GroupTree, UpdateSubscriptionRefreshesSummaries) {
@@ -207,25 +220,24 @@ TEST(GroupTree, UpdateSubscriptionRefreshesSummaries) {
   for (const auto* t : {"0.0", "0.1"})
     members.push_back(Member{Address::parse(t),
                              Subscription::parse("u >= 0.9")});
-  GroupTree tree(cfg(2, 1), members);
+  Tree t(cfg(2, 1), members);
   Event e = make_event_at(0, 0, 0.1);
-  EXPECT_FALSE(tree.summary(Prefix::root()).match(e));
-  tree.update_subscription(Address::parse("0.1"),
-                           Subscription::parse("u < 0.5"));
-  EXPECT_TRUE(tree.summary(Prefix::root()).match(e));
+  EXPECT_FALSE(t.tree.summary(Prefix::root()).match(e));
+  t.tree.update_subscription(Address::parse("0.1"),
+                             Subscription::parse("u < 0.5"));
+  EXPECT_TRUE(t.tree.summary(Prefix::root()).match(e));
 }
 
 TEST(GroupTree, MaterializeViewMatchesShared) {
-  const GroupTree tree(cfg(3, 2), regular_members(3, 3, 0.4));
+  const Tree t(cfg(3, 2), regular_members(3, 3, 0.4));
   const auto self = Address::parse("1.2.0");
-  const auto mv = tree.materialize_view(self);
+  const auto mv = t.tree.materialize_view(self);
   for (std::size_t depth = 1; depth <= 3; ++depth) {
-    const auto& shared = tree.view_for(self, depth);
+    const auto& shared = t.tree.view_for(self, depth);
     ASSERT_EQ(mv.view(depth).size(), shared.size());
-    for (std::size_t i = 0; i < shared.rows().size(); ++i) {
-      EXPECT_EQ(mv.view(depth).rows()[i].infix, shared.rows()[i].infix);
-      EXPECT_EQ(mv.view(depth).rows()[i].process_count,
-                shared.rows()[i].process_count);
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+      EXPECT_EQ(mv.view(depth).infix(i), shared.infix(i));
+      EXPECT_EQ(mv.view(depth).process_count(i), shared.process_count(i));
     }
   }
   // Eq. 2 knowledge: R*a*(d-1) + a = 2*3*2 + 3 = 15.
@@ -233,11 +245,11 @@ TEST(GroupTree, MaterializeViewMatchesShared) {
 }
 
 TEST(GroupTree, VersionsIncreaseOnMutation) {
-  GroupTree tree(cfg(2, 1), regular_members(3, 2));
-  const auto before =
-      tree.view_at(Prefix::root()).find(0)->version;
-  tree.remove_member(Address::parse("0.2"));
-  const auto after = tree.view_at(Prefix::root()).find(0)->version;
+  Tree t(cfg(2, 1), regular_members(3, 2));
+  const auto& root = t.tree.view_at(Prefix::root());
+  const auto before = root.version(root.find_index(0));
+  t.tree.remove_member(Address::parse("0.2"));
+  const auto after = root.version(root.find_index(0));
   EXPECT_GT(after, before);
 }
 

@@ -14,11 +14,17 @@ namespace {
 
 struct TreecastCluster {
   std::vector<Member> members;
+  std::unique_ptr<Interns> interns = std::make_unique<Interns>();
   std::unique_ptr<GroupTree> tree;
   std::unique_ptr<Runtime> runtime;
   std::unique_ptr<TreeViewProvider> views;
-  std::unordered_map<Address, ProcessId, AddressHash> directory;
+  std::vector<ProcessId> directory;  ///< dense AddrId -> pid
   std::vector<std::unique_ptr<TreecastNode>> nodes;
+
+  ProcessId pid_of(const Address& a) const {
+    const AddrId id = interns->addrs.find(a);
+    return id == kNoAddr ? kNoProcess : directory.at(id);
+  }
 };
 
 TreecastCluster make_treecast(std::size_t a, std::size_t d, double pd,
@@ -30,20 +36,22 @@ TreecastCluster make_treecast(std::size_t a, std::size_t d, double pd,
   TreeConfig tree_config;
   tree_config.depth = d;
   tree_config.redundancy = 2;
-  c.tree = std::make_unique<GroupTree>(tree_config, c.members);
+  c.tree = std::make_unique<GroupTree>(tree_config, c.members, *c.interns);
   c.views = std::make_unique<TreeViewProvider>(*c.tree);
   c.runtime = std::make_unique<Runtime>(NetworkConfig{}, seed ^ 0x7);
-  for (std::size_t i = 0; i < c.members.size(); ++i)
-    c.directory.emplace(c.members[i].address, static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    const AddrId id = c.interns->addrs.intern(c.members[i].address);
+    if (c.directory.size() <= id) c.directory.resize(id + 1, kNoProcess);
+    c.directory[id] = static_cast<ProcessId>(i);
+  }
   TreecastConfig config;
   config.tree = tree_config;
   for (std::size_t i = 0; i < c.members.size(); ++i) {
     c.nodes.push_back(std::make_unique<TreecastNode>(
         *c.runtime, static_cast<ProcessId>(i), config,
         c.members[i].address, c.members[i].subscription, *c.views,
-        [&dir = c.directory](const Address& addr) {
-          const auto it = dir.find(addr);
-          return it == dir.end() ? kNoProcess : it->second;
+        [&dir = c.directory](AddrId id) {
+          return id < dir.size() ? dir[id] : kNoProcess;
         }));
   }
   return c;
@@ -81,7 +89,7 @@ TEST(Treecast, SingleCrashedForwarderSeversSubtree) {
   // The fragility: crash subgroup 2's first delegate and every interested
   // process in subtree 2 is lost — no redundancy, no retry.
   auto c = make_treecast(4, 2, 1.0, 4);
-  c.nodes[c.directory.at(Address::parse("2.0"))]->crash();
+  c.nodes[c.pid_of(Address::parse("2.0"))]->crash();
   const Event e = make_event_at(0, 0, 0.5);
   c.nodes[0]->multicast(e);
   c.runtime->run_until_idle();

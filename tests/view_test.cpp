@@ -19,65 +19,111 @@ ViewRow row(AddrComponent infix, std::uint64_t version,
   return r;
 }
 
-TEST(DepthView, UpsertInsertsSorted) {
+/// A DepthView needs intern state to store rows; the fixture owns one.
+struct BoundView {
+  Interns interns;
   DepthView v;
-  EXPECT_TRUE(v.upsert(row(5, 1)));
-  EXPECT_TRUE(v.upsert(row(1, 1)));
-  EXPECT_TRUE(v.upsert(row(3, 1)));
-  ASSERT_EQ(v.size(), 3u);
-  EXPECT_EQ(v.rows()[0].infix, 1);
-  EXPECT_EQ(v.rows()[1].infix, 3);
-  EXPECT_EQ(v.rows()[2].infix, 5);
+  BoundView() { v.bind(interns); }
+};
+
+TEST(DepthView, UpsertInsertsSorted) {
+  BoundView b;
+  EXPECT_TRUE(b.v.upsert(row(5, 1)));
+  EXPECT_TRUE(b.v.upsert(row(1, 1)));
+  EXPECT_TRUE(b.v.upsert(row(3, 1)));
+  ASSERT_EQ(b.v.size(), 3u);
+  EXPECT_EQ(b.v.infix(0), 1);
+  EXPECT_EQ(b.v.infix(1), 3);
+  EXPECT_EQ(b.v.infix(2), 5);
 }
 
 TEST(DepthView, NewerVersionWins) {
-  DepthView v;
-  v.upsert(row(1, 1, 10));
-  EXPECT_TRUE(v.upsert(row(1, 2, 20)));
-  EXPECT_EQ(v.find(1)->process_count, 20u);
-  EXPECT_EQ(v.size(), 1u);
+  BoundView b;
+  b.v.upsert(row(1, 1, 10));
+  EXPECT_TRUE(b.v.upsert(row(1, 2, 20)));
+  EXPECT_EQ(b.v.process_count(b.v.find_index(1)), 20u);
+  EXPECT_EQ(b.v.size(), 1u);
 }
 
 TEST(DepthView, OlderOrEqualVersionIgnored) {
-  DepthView v;
-  v.upsert(row(1, 5, 10));
-  EXPECT_FALSE(v.upsert(row(1, 5, 99)));
-  EXPECT_FALSE(v.upsert(row(1, 3, 99)));
-  EXPECT_EQ(v.find(1)->process_count, 10u);
+  BoundView b;
+  b.v.upsert(row(1, 5, 10));
+  EXPECT_FALSE(b.v.upsert(row(1, 5, 99)));
+  EXPECT_FALSE(b.v.upsert(row(1, 3, 99)));
+  EXPECT_EQ(b.v.process_count(b.v.find_index(1)), 10u);
 }
 
-TEST(DepthView, FindMissingReturnsNull) {
-  DepthView v;
-  v.upsert(row(2, 1));
-  EXPECT_EQ(v.find(3), nullptr);
-  EXPECT_NE(v.find(2), nullptr);
+TEST(DepthView, FindMissingReturnsNpos) {
+  BoundView b;
+  b.v.upsert(row(2, 1));
+  EXPECT_EQ(b.v.find_index(3), DepthView::npos);
+  EXPECT_NE(b.v.find_index(2), DepthView::npos);
 }
 
 TEST(DepthView, Erase) {
-  DepthView v;
-  v.upsert(row(1, 1));
-  v.upsert(row(2, 1));
-  EXPECT_TRUE(v.erase(1));
-  EXPECT_FALSE(v.erase(1));
-  EXPECT_EQ(v.size(), 1u);
-  EXPECT_EQ(v.find(1), nullptr);
+  BoundView b;
+  b.v.upsert(row(1, 1));
+  b.v.upsert(row(2, 1));
+  EXPECT_TRUE(b.v.erase(1));
+  EXPECT_FALSE(b.v.erase(1));
+  EXPECT_EQ(b.v.size(), 1u);
+  EXPECT_EQ(b.v.find_index(1), DepthView::npos);
 }
 
 TEST(DepthView, LiveCountSkipsTombstones) {
-  DepthView v;
-  v.upsert(row(1, 1, 1, true));
-  v.upsert(row(2, 1, 1, false));
-  v.upsert(row(3, 1, 1, true));
-  EXPECT_EQ(v.size(), 3u);
-  EXPECT_EQ(v.live_count(), 2u);
+  BoundView b;
+  b.v.upsert(row(1, 1, 1, true));
+  b.v.upsert(row(2, 1, 1, false));
+  b.v.upsert(row(3, 1, 1, true));
+  EXPECT_EQ(b.v.size(), 3u);
+  EXPECT_EQ(b.v.live_count(), 2u);
 }
 
 TEST(DepthView, TotalProcessesSumsLiveRows) {
-  DepthView v;
-  v.upsert(row(1, 1, 10, true));
-  v.upsert(row(2, 1, 20, false));  // tombstoned, not counted
-  v.upsert(row(3, 1, 5, true));
-  EXPECT_EQ(v.total_processes(), 15u);
+  BoundView b;
+  b.v.upsert(row(1, 1, 10, true));
+  b.v.upsert(row(2, 1, 20, false));  // tombstoned, not counted
+  b.v.upsert(row(3, 1, 5, true));
+  EXPECT_EQ(b.v.total_processes(), 15u);
+}
+
+TEST(DepthView, MaterializeReproducesRowBytes) {
+  BoundView b;
+  ViewRow r = row(4, 7, 12);
+  r.delegates = {Address::parse("4.0.1"), Address::parse("4.0.0")};
+  b.v.upsert(r);
+  const std::size_t i = b.v.find_index(4);
+  ASSERT_NE(i, DepthView::npos);
+  const ViewRow back = b.v.materialize(i);
+  EXPECT_EQ(back.infix, r.infix);
+  EXPECT_EQ(back.version, r.version);
+  EXPECT_EQ(back.process_count, r.process_count);
+  EXPECT_EQ(back.alive, r.alive);
+  // Delegate order is preserved exactly as published (no id reordering).
+  EXPECT_EQ(back.delegates, r.delegates);
+  EXPECT_EQ(back.interests, r.interests);
+}
+
+TEST(DepthView, DelegatesAreInternedIds) {
+  BoundView b;
+  ViewRow r = row(2, 1);
+  r.delegates = {Address::parse("2.1.1"), Address::parse("2.1.2")};
+  b.v.upsert(r);
+  const std::size_t i = b.v.find_index(2);
+  const auto ids = b.v.delegates(i);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(b.interns.addrs.resolve(ids[0]), r.delegates[0]);
+  EXPECT_EQ(b.interns.addrs.resolve(ids[1]), r.delegates[1]);
+  EXPECT_EQ(b.v.first_delegate(i), ids[0]);
+}
+
+TEST(DepthView, PooledSummariesAreShared) {
+  // Structurally identical summaries collapse onto one pooled instance.
+  BoundView b;
+  b.v.upsert(row(1, 1));
+  b.v.upsert(row(2, 1));
+  EXPECT_EQ(b.v.interests_ptr(0).get(), b.v.interests_ptr(1).get());
+  EXPECT_EQ(b.interns.summaries.size(), 1u);
 }
 
 TEST(MembershipView, DepthIndexingOneBased) {
@@ -85,7 +131,8 @@ TEST(MembershipView, DepthIndexingOneBased) {
   TreeConfig cfg;
   cfg.depth = 3;
   cfg.redundancy = 2;
-  MembershipView mv(self, cfg);
+  Interns interns;
+  MembershipView mv(self, cfg, interns);
   mv.view(1).upsert(row(0, 1));
   mv.view(3).upsert(row(7, 1));
   EXPECT_EQ(mv.view(1).size(), 1u);
@@ -98,14 +145,17 @@ TEST(MembershipView, DepthIndexingOneBased) {
 TEST(MembershipView, SelfDepthMustMatchConfig) {
   TreeConfig cfg;
   cfg.depth = 3;
-  EXPECT_THROW(MembershipView(Address::parse("1.2"), cfg), std::logic_error);
+  Interns interns;
+  EXPECT_THROW(MembershipView(Address::parse("1.2"), cfg, interns),
+               std::logic_error);
 }
 
 TEST(MembershipView, KnownProcessesCountsDelegatesPerAppearance) {
   const auto self = Address::parse("1.2.3");
   TreeConfig cfg;
   cfg.depth = 3;
-  MembershipView mv(self, cfg);
+  Interns interns;
+  MembershipView mv(self, cfg, interns);
   ViewRow r1 = row(0, 1);
   r1.delegates = {Address::parse("0.0.0"), Address::parse("0.0.1")};
   mv.view(1).upsert(r1);
@@ -117,10 +167,19 @@ TEST(MembershipView, KnownProcessesCountsDelegatesPerAppearance) {
   EXPECT_EQ(mv.known_processes(), 3u);  // 2 + 1, tombstone excluded
 }
 
+TEST(MembershipView, SelfIdIsInterned) {
+  TreeConfig cfg;
+  cfg.depth = 2;
+  Interns interns;
+  MembershipView mv(Address::parse("3.1"), cfg, interns);
+  EXPECT_EQ(interns.addrs.resolve(mv.self_id()), mv.self());
+}
+
 TEST(MembershipView, ToStringMentionsSelf) {
   TreeConfig cfg;
   cfg.depth = 2;
-  MembershipView mv(Address::parse("3.1"), cfg);
+  Interns interns;
+  MembershipView mv(Address::parse("3.1"), cfg, interns);
   EXPECT_NE(mv.to_string().find("3.1"), std::string::npos);
 }
 

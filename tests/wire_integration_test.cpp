@@ -73,20 +73,23 @@ TEST(WireIntegration, MembershipSyncOverSerializedMessages) {
   config.tree.depth = 2;
   config.tree.redundancy = 2;
   config.gossip_period = sim_ms(50);
-  const GroupTree tree(config.tree, members);
+  Interns interns;
+  const GroupTree tree(config.tree, members, interns);
   Runtime rt(NetworkConfig{}, 83);
   rt.network().set_transcoder(codec_round_trip());
-  std::unordered_map<Address, ProcessId, AddressHash> dir;
-  for (std::size_t i = 0; i < members.size(); ++i)
-    dir.emplace(members[i].address, static_cast<ProcessId>(i));
+  std::vector<ProcessId> dir;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const AddrId id = interns.addrs.intern(members[i].address);
+    if (dir.size() <= id) dir.resize(id + 1, kNoProcess);
+    dir[id] = static_cast<ProcessId>(i);
+  }
   std::vector<std::unique_ptr<SyncNode>> nodes;
   for (std::size_t i = 0; i < members.size(); ++i) {
     nodes.push_back(std::make_unique<SyncNode>(
         rt, static_cast<ProcessId>(i), config,
         tree.materialize_view(members[i].address), members[i].subscription));
-    nodes.back()->set_directory([&dir](const Address& a) {
-      const auto it = dir.find(a);
-      return it == dir.end() ? kNoProcess : it->second;
+    nodes.back()->set_directory([&dir](AddrId id) {
+      return id < dir.size() ? dir[id] : kNoProcess;
     });
   }
   rt.run_for(sim_ms(500));
@@ -97,8 +100,9 @@ TEST(WireIntegration, MembershipSyncOverSerializedMessages) {
   for (const auto& n : nodes) {
     if (!n->alive()) continue;
     if (n->address().component(0) != 1) continue;
-    const auto* row = n->view().view(2).find(1);
-    if (row != nullptr && !row->alive) ++tombstoned;
+    const auto& leaf = n->view().view(2);
+    const std::size_t row = leaf.find_index(1);
+    if (row != DepthView::npos && !leaf.alive(row)) ++tombstoned;
   }
   EXPECT_GE(tombstoned, 2u);
 }

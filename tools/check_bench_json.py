@@ -10,6 +10,12 @@ Usage:
         show the calendar-queue scheduler at or above the PR-1 performance
         envelope at the 131072-event point.
 
+    check_bench_json.py --gate-memory SCALE_FILE [FILE...]
+        Additionally require SCALE_FILE (a table_scale --json dump) to show
+        bytes-per-process at the 100,000-process sharded row at or below
+        the post-interning envelope. Skips with a note when the run was
+        capped below 100k processes (the row is absent).
+
 The scheduler gate is deliberately *counter-based*, not wall-clock-based:
 CI machines differ wildly in absolute speed, so the gate compares the
 calendar queue against the legacy tombstone scheduler measured in the same
@@ -19,6 +25,14 @@ regressing below that ratio would mean the calendar queue lost PR 1's win,
 never mind PR 5's. The required ratio is 2.0 — comfortably above PR 1's
 1.38, comfortably below the ~4-5x the calendar queue actually shows — so
 the gate trips on real regressions, not scheduler-neutral machine noise.
+
+The memory gate is machine-independent for the same reason: bytes per
+process (peak RSS / live processes) is a property of the data layout, not
+of machine speed. The pre-interning engine sat at 14,626 B/proc at 100k
+(1394.8 MB RSS); the intern-table + struct-of-arrays layout must keep the
+row at or below half of that, 7312 B/proc, with headroom above the ~3-4 KB
+it actually measures so allocator and libc variance across CI images does
+not trip it.
 """
 
 import json
@@ -29,6 +43,8 @@ GATE_POINT = "131072"
 GATE_NUMERATOR = f"BM_SchedulerCalendarQueue/{GATE_POINT}"
 GATE_DENOMINATOR = f"BM_SchedulerLegacyTombstones/{GATE_POINT}"
 GATE_MIN_RATIO = 2.0
+MEM_GATE_PROCESSES = 100_000
+MEM_GATE_MAX_BYTES_PER_PROC = 7312.0  # half of the pre-interning 14626
 
 
 def fail(msg):
@@ -90,18 +106,61 @@ def micro_items_per_second(doc, path, name):
          f"--benchmark_filter=Scheduler --json {path})")
 
 
+def gate_memory(doc, path):
+    """Bytes/process at the 100k sharded row must stay in the SoA envelope."""
+    for t in doc["tables"]:
+        try:
+            procs_col = t["headers"].index("processes")
+            bpp_col = t["headers"].index("B/proc")
+        except ValueError:
+            continue
+        for row in t["rows"]:
+            if float(row[procs_col]) != MEM_GATE_PROCESSES:
+                continue
+            bpp = float(row[bpp_col])
+            print(
+                f"check_bench_json: memory @{MEM_GATE_PROCESSES} processes: "
+                f"{bpp:.1f} B/proc "
+                f"(required <= {MEM_GATE_MAX_BYTES_PER_PROC:.0f})"
+            )
+            if bpp > MEM_GATE_MAX_BYTES_PER_PROC:
+                fail(
+                    f"{bpp:.1f} B/proc > {MEM_GATE_MAX_BYTES_PER_PROC:.0f}: "
+                    f"per-process memory regressed above the intern/SoA "
+                    f"envelope"
+                )
+            return
+    print(
+        f"check_bench_json: NOTE: no {MEM_GATE_PROCESSES}-process row with "
+        f"a B/proc column in {path} (run capped below 100k?) — memory gate "
+        f"skipped"
+    )
+
+
 def main(argv):
     args = argv[1:]
     gate_file = None
-    if args and args[0] == "--gate-scheduler":
-        if len(args) < 2:
-            fail("--gate-scheduler needs a micro_benchmarks JSON file")
-        gate_file = args[1]
-        args = args[1:]
-    if not args:
+    mem_file = None
+    files = []
+    i = 0
+    while i < len(args):
+        if args[i] in ("--gate-scheduler", "--gate-memory"):
+            if i + 1 >= len(args):
+                fail(f"{args[i]} needs a JSON file")
+            if args[i] == "--gate-scheduler":
+                gate_file = args[i + 1]
+            else:
+                mem_file = args[i + 1]
+            files.append(args[i + 1])  # gated files are schema-checked too
+            i += 2
+        else:
+            files.append(args[i])
+            i += 1
+    files = list(dict.fromkeys(files))  # dedup, keep order
+    if not files:
         fail("no files given")
 
-    docs = {path: load_and_validate(path) for path in args}
+    docs = {path: load_and_validate(path) for path in files}
 
     if gate_file is not None:
         doc = docs[gate_file]
@@ -118,6 +177,9 @@ def main(argv):
                 f"calendar/legacy ratio {ratio:.2f} < {GATE_MIN_RATIO}: "
                 f"the scheduler regressed below the PR-1 envelope"
             )
+
+    if mem_file is not None:
+        gate_memory(docs[mem_file], mem_file)
     return 0
 
 
