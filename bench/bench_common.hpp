@@ -24,7 +24,12 @@
 // trajectory PR over PR.
 #pragma once
 
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,6 +45,29 @@ namespace pmc::bench {
 
 inline std::size_t runs_per_point(std::size_t fallback) {
   return env_size_t("PMCAST_RUNS", fallback);
+}
+
+/// Peak RSS of this process in bytes — the getrusage ru_maxrss high-water
+/// mark, which only ever grows. ru_maxrss is reported in KILOBYTES on
+/// Linux but in BYTES on macOS (a classic silent 1024x unit bug when the
+/// caller divides unconditionally), so the platform branch lives here,
+/// once, for every bench binary. Returns 0 on Windows (no getrusage).
+inline std::uint64_t peak_rss_bytes() {
+#ifdef _WIN32
+  return 0;
+#else
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#endif
+}
+
+inline double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
 }
 
 inline void print_header(const std::string& id, const std::string& title,

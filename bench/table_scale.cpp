@@ -13,29 +13,34 @@
 //   A. one group, growing capacity — stresses per-node view sizes and the
 //      scheduler's same-time period cohorts within a single group;
 //   B. topic shards of fixed size (a=4, d=2: 32 processes each), growing
-//      the shard count to 1,000,000 processes on ONE runtime — the
-//      deployment shape ShardedSim exists for.
+//      the shard count to 1,000,000 processes — one runtime per shard on
+//      a worker pool, the deployment shape ShardedSim exists for.
 //
-// Columns: live processes, sim events executed, sched-ops/s, messages
-// sent, msgs/s, wall-clock, peak RSS (getrusage ru_maxrss — a
-// process-wide high-water mark, which is why rows run smallest to
-// largest), and B/proc (peak RSS divided by process count — the
-// machine-independent memory figure check_bench_json.py gates on).
-// sched-ops/s here is end-to-end (event execution including protocol
+// Columns: live processes, worker threads, host cores, sim events
+// executed, sched-ops/s, messages sent, msgs/s, wall-clock, peak RSS
+// (bench::peak_rss_bytes — a process-wide high-water mark, which is why
+// rows run smallest to largest), and B/proc (peak RSS divided by process
+// count — the machine-independent memory figure check_bench_json.py gates
+// on). A row whose run never raised the high-water mark prints `n/a` for
+// B/proc: the RSS predates that row's boot, so dividing it by the row's
+// process count would attribute some earlier, fatter row's memory to this
+// one. sched-ops/s here is end-to-end (event execution including protocol
 // work), the deployment-shaped complement to the synthetic
 // micro_benchmarks scheduler figure.
+//
+// The 100k sharded row additionally runs at 2 and 8 worker threads — same
+// deployment, byte-identical counters (the barrier engine guarantees it),
+// only wall-clock may move. check_bench_json.py --gate-parallel reads the
+// threads/cores columns to verify both the identity and the speedup.
 //
 // `--max-processes N` skips rows larger than N (the perf-smoke CI job runs
 // a small prefix); `--json <file>` writes the pmcast-bench-v1 schema —
 // BENCH_scale.json in the repo root is a committed snapshot.
-#ifndef _WIN32
-#include <sys/resource.h>
-#endif
-
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -44,18 +49,6 @@
 namespace {
 
 using namespace pmc;
-
-double peak_rss_mb() {
-#ifdef _WIN32
-  return 0.0;  // no getrusage; the throughput columns still stand
-#else
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  // ru_maxrss is kilobytes on Linux, bytes on macOS; this bench targets
-  // the Linux CI/dev boxes.
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-#endif
-}
 
 ScenarioScript publish_script() {
   ScenarioScript s;
@@ -66,11 +59,14 @@ ScenarioScript publish_script() {
 
 struct RowResult {
   std::size_t processes = 0;
+  std::size_t threads = 1;
   std::uint64_t sched_executed = 0;
   std::uint64_t msgs_sent = 0;
   std::uint64_t delivered = 0;
   double boot_ms = 0.0;  ///< construction: trees, views, process spawn
   double run_ms = 0.0;   ///< the event loop itself
+  std::uint64_t rss_before = 0;  ///< high-water mark before this row booted
+  std::uint64_t rss_after = 0;   ///< high-water mark after this row ran
 };
 
 void report(Table& t, const RowResult& r, const std::string& label) {
@@ -79,7 +75,14 @@ void report(Table& t, const RowResult& r, const std::string& label) {
   // figure is not diluted by one-time setup.
   const double run_s = r.run_ms / 1000.0;
   const double procs = static_cast<double>(r.processes);
-  t.add_row({label, Table::integer(r.processes),
+  // ru_maxrss never shrinks, so a row that fits inside an earlier row's
+  // footprint reports a high-water mark that predates its own boot —
+  // dividing that by this row's process count yields nonsense (the stale
+  // figure that polluted earlier BENCH_scale.json snapshots). Only claim
+  // B/proc when THIS row pushed the mark.
+  const bool rss_is_this_row = r.rss_after > r.rss_before;
+  t.add_row({label, Table::integer(r.processes), Table::integer(r.threads),
+             Table::integer(std::thread::hardware_concurrency()),
              Table::integer(r.sched_executed),
              Table::num(static_cast<double>(r.sched_executed) / procs, 1),
              Table::num(run_s > 0 ? static_cast<double>(r.sched_executed) /
@@ -93,14 +96,18 @@ void report(Table& t, const RowResult& r, const std::string& label) {
                                   : 0.0,
                         2),
              Table::integer(r.delivered), Table::num(r.boot_ms, 1),
-             Table::num(r.run_ms, 1), Table::num(peak_rss_mb(), 1),
-             Table::num(peak_rss_mb() * 1024.0 * 1024.0 / procs, 1)});
+             Table::num(r.run_ms, 1),
+             Table::num(static_cast<double>(r.rss_after) / (1024.0 * 1024.0),
+                        1),
+             rss_is_this_row
+                 ? Table::num(static_cast<double>(r.rss_after) / procs, 1)
+                 : "n/a"});
 }
 
 const std::vector<std::string> kHeaders = {
-    "row",       "processes", "sched ops", "ops/proc",  "Mops/s",
-    "msgs sent", "msgs/proc", "Mmsg/s",    "delivered", "boot ms",
-    "run ms",    "rss MB",    "B/proc"};
+    "row",     "processes", "threads",   "cores",     "sched ops",
+    "ops/proc", "Mops/s",   "msgs sent", "msgs/proc", "Mmsg/s",
+    "delivered", "boot ms",  "run ms",    "rss MB",    "B/proc"};
 
 // One dynamic group of capacity a^d (2 protocol nodes per address).
 RowResult run_single_group(std::size_t a, std::size_t d, SimTime horizon) {
@@ -113,6 +120,7 @@ RowResult run_single_group(std::size_t a, std::size_t d, SimTime horizon) {
   cfg.loss = 0.02;
   cfg.seed = 2027;
 
+  const std::uint64_t rss_before = bench::peak_rss_bytes();
   const auto boot_start = std::chrono::steady_clock::now();
   ChurnSim sim(cfg);
   sim.play(publish_script());
@@ -121,6 +129,8 @@ RowResult run_single_group(std::size_t a, std::size_t d, SimTime horizon) {
   const auto run_end = std::chrono::steady_clock::now();
   const auto summary = sim.summary();
   RowResult r;
+  r.rss_before = rss_before;
+  r.rss_after = bench::peak_rss_bytes();
   r.processes = 2 * cfg.capacity();
   r.sched_executed = summary.scheduler_executed;
   r.msgs_sent = summary.network.sent;
@@ -133,8 +143,10 @@ RowResult run_single_group(std::size_t a, std::size_t d, SimTime horizon) {
   return r;
 }
 
-// K topic shards of 16 addresses each (a=4, d=2) on one runtime.
-RowResult run_sharded(std::size_t shards, SimTime horizon) {
+// K topic shards of 16 addresses each (a=4, d=2), one runtime per shard,
+// driven by `threads` worker lanes (1 = the serial reference engine).
+RowResult run_sharded(std::size_t shards, SimTime horizon,
+                      std::size_t threads) {
   ShardedConfig cfg;
   cfg.shards = shards;
   cfg.shard.a = 4;
@@ -144,7 +156,9 @@ RowResult run_sharded(std::size_t shards, SimTime horizon) {
   cfg.shard.initial_fill = 0.8;
   cfg.shard.loss = 0.02;
   cfg.shard.seed = 2027;
+  cfg.threads = threads;
 
+  const std::uint64_t rss_before = bench::peak_rss_bytes();
   const auto boot_start = std::chrono::steady_clock::now();
   ShardedSim sim(cfg);
   sim.play_all(publish_script());
@@ -153,7 +167,10 @@ RowResult run_sharded(std::size_t shards, SimTime horizon) {
   const auto run_end = std::chrono::steady_clock::now();
   const auto summary = sim.summary();
   RowResult r;
+  r.rss_before = rss_before;
+  r.rss_after = bench::peak_rss_bytes();
   r.processes = 2 * cfg.total_capacity();
+  r.threads = threads;
   r.sched_executed = summary.scheduler_executed;
   r.msgs_sent = summary.network.sent;
   r.delivered = summary.aggregate.counters.delivered;
@@ -209,16 +226,28 @@ int main(int argc, char** argv) {
   }
 
   if (section.empty() || section == "B") {
-    std::cout << "\nB. topic shards (32 processes each) on one runtime\n";
+    std::cout << "\nB. topic shards (32 processes each), one runtime per "
+                 "shard\n";
     Table t(kHeaders);
+    // The 100k row is the parallel yardstick: re-run it on 2 and 8 lanes.
+    // The counters must not move a bit (the barrier engine is
+    // byte-identical at any thread count); only run-ms may.
+    constexpr std::size_t kParallelRowShards = 3125;
     for (const std::size_t shards : {32, 312, 3125, 31250}) {
       const std::size_t n = shards * 32;  // 1024, 9984, 100000, 1000000
       if (n > max_processes) continue;
-      report(t, run_sharded(shards, horizon),
+      report(t, run_sharded(shards, horizon, 1),
              "shards=" + std::to_string(shards));
+      if (shards == kParallelRowShards) {
+        for (const std::size_t threads : {2, 8}) {
+          report(t, run_sharded(shards, horizon, threads),
+                 "shards=" + std::to_string(shards));
+        }
+      }
     }
     t.print(std::cout);
-    json.add_table("B. topic shards on one runtime", t.headers(), t.rows());
+    json.add_table("B. topic shards, one runtime per shard", t.headers(),
+                   t.rows());
   }
 
   json.write();
@@ -230,6 +259,10 @@ int main(int argc, char** argv) {
                "calendar queue batches the period-aligned timer cohorts).\n"
                "B/proc should also stay flat: with interned addresses and\n"
                "struct-of-arrays view rows, per-process state is a few KB,\n"
-               "which is what lets the 10^6 row fit in one runtime.\n";
+               "which is what lets the 10^6 row fit in memory. The threaded\n"
+               "100k rows repeat the same deployment on more lanes: every\n"
+               "counter column is bit-identical, only run-ms drops (B/proc\n"
+               "reads n/a there because the serial row already set the RSS\n"
+               "high-water mark).\n";
   return 0;
 }

@@ -23,6 +23,14 @@ constexpr std::uint64_t kCrossEventSalt = 0xc4055e7e;
 /// above any pm pid (which are ProcessId-sized), so ids never collide.
 constexpr std::uint64_t kCrossPublisherIdBase = std::uint64_t{1} << 62;
 
+/// Many small co-resident schedulers: past this shard count, each shard's
+/// calendar wheel drops to 64 buckets (the scheduler's minimum; a ~4 ms
+/// window, enough for message latencies; periodic timers ride the
+/// overflow heap). Purely a memory knob — the execution order is the
+/// (at, seq) total order under any wheel geometry
+/// (tests/scheduler_property_test.cpp).
+constexpr std::size_t kCompactWheelShards = 8;
+
 std::uint64_t shard_tag(std::uint64_t salt, std::uint64_t index) {
   return fnv1a_u64(kFnv1aBasis ^ salt, index);
 }
@@ -45,6 +53,7 @@ void ShardedConfig::validate() const {
   // the same sanity bound ChurnConfig imposes on a single group — and the
   // pid ranges must fit comfortably in ProcessId.
   PMC_EXPECTS(total_capacity() <= (std::size_t{1} << 22));
+  PMC_EXPECTS(barrier_interval >= 0);
   if (cross.publishers > 0) {
     PMC_EXPECTS(cross.span >= 1 && cross.span <= shards);
     PMC_EXPECTS(cross.events >= 1);
@@ -67,24 +76,46 @@ void ShardedConfig::validate() const {
 // ShardRouter
 // ---------------------------------------------------------------------------
 
-ShardRouter::ShardRouter(Runtime& runtime, std::vector<ChurnSim*> shards)
-    : shards_(std::move(shards)) {
+ShardRouter::ShardRouter(std::vector<ChurnSim*> shards,
+                         std::vector<Rng> picks)
+    : shards_(std::move(shards)), picks_(std::move(picks)) {
   PMC_EXPECTS(!shards_.empty());
-  picks_.reserve(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    PMC_EXPECTS(shards_[s] != nullptr);
-    picks_.push_back(runtime.make_stream(shard_tag(kRouterPickSalt, s)));
-  }
+  PMC_EXPECTS(picks_.size() == shards_.size());
+  for (const auto* shard : shards_) PMC_EXPECTS(shard != nullptr);
+  pending_.resize(shards_.size() + 1);
 }
 
-std::size_t ShardRouter::publish(const EventId& id, double u,
-                                 std::span<const std::size_t> targets) {
-  std::size_t reached = 0;
-  for (const auto s : targets) {
-    PMC_EXPECTS(s < shards_.size());
-    if (shards_[s]->publish_external(id, u, picks_[s])) ++reached;
+void ShardRouter::enqueue(const EventId& id, double u,
+                          std::span<const std::size_t> targets,
+                          std::size_t source) {
+  const std::size_t slot = source == kExternalSource ? 0 : source + 1;
+  PMC_EXPECTS(slot < pending_.size());
+  Pending p{id, u, {}};
+  p.targets.reserve(targets.size());
+  for (const auto t : targets) {
+    PMC_EXPECTS(t < shards_.size());
+    p.targets.push_back(t);
   }
-  return reached;
+  pending_[slot].push_back(std::move(p));
+}
+
+bool ShardRouter::publish_into(std::size_t target, const EventId& id,
+                               double u) {
+  PMC_EXPECTS(target < shards_.size());
+  return shards_[target]->publish_external(id, u, picks_[target]);
+}
+
+std::uint64_t ShardRouter::drain() {
+  std::uint64_t landed = 0;
+  for (auto& buffer : pending_) {
+    for (const auto& p : buffer) {
+      for (const auto t : p.targets) {
+        if (publish_into(t, p.id, p.u)) ++landed;
+      }
+    }
+    buffer.clear();
+  }
+  return landed;
 }
 
 // ---------------------------------------------------------------------------
@@ -111,30 +142,24 @@ std::string ShardedSummary::to_string(bool per_shard) const {
 
 ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
   config_.validate();
+  barrier_interval_ = config_.barrier_interval > 0 ? config_.barrier_interval
+                                                   : config_.shard.period;
 
   NetworkConfig net;
   net.loss_probability = config_.shard.loss;
   net.latency_min = config_.shard.latency_min;
   net.latency_max = config_.shard.latency_max;
-  runtime_ = std::make_unique<Runtime>(net, config_.shard.seed);
-  // The population is known up front: K shards, 2 protocol nodes per
-  // address. One reservation here means the shared network's handler and
-  // per-sender tables never resize (and the sparse map never rehashes)
-  // however many shards spawn processes mid-run.
-  runtime_->network().reserve(config_.shards * 2 * config_.shard.capacity());
-  if (config_.shard.wire_transcode) {
-    runtime_->network().set_transcoder([](const MessagePtr& msg) {
-      return wire::decode_message(wire::encode_message(*msg));
-    });
-  }
+
+  SchedulerTuning tuning;
+  if (config_.shards >= kCompactWheelShards) tuning.bucket_count_log2 = 6;
 
   const std::size_t capacity = config_.shard.capacity();
-  // Every shard enumerates the same address space, so the shared table
-  // holds exactly `capacity` distinct addresses however many shards run.
-  interns_ = std::make_unique<Interns>();
-  interns_->reserve(capacity, config_.shard.d);
-  shard_loss_.assign(config_.shards, config_.shard.loss);
+  runtimes_.reserve(config_.shards);
+  interns_.reserve(config_.shards);
   shards_.reserve(config_.shards);
+  cross_.resize(config_.shards);
+  std::vector<Rng> picks;
+  picks.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     ChurnConfig cfg = config_.shard;
     // Per-shard subscription seed: same address, different shard -> an
@@ -145,24 +170,43 @@ ShardedSim::ShardedSim(ShardedConfig config) : config_(config) {
                                config_.adaptive_shards.end(),
                                s) != config_.adaptive_shards.end();
     }
-    shards_.push_back(std::make_unique<ChurnSim>(
-        *runtime_, cfg, static_cast<ProcessId>(s * 2 * capacity),
-        shard_tag(kShardStreamSalt, s), *interns_));
-    // Scope LossBurst actions to this shard's slice of the loss model.
-    shards_.back()->set_loss_hook(
-        [this, s](double eps) { shard_loss_[s] = eps; });
-  }
-  runtime_->network().set_loss_model(
-      [this, capacity](ProcessId from, ProcessId /*to*/) {
-        const std::size_t s = from / (2 * capacity);
-        return s < shard_loss_.size() ? shard_loss_[s] : config_.shard.loss;
+    // Every runtime is seeded with the *master* seed: labeled streams are
+    // pure functions of (base seed, tag), so shard s's draws here equal
+    // its draws when every shard shared one runtime — which is what keeps
+    // the pre-split golden fingerprints valid.
+    runtimes_.push_back(
+        std::make_unique<Runtime>(net, config_.shard.seed, tuning));
+    Runtime& rt = *runtimes_.back();
+    // The shard's tables hold only its own pid range [s*2C, (s+1)*2C):
+    // rebased dense tables, so 31k shards don't each allocate global-pid-
+    // sized vectors. Draw labels still use the global pid.
+    rt.network().reserve_range(static_cast<ProcessId>(s * 2 * capacity),
+                               2 * capacity);
+    if (config_.shard.wire_transcode) {
+      rt.network().set_transcoder([](const MessagePtr& msg) {
+        return wire::decode_message(wire::encode_message(*msg));
       });
+    }
+    // Every shard enumerates the same address space in the same order, so
+    // per-shard intern tables assign identical AddrIds.
+    interns_.push_back(std::make_unique<Interns>());
+    interns_.back()->reserve(capacity, config_.shard.d);
+    shards_.push_back(std::make_unique<ChurnSim>(
+        rt, cfg, static_cast<ProcessId>(s * 2 * capacity),
+        shard_tag(kShardStreamSalt, s), *interns_.back()));
+    // No loss hook: a LossBurst's default set_loss lands on the shard's
+    // own network, which is exactly the scope the hook used to enforce.
+    picks.push_back(rt.make_stream(shard_tag(kRouterPickSalt, s)));
+  }
 
   std::vector<ChurnSim*> raw;
   raw.reserve(shards_.size());
   for (const auto& shard : shards_) raw.push_back(shard.get());
-  router_ = std::make_unique<ShardRouter>(*runtime_, std::move(raw));
+  router_ = std::make_unique<ShardRouter>(std::move(raw), std::move(picks));
   schedule_cross_publishers();
+
+  pool_ = std::make_unique<WorkerPool>(
+      WorkerPool::resolve_threads(config_.threads, config_.shards));
 }
 
 ShardedSim::~ShardedSim() = default;
@@ -177,6 +221,11 @@ const ChurnSim& ShardedSim::shard(std::size_t idx) const {
   return *shards_[idx];
 }
 
+Runtime& ShardedSim::shard_runtime(std::size_t idx) {
+  PMC_EXPECTS(idx < runtimes_.size());
+  return *runtimes_[idx];
+}
+
 void ShardedSim::play(std::size_t shard_idx, const ScenarioScript& script) {
   shard(shard_idx).play(script);
 }
@@ -185,34 +234,59 @@ void ShardedSim::play_all(const ScenarioScript& script) {
   for (const auto& shard : shards_) shard->play(script);
 }
 
-void ShardedSim::run_for(SimTime duration) { runtime_->run_for(duration); }
+void ShardedSim::run_for(SimTime duration) { run_until(now_ + duration); }
+
 void ShardedSim::run_until(SimTime deadline) {
-  runtime_->run_until(deadline);
+  while (now_ < deadline) {
+    const SimTime target = std::min(deadline, now_ + barrier_interval_);
+    // Within the epoch every shard advances alone: no shared mutable
+    // state, so lane assignment cannot affect outcomes. The pool's run()
+    // is the barrier that publishes every shard's writes back.
+    pool_->run(shards_.size(), [this, target](std::size_t s) {
+      shards_[s]->run_until(target);
+    });
+    now_ = target;
+    // Exchange buffered cross publishes at the barrier, in (source,
+    // enqueue) order; they land at t = now and unfold next epoch.
+    cross_drained_ += router_->drain();
+  }
 }
-SimTime ShardedSim::now() const noexcept { return runtime_->now(); }
 
 void ShardedSim::schedule_cross_publishers() {
   const auto& cross = config_.cross;
   for (std::size_t p = 0; p < cross.publishers; ++p) {
-    std::vector<std::size_t> targets;
-    targets.reserve(cross.span);
-    for (std::size_t j = 0; j < cross.span; ++j)
-      targets.push_back((p + j) % config_.shards);
     for (std::size_t k = 0; k < cross.events; ++k) {
       const SimTime at =
           cross.start + static_cast<SimTime>(k) * cross.spacing;
       // The event's attribute depends only on (publisher, sequence), so a
       // shard's churn can never shift which events the others see.
       const double u =
-          runtime_
+          runtimes_.front()
               ->make_stream(fnv1a_u64(shard_tag(kCrossEventSalt, p), k))
               .next_double();
       const EventId id{kCrossPublisherIdBase + p, k};
-      runtime_->scheduler().schedule_at(at, [this, id, u, targets] {
-        cross_published_ += router_->publish(id, u, targets);
-      });
+      // One injection per spanned shard, pre-scheduled in that shard's own
+      // queue (same relative order vs the shard's events as the shared-
+      // scheduler engine gave: ctor-scheduled, (p, k) iteration order).
+      for (std::size_t j = 0; j < cross.span; ++j) {
+        const std::size_t s = (p + j) % config_.shards;
+        const bool primary = j == 0;
+        runtimes_[s]->scheduler().schedule_at(
+            at, [this, s, id, u, primary] {
+              ShardCross& c = cross_[s];
+              ++c.runs;
+              if (primary) ++c.primary;
+              if (router_->publish_into(s, id, u)) ++c.landed;
+            });
+      }
     }
   }
+}
+
+std::uint64_t ShardedSim::cross_published() const noexcept {
+  std::uint64_t landed = cross_drained_;
+  for (const auto& c : cross_) landed += c.landed;
+  return landed;
 }
 
 ShardedSummary ShardedSim::summary() const {
@@ -248,9 +322,26 @@ ShardedSummary ShardedSim::summary() const {
     out.aggregate.env_crash_ppm = env_crash_acc / env_shards;
   }
   out.aggregate.fingerprint = fp;
-  out.network = runtime_->network().counters();
-  out.scheduler_executed = runtime_->scheduler().executed();
-  out.cross_published = cross_published_;
+
+  std::uint64_t executed = 0;
+  std::uint64_t cross_runs = 0, cross_primary = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const NetworkCounters& nc = runtimes_[s]->network().counters();
+    out.network.sent += nc.sent;
+    out.network.delivered += nc.delivered;
+    out.network.lost += nc.lost;
+    out.network.filtered += nc.filtered;
+    out.network.dead_target += nc.dead_target;
+    executed += runtimes_[s]->scheduler().executed();
+    cross_runs += cross_[s].runs;
+    cross_primary += cross_[s].primary;
+  }
+  // The single-runtime engine ran ONE callback per cross event however
+  // many shards it spanned; the per-shard queues run one per spanned
+  // shard. Collapse the fan-out back so the digest (and its pinned
+  // fingerprints) count events, not copies.
+  out.scheduler_executed = executed - cross_runs + cross_primary;
+  out.cross_published = cross_published();
 
   std::uint64_t h = fp;
   h = fnv1a_u64(h, out.network.sent);

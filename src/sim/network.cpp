@@ -23,8 +23,10 @@ void Network::ensure_sender_states(std::size_t count) {
   const std::size_t old = senders_.size();
   if (count <= old) return;
   senders_.resize(count);
-  for (std::size_t pid = old; pid < count; ++pid)
-    senders_[pid].prefix = fnv1a_u64(kFnv1aBasis ^ draw_seed_, pid);
+  // The prefix hashes the *global* pid: rebasing relocates state, it must
+  // never relabel a sender's draw stream.
+  for (std::size_t i = old; i < count; ++i)
+    senders_[i].prefix = fnv1a_u64(kFnv1aBasis ^ draw_seed_, pid_base_ + i);
 }
 
 void Network::reserve(std::size_t max_processes) {
@@ -33,19 +35,29 @@ void Network::reserve(std::size_t max_processes) {
   ensure_sender_states(max_processes);
 }
 
+void Network::reserve_range(ProcessId pid_base, std::size_t count) {
+  PMC_EXPECTS(handlers_.empty() && senders_.empty());
+  pid_base_ = pid_base;
+  reserve(count);
+}
+
 void Network::attach(ProcessId id, void* ctx, DispatchFn fn) {
   PMC_EXPECTS(fn != nullptr);
-  if (id >= handlers_.size()) handlers_.resize(id + 1);
-  handlers_[id] = HandlerSlot{fn, ctx};
+  PMC_EXPECTS(id >= pid_base_);
+  const std::size_t idx = id - pid_base_;
+  if (idx >= handlers_.size()) handlers_.resize(idx + 1);
+  handlers_[idx] = HandlerSlot{fn, ctx};
   boxed_handlers_.erase(id);
 }
 
 void Network::attach(ProcessId id, Handler handler) {
   PMC_EXPECTS(handler != nullptr);
+  PMC_EXPECTS(id >= pid_base_);
   auto box = std::make_unique<Handler>(std::move(handler));
   Handler* raw = box.get();
-  if (id >= handlers_.size()) handlers_.resize(id + 1);
-  handlers_[id] = HandlerSlot{
+  const std::size_t idx = id - pid_base_;
+  if (idx >= handlers_.size()) handlers_.resize(idx + 1);
+  handlers_[idx] = HandlerSlot{
       [](void* ctx, ProcessId from, const MessagePtr& msg) {
         (*static_cast<Handler*>(ctx))(from, msg);
       },
@@ -54,12 +66,14 @@ void Network::attach(ProcessId id, Handler handler) {
 }
 
 void Network::detach(ProcessId id) {
-  if (id < handlers_.size()) handlers_[id] = HandlerSlot{};
+  if (id >= pid_base_ && id - pid_base_ < handlers_.size())
+    handlers_[id - pid_base_] = HandlerSlot{};
   boxed_handlers_.erase(id);
 }
 
 bool Network::attached(ProcessId id) const noexcept {
-  return id < handlers_.size() && handlers_[id].fn != nullptr;
+  return id >= pid_base_ && id - pid_base_ < handlers_.size() &&
+         handlers_[id - pid_base_].fn != nullptr;
 }
 
 void Network::set_loss(double eps) {
@@ -91,9 +105,10 @@ std::uint64_t Network::next_draw_seed(ProcessId from) {
   // Labeled per-message draw: (seed, sender, sender-sequence) alone decide
   // loss and latency (see draw_seed_'s comment). The sender half of the
   // hash is memoized per pid; only the sequence byte-mix runs per message.
-  if (from < kDenseSenderLimit) {
-    if (from >= senders_.size()) ensure_sender_states(from + 1);
-    SenderState& s = senders_[from];
+  if (from >= pid_base_ && from - pid_base_ < kDenseSenderLimit) {
+    const std::size_t idx = from - pid_base_;
+    if (idx >= senders_.size()) ensure_sender_states(idx + 1);
+    SenderState& s = senders_[idx];
     return fnv1a_u64(s.prefix, s.seq++);
   }
   return fnv1a_u64(fnv1a_u64(kFnv1aBasis ^ draw_seed_, from),
@@ -119,9 +134,11 @@ void Network::deliver_after_draw(ProcessId from, ProcessId to,
   // The capture list fits UniqueFunction's inline storage: delivery costs
   // no allocation beyond the shared payload's refcount bump.
   sched_.schedule_after(latency, [this, from, to, msg = std::move(msg)] {
-    if (to < handlers_.size() && handlers_[to].fn != nullptr) {
+    const std::size_t idx = to - pid_base_;
+    if (to >= pid_base_ && idx < handlers_.size() &&
+        handlers_[idx].fn != nullptr) {
       ++counters_.delivered;
-      handlers_[to].fn(handlers_[to].ctx, from, msg);
+      handlers_[idx].fn(handlers_[idx].ctx, from, msg);
     } else {
       ++counters_.dead_target;
     }

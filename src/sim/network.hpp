@@ -102,6 +102,16 @@ class Network {
   /// rehash this way.
   void reserve(std::size_t max_processes);
 
+  /// Declares that this network hosts the pid range [pid_base, pid_base +
+  /// count): the dense handler and sender tables are indexed relative to
+  /// pid_base, so a shard hosting pids [s * 2C, (s+1) * 2C) allocates 2C
+  /// slots instead of (s+1) * 2C. Draw labels still hash the *global* pid —
+  /// rebasing changes where state lives, never which stream a sender uses.
+  /// Must be called before any attach/send (the tables must be empty);
+  /// pids below pid_base are routable but take the sparse/dead-target
+  /// slow paths.
+  void reserve_range(ProcessId pid_base, std::size_t count);
+
   /// Registers the receive dispatch for `id`; overrides any previous one.
   void attach(ProcessId id, void* ctx, DispatchFn fn);
   /// As above, for a capturing std::function (boxed once; tests use this).
@@ -195,7 +205,9 @@ class Network {
   /// this for isolation; within one group it also makes per-link behavior
   /// independent of global send interleaving.
   std::uint64_t draw_seed_;
-  std::vector<SenderState> senders_;  // indexed by ProcessId (dense pids)
+  /// First pid of the dense tables; handlers_/senders_ index (pid - base).
+  ProcessId pid_base_ = 0;
+  std::vector<SenderState> senders_;  // indexed by pid - pid_base_
   std::unordered_map<ProcessId, std::uint64_t> sparse_send_seq_;
   std::vector<HandlerSlot> handlers_;  // indexed by ProcessId
   /// Backing storage for std::function handlers attached through the

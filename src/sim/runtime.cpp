@@ -11,10 +11,21 @@ namespace {
 constexpr std::uint64_t kProcessStreamSalt = 0x9c0ce55e5;
 }  // namespace
 
-Runtime::Runtime(NetworkConfig net_config, std::uint64_t seed)
-    : base_seed_(seed),
+Runtime::Runtime(NetworkConfig net_config, std::uint64_t seed,
+                 SchedulerTuning tuning)
+    :
+#ifdef PMC_REFERENCE_SCHEDULER
+      sched_(),
+#else
+      sched_(tuning.bucket_width_log2, tuning.bucket_count_log2),
+#endif
+      base_seed_(seed),
       seeder_(seed),
-      net_(sched_, net_config, Rng(seeder_.next_u64())) {}
+      net_(sched_, net_config, Rng(seeder_.next_u64())) {
+#ifdef PMC_REFERENCE_SCHEDULER
+  (void)tuning;
+#endif
+}
 
 Rng Runtime::make_process_stream(ProcessId pid) {
   const std::uint64_t incarnation = incarnations_[pid]++;

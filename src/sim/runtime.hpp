@@ -6,9 +6,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
@@ -17,10 +17,21 @@ namespace pmc {
 
 class Process;
 
+/// Calendar-queue sizing knobs, forwarded to the scheduler. The defaults
+/// match CalendarScheduler's (a 262 ms wheel window); hosts that run many
+/// small co-resident schedulers (one per topic shard) pass a compact wheel
+/// instead so per-shard fixed cost stays in the kilobytes. Ignored under
+/// PMC_REFERENCE_SCHEDULER, which has no wheel.
+struct SchedulerTuning {
+  std::uint32_t bucket_width_log2 = 6;
+  std::uint32_t bucket_count_log2 = 12;
+};
+
 class Runtime {
  public:
   explicit Runtime(NetworkConfig net_config = {},
-                   std::uint64_t seed = 0x5eedf00dULL);
+                   std::uint64_t seed = 0x5eedf00dULL,
+                   SchedulerTuning tuning = {});
 
   Scheduler& scheduler() noexcept { return sched_; }
   Network& network() noexcept { return net_; }
@@ -62,7 +73,10 @@ class Runtime {
   Rng seeder_;
   Network net_;
   /// Incarnation counters behind make_process_stream (pid -> spawns so far).
-  std::unordered_map<ProcessId, std::uint64_t> incarnations_;
+  /// A FlatMap: almost every run has zero or a handful of respawns, and an
+  /// empty sorted vector is pointer-sized where an empty unordered_map
+  /// carries a bucket array — measurable across 31k per-shard runtimes.
+  FlatMap<ProcessId, std::uint64_t> incarnations_;
 };
 
 /// A simulated process: receives messages while alive and may run a periodic

@@ -68,30 +68,70 @@ ShardedConfig sharded_config(std::size_t shards) {
   return config;
 }
 
-TEST(ReproGolden, Shards16) {
-  ShardedSim sim(sharded_config(16));
-  sim.run_until(sim_ms(3500));
-  const ShardedSummary s = sim.summary();
-  EXPECT_EQ(s.fingerprint, 0x0f8b319af33eb380ULL) << s.to_string();
-  EXPECT_EQ(s.aggregate.fingerprint, 0x50a6bd223289b406ULL);
-  ASSERT_EQ(s.shards.size(), 16u);
-  EXPECT_EQ(s.shards[0].fingerprint, 0x688f9f4ddc880d45ULL);
+/// The worker-pool engine must not just replay itself — it must replay the
+/// single-runtime engine the pins were captured under, at every lane
+/// count. Sharded goldens therefore run at T = 1, 2, and 8 and assert the
+/// same pinned values each time.
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+TEST(ReproGolden, Shards16AnyThreadCount) {
+  for (const auto threads : kThreadCounts) {
+    ShardedConfig config = sharded_config(16);
+    config.threads = threads;
+    ShardedSim sim(config);
+    sim.run_until(sim_ms(3500));
+    const ShardedSummary s = sim.summary();
+    EXPECT_EQ(s.fingerprint, 0x0f8b319af33eb380ULL)
+        << "threads=" << threads << "\n" << s.to_string();
+    EXPECT_EQ(s.aggregate.fingerprint, 0x50a6bd223289b406ULL);
+    ASSERT_EQ(s.shards.size(), 16u);
+    EXPECT_EQ(s.shards[0].fingerprint, 0x688f9f4ddc880d45ULL);
+  }
 }
 
-TEST(ReproGolden, Shards4Cross2) {
-  ShardedConfig config = sharded_config(4);
-  config.cross.publishers = 2;
-  config.cross.span = 2;
-  config.cross.events = 8;
-  config.cross.spacing = sim_ms(100);
-  ShardedSim sim(config);
-  sim.run_until(sim_ms(3500));
-  const ShardedSummary s = sim.summary();
-  EXPECT_EQ(s.fingerprint, 0x0156089b3f3e12f6ULL) << s.to_string();
-  EXPECT_EQ(s.aggregate.fingerprint, 0xadc2bec9eed60c1dULL);
-  ASSERT_EQ(s.shards.size(), 4u);
-  EXPECT_EQ(s.shards[0].fingerprint, 0x493af6e591c12ab5ULL);
-  EXPECT_EQ(s.shards[1].fingerprint, 0x95dab52657582cdaULL);
+TEST(ReproGolden, Shards4Cross2AnyThreadCount) {
+  for (const auto threads : kThreadCounts) {
+    ShardedConfig config = sharded_config(4);
+    config.cross.publishers = 2;
+    config.cross.span = 2;
+    config.cross.events = 8;
+    config.cross.spacing = sim_ms(100);
+    config.threads = threads;
+    ShardedSim sim(config);
+    sim.run_until(sim_ms(3500));
+    const ShardedSummary s = sim.summary();
+    EXPECT_EQ(s.fingerprint, 0x0156089b3f3e12f6ULL)
+        << "threads=" << threads << "\n" << s.to_string();
+    EXPECT_EQ(s.aggregate.fingerprint, 0xadc2bec9eed60c1dULL);
+    ASSERT_EQ(s.shards.size(), 4u);
+    EXPECT_EQ(s.shards[0].fingerprint, 0x493af6e591c12ab5ULL);
+    EXPECT_EQ(s.shards[1].fingerprint, 0x95dab52657582cdaULL);
+  }
+}
+
+TEST(ReproGolden, Shards8PartitionedShardAnyThreadCount) {
+  // A partition scoped to one shard (install + heal both inside the run)
+  // must unfold identically under every lane count; the fingerprint was
+  // captured at threads=1 on the engine that passes the pins above.
+  ShardedSummary reference;
+  for (const auto threads : kThreadCounts) {
+    ShardedConfig config = sharded_config(8);
+    config.threads = threads;
+    ShardedSim sim(config);
+    ScenarioScript script;
+    script.add(sim_ms(400), Partition{{0, 1}, sim_ms(1600)});
+    script.add(sim_ms(800), CrashNodes{2});
+    sim.play(3, script);
+    sim.run_until(sim_ms(3500));
+    const ShardedSummary s = sim.summary();
+    EXPECT_EQ(s.fingerprint, 0x9bb4edacdf0f0d73ULL)
+        << "threads=" << threads << "\n" << s.to_string();
+    if (threads == 1) {
+      reference = s;
+    } else {
+      EXPECT_EQ(s, reference) << "threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -1,12 +1,14 @@
 // Sharded multi-group runtime: determinism, shard isolation, cross-shard
-// publishing, and config validation.
+// publishing, thread-count independence, and config validation.
 //
-// The isolation tests are the load-bearing ones: K groups share one
-// Runtime/Network, yet adding a scenario action to shard A must leave
-// every other shard's per-shard summary byte-identical. That only holds
-// because every draw is labeled — shard-salted scenario streams,
-// (pid, incarnation) process streams, (sender, sequence) network draws —
-// rather than pulled from shared sequential state.
+// The isolation tests are the load-bearing ones: K groups are driven
+// together — now on a worker pool — yet adding a scenario action to shard
+// A must leave every other shard's per-shard summary byte-identical. That
+// only holds because every draw is labeled — shard-salted scenario
+// streams, (pid, incarnation) process streams, (sender, sequence) network
+// draws — rather than pulled from shared sequential state. The same
+// isolation is what makes the thread-count tests pass: lanes decide
+// wall-clock, never outcomes.
 #include <gtest/gtest.h>
 
 #include "harness/shard.hpp"
@@ -214,6 +216,68 @@ TEST(ShardedSim, PidRangesAreDisjoint) {
   const std::size_t capacity = sim.config().shard.capacity();
   for (std::size_t s = 0; s < sim.shard_count(); ++s)
     EXPECT_EQ(sim.shard(s).pid_base(), s * 2 * capacity);
+}
+
+TEST(ShardedSim, ThreadCountNeverChangesTheSummary) {
+  // The full churn workload — joins, crashes, publishes, recoveries, a
+  // shard-scoped partition AND cross-shard publishers — must produce the
+  // same bytes on 1, 2, 3, and 8 lanes. Not just the fingerprints: the
+  // entire ShardedSummary, per-shard summaries included.
+  const auto run = [](std::size_t threads) {
+    ShardedConfig config = small_config(5);
+    config.cross.publishers = 2;
+    config.cross.span = 3;
+    config.cross.events = 4;
+    config.cross.start = sim_ms(250);
+    config.cross.spacing = sim_ms(80);
+    config.threads = threads;
+    ShardedSim sim(config);
+    sim.play_all(busy_script());
+    ScenarioScript split;
+    split.add(sim_ms(300), Partition{{0, 1}, sim_ms(1200)});
+    sim.play(2, split);
+    sim.run_until(sim_ms(1600));
+    return sim.summary();
+  };
+  const ShardedSummary serial = run(1);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(run(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedSim, ThreadsZeroMeansHardwareConcurrency) {
+  ShardedConfig config = small_config(4);
+  config.threads = 0;
+  ShardedSim sim(config);
+  EXPECT_GE(sim.thread_count(), 1u);
+  // Never more lanes than shards — extras would only idle at the barrier.
+  EXPECT_LE(sim.thread_count(), 4u);
+}
+
+TEST(ShardedSim, EnqueuedPublishLandsAtTheNextBarrier) {
+  const auto run = [](bool enqueue, std::size_t threads) {
+    ShardedConfig config = small_config(3);
+    config.threads = threads;
+    ShardedSim sim(config);
+    if (enqueue) {
+      const std::size_t targets[] = {1, 2};
+      sim.router().enqueue(EventId{4242, 0}, 0.25, targets);
+    }
+    sim.run_until(sim_ms(1200));
+    return sim.summary();
+  };
+  const ShardedSummary base = run(false, 1);
+  const ShardedSummary routed = run(true, 1);
+  // The buffered publish entered exactly shards 1 and 2 at the first
+  // barrier (both fully populated, so it cannot have skipped)...
+  EXPECT_EQ(routed.cross_published, 2u);
+  EXPECT_EQ(routed.shards[1].counters.published, 1u);
+  EXPECT_EQ(routed.shards[2].counters.published, 1u);
+  // ...left shard 0 byte-identical...
+  EXPECT_EQ(base.shards[0], routed.shards[0]);
+  EXPECT_EQ(routed.shards[0].counters.published, 0u);
+  // ...and unfolds the same on many lanes.
+  EXPECT_EQ(run(true, 8), routed);
 }
 
 }  // namespace

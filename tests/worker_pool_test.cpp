@@ -1,0 +1,90 @@
+// WorkerPool: batch completion, serial inline path, exception propagation,
+// lane resolution, and reuse across batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/worker_pool.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    WorkerPool pool(threads);
+    constexpr std::size_t kJobs = 1000;
+    std::vector<std::atomic<int>> hits(kJobs);
+    pool.run(kJobs, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kJobs; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " job " << i;
+  }
+}
+
+TEST(WorkerPool, RunIsABarrier) {
+  // Every write a job made must be visible after run() returns — plain
+  // non-atomic writes, summed by the caller.
+  WorkerPool pool(4);
+  constexpr std::size_t kJobs = 512;
+  std::vector<std::uint64_t> out(kJobs, 0);
+  pool.run(kJobs, [&](std::size_t i) { out[i] = i + 1; });
+  const auto sum = std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, kJobs * (kJobs + 1) / 2);
+}
+
+TEST(WorkerPool, SerialPoolRunsInlineInIndexOrder) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.run(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.run(20, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+TEST(WorkerPool, JobExceptionRethrownAfterBatchDrains) {
+  for (const std::size_t threads : {1u, 4u}) {
+    WorkerPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.run(64,
+                 [&](std::size_t i) {
+                   ran.fetch_add(1, std::memory_order_relaxed);
+                   if (i == 7) throw std::runtime_error("job 7");
+                 }),
+        std::runtime_error);
+    // The batch drains (shards stay in lockstep even when one fails)...
+    EXPECT_EQ(ran.load(), 64);
+    // ...and the pool survives for the next batch.
+    pool.run(8, [](std::size_t) {});
+  }
+}
+
+TEST(WorkerPool, ResolveThreadsCapsAndDefaults) {
+  EXPECT_EQ(WorkerPool::resolve_threads(1, 100), 1u);
+  EXPECT_EQ(WorkerPool::resolve_threads(8, 100), 8u);
+  EXPECT_EQ(WorkerPool::resolve_threads(8, 3), 3u);   // never exceed jobs
+  EXPECT_EQ(WorkerPool::resolve_threads(5, 0), 1u);   // degenerate batch
+  EXPECT_GE(WorkerPool::resolve_threads(0, 100), 1u);  // 0 = hardware
+}
+
+}  // namespace
+}  // namespace pmc

@@ -14,7 +14,19 @@ Usage:
         Additionally require SCALE_FILE (a table_scale --json dump) to show
         bytes-per-process at the 100,000-process sharded row at or below
         the post-interning envelope. Skips with a note when the run was
-        capped below 100k processes (the row is absent).
+        capped below 100k processes (the row is absent). The serial
+        (threads=1) gate row must carry a NUMERIC B/proc: "n/a" there means
+        the RSS high-water predates the row's boot — a polluted snapshot —
+        and fails the gate.
+
+    check_bench_json.py --gate-parallel SCALE_FILE [FILE...]
+        Additionally require the threaded 100,000-process rows in
+        SCALE_FILE to be counter-identical to the serial row (sched ops,
+        msgs sent, delivered — the barrier engine's byte-identity claim,
+        checked at EVERY thread count present), and the 8-thread row to run
+        at least 2x faster than the serial row in wall-clock. The speedup
+        half is skipped with a note when the recording host had fewer than
+        8 cores (the cores column) — the identity half always applies.
 
 The scheduler gate is deliberately *counter-based*, not wall-clock-based:
 CI machines differ wildly in absolute speed, so the gate compares the
@@ -45,6 +57,10 @@ GATE_DENOMINATOR = f"BM_SchedulerLegacyTombstones/{GATE_POINT}"
 GATE_MIN_RATIO = 2.0
 MEM_GATE_PROCESSES = 100_000
 MEM_GATE_MAX_BYTES_PER_PROC = 7312.0  # half of the pre-interning 14626
+PAR_GATE_PROCESSES = 100_000
+PAR_GATE_THREADS = 8
+PAR_GATE_MIN_SPEEDUP = 2.0
+PAR_GATE_COUNTERS = ("sched ops", "msgs sent", "delivered")
 
 
 def fail(msg):
@@ -114,10 +130,28 @@ def gate_memory(doc, path):
             bpp_col = t["headers"].index("B/proc")
         except ValueError:
             continue
+        try:
+            threads_col = t["headers"].index("threads")
+        except ValueError:
+            threads_col = None  # pre-threads snapshots: every row is serial
         for row in t["rows"]:
             if float(row[procs_col]) != MEM_GATE_PROCESSES:
                 continue
-            bpp = float(row[bpp_col])
+            if threads_col is not None and float(row[threads_col]) != 1:
+                # Threaded reruns of the same deployment sit inside the
+                # serial row's high-water mark; only the serial row carries
+                # the row's own memory figure.
+                continue
+            bpp = row[bpp_col]
+            if not isinstance(bpp, (int, float)):
+                fail(
+                    f"{path}: B/proc at the {MEM_GATE_PROCESSES}-process "
+                    f"serial row is {bpp!r} — the RSS high-water mark "
+                    f"predates the row's boot, so the snapshot is polluted "
+                    f"by an earlier row; regenerate with a per-section run "
+                    f"(table_scale --section B)"
+                )
+            bpp = float(bpp)
             print(
                 f"check_bench_json: memory @{MEM_GATE_PROCESSES} processes: "
                 f"{bpp:.1f} B/proc "
@@ -137,20 +171,109 @@ def gate_memory(doc, path):
     )
 
 
+def gate_parallel(doc, path):
+    """Threaded 100k rows: counter-identical to serial, and 8 threads at
+    least 2x faster in wall-clock (skipped when the host had < 8 cores)."""
+    for t in doc["tables"]:
+        headers = t["headers"]
+        try:
+            procs_col = headers.index("processes")
+            threads_col = headers.index("threads")
+            cores_col = headers.index("cores")
+            run_col = headers.index("run ms")
+            counter_cols = [headers.index(c) for c in PAR_GATE_COUNTERS]
+        except ValueError:
+            continue
+        rows = [
+            r for r in t["rows"]
+            if float(r[procs_col]) == PAR_GATE_PROCESSES
+        ]
+        if not rows:
+            continue
+        serial = [r for r in rows if float(r[threads_col]) == 1]
+        threaded = [r for r in rows if float(r[threads_col]) != 1]
+        if not serial:
+            fail(f"{path}: no serial {PAR_GATE_PROCESSES}-process row to "
+                 f"compare the threaded rows against")
+        if not threaded:
+            fail(f"{path}: no threaded {PAR_GATE_PROCESSES}-process rows "
+                 f"(rerun table_scale --section B with the parallel rows)")
+        base = serial[0]
+        # Identity half: EVERY threaded row must reproduce the serial
+        # counters bit for bit — this is the determinism contract, and it
+        # holds on any machine, so it is never skipped.
+        for row in threaded:
+            for col, name in zip(counter_cols, PAR_GATE_COUNTERS):
+                if row[col] != base[col]:
+                    fail(
+                        f"{path}: '{name}' differs between threads=1 "
+                        f"({base[col]!r}) and threads="
+                        f"{row[threads_col]!r} ({row[col]!r}) at "
+                        f"{PAR_GATE_PROCESSES} processes — the parallel "
+                        f"engine changed observable behavior"
+                    )
+        print(
+            f"check_bench_json: parallel @{PAR_GATE_PROCESSES} processes: "
+            f"{len(threaded)} threaded row(s) counter-identical to serial"
+        )
+        # Speedup half: wall-clock is machine-dependent, so it only binds
+        # when the recording host actually had the lanes.
+        eight = [
+            r for r in threaded
+            if float(r[threads_col]) == PAR_GATE_THREADS
+        ]
+        if not eight:
+            fail(f"{path}: no threads={PAR_GATE_THREADS} row at "
+                 f"{PAR_GATE_PROCESSES} processes")
+        row8 = eight[0]
+        cores = float(row8[cores_col])
+        if cores < PAR_GATE_THREADS:
+            print(
+                f"check_bench_json: NOTE: recorded on a {cores:.0f}-core "
+                f"host (< {PAR_GATE_THREADS}) — the "
+                f">={PAR_GATE_MIN_SPEEDUP}x speedup check is skipped; "
+                f"counter identity was still enforced"
+            )
+            return
+        speedup = float(base[run_col]) / float(row8[run_col])
+        print(
+            f"check_bench_json: parallel speedup @{PAR_GATE_PROCESSES}: "
+            f"{float(base[run_col]):.1f} ms serial / "
+            f"{float(row8[run_col]):.1f} ms at {PAR_GATE_THREADS} threads "
+            f"= {speedup:.2f}x (required >= {PAR_GATE_MIN_SPEEDUP})"
+        )
+        if speedup < PAR_GATE_MIN_SPEEDUP:
+            fail(
+                f"{speedup:.2f}x < {PAR_GATE_MIN_SPEEDUP}x: the worker-pool "
+                f"engine lost its wall-clock win at "
+                f"{PAR_GATE_THREADS} threads"
+            )
+        return
+    print(
+        f"check_bench_json: NOTE: no {PAR_GATE_PROCESSES}-process rows with "
+        f"threads/cores columns in {path} (run capped below 100k?) — "
+        f"parallel gate skipped"
+    )
+
+
 def main(argv):
     args = argv[1:]
     gate_file = None
     mem_file = None
+    par_file = None
     files = []
     i = 0
     while i < len(args):
-        if args[i] in ("--gate-scheduler", "--gate-memory"):
+        if args[i] in ("--gate-scheduler", "--gate-memory",
+                       "--gate-parallel"):
             if i + 1 >= len(args):
                 fail(f"{args[i]} needs a JSON file")
             if args[i] == "--gate-scheduler":
                 gate_file = args[i + 1]
-            else:
+            elif args[i] == "--gate-memory":
                 mem_file = args[i + 1]
+            else:
+                par_file = args[i + 1]
             files.append(args[i + 1])  # gated files are schema-checked too
             i += 2
         else:
@@ -180,6 +303,9 @@ def main(argv):
 
     if mem_file is not None:
         gate_memory(docs[mem_file], mem_file)
+
+    if par_file is not None:
+        gate_parallel(docs[par_file], par_file)
     return 0
 
 

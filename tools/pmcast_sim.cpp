@@ -68,6 +68,7 @@ struct Options {
   std::size_t cross_span = 2;
   std::size_t cross_events = 8;
   SimTime cross_spacing = sim_ms(100);
+  std::size_t threads = 1;  ///< worker lanes; 0 = one per hardware core
   // Scenario mode defaults the group to a=4, d=2, R=2; only flags the user
   // actually passed override those (tracked per flag — a lone --a must not
   // drag in the experiment harness's d=3/R=3).
@@ -130,6 +131,9 @@ void print_usage() {
       "  --cross-events N events per cross publisher (default 8)\n"
       "  --cross-every T  spacing between a publisher's events (default "
       "100ms)\n"
+      "  --threads N      worker threads driving the shards (default 1;\n"
+      "                   0 = one per core); any N is byte-identical, and\n"
+      "                   --repro-check compares the run against N=1\n"
       "\n"
       "--fill/--horizon/--wire/--adaptive/--seed/--pd/--loss/--F apply to\n"
       "scenario and sharded mode; the remaining experiment flags are\n"
@@ -284,6 +288,10 @@ bool parse_args(int argc, char** argv, Options& out) {
         std::cerr << "bad --cross-every: " << err.what() << "\n";
         return false;
       }
+      out.sharded_only_flags.push_back(flag);
+    }
+    else if (flag == "--threads") {
+      if (!parse_size(flag, next(), out.threads)) return false;
       out.sharded_only_flags.push_back(flag);
     }
     else {
@@ -465,9 +473,12 @@ int run_sharded(const Options& options) {
   config.cross.span = options.cross_span;
   config.cross.events = options.cross_events;
   config.cross.spacing = options.cross_spacing;
+  config.threads = options.threads;
 
-  const auto run_once = [&] {
-    ShardedSim sim(config);
+  const auto run_once = [&](std::size_t threads) {
+    ShardedConfig run_config = config;
+    run_config.threads = threads;
+    ShardedSim sim(run_config);
     for (const auto& entry : scripts) {
       if (entry.all) {
         sim.play_all(entry.script);
@@ -486,20 +497,24 @@ int run_sharded(const Options& options) {
             << " cross publisher(s) spanning " << config.cross.span
             << ", horizon " << options.horizon / sim_ms(1)
             << " ms, eps=" << config.shard.loss << ", seed="
-            << config.shard.seed
+            << config.shard.seed << ", threads=" << config.threads
             << (config.shard.wire_transcode ? ", wire codec" : "");
   if (config.shard.adaptive)
     std::cout << ", adaptive (alpha=" << config.shard.adaptive_alpha << ")";
   std::cout << "\n";
   try {
-    const auto summary = run_once();
+    const auto summary = run_once(config.threads);
     std::cout << summary.to_string() << "\n";
     if (options.repro_check) {
-      const auto second = run_once();
+      // A threaded run is checked against the serial reference: one lane,
+      // same epochs, inline index order. threads=1 degenerates to the old
+      // same-config replay.
+      const auto second = run_once(1);
       const bool identical = second == summary;
       std::cout << "repro-check: "
                 << (identical ? "identical summaries (aggregate + per-shard)"
                               : "MISMATCH")
+                << (config.threads != 1 ? " [threads vs serial]" : "")
                 << "\n";
       return identical ? 0 : 1;
     }
