@@ -1,0 +1,148 @@
+// table_filter — predicate index vs naive scan on the audience axis.
+//
+// For N Zipf-distributed subscriptions (10^4 / 10^5 / 10^6) the same event
+// stream is matched through both sides of the SubscriptionMatcher seam:
+// NaiveScan (Predicate::match per subscription — the oracle) and IndexLanes
+// (the counting PredicateIndex). The bench hard-fails unless both sides
+// return identical id sets on every event, and reports wall-clock alongside
+// the machine-independent work counters the CI gate consumes:
+// `naive evals` (N x events) vs `index work` (IndexCounters::work()).
+//
+//   --max-subs K       cap the subscription axis (smoke runs)
+//   --json FILE        mirror the table as pmcast-bench-v1 JSON
+//   PMCAST_FILTER_MAX  environment cap, same effect as --max-subs
+//
+// tools/check_bench_json.py --gate-filter requires, on the committed
+// BENCH_filter.json, naive evals / index work >= 10 at the 10^6 row and
+// matched-count equality on every row.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "filter/index.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pmc;
+
+  std::size_t max_subs = env_size_t("PMCAST_FILTER_MAX", 1'000'000);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-subs") == 0 && i + 1 < argc)
+      max_subs = static_cast<std::size_t>(std::stoull(argv[++i]));
+    else if (std::strcmp(argv[i], "--json") == 0)
+      ++i;  // handled by JsonWriter
+  }
+
+  bench::JsonWriter json(argc, argv, "table_filter");
+  bench::print_header("table_filter",
+                      "predicate index vs naive scan (Zipf subscriptions)",
+                      "max subs " + std::to_string(max_subs));
+
+  Table table({"subs", "events", "build index ms", "naive ms", "index ms",
+               "speedup", "naive evals", "index work", "work ratio",
+               "matched naive", "matched index", "scan subs"});
+
+  for (const std::size_t n : {std::size_t{10'000}, std::size_t{100'000},
+                              std::size_t{1'000'000}}) {
+    if (n > max_subs) continue;
+
+    ZipfWorkload w;
+    w.subscriptions = n;
+    w.seed = 0x20f117e5 + n;
+    const ZipfWorkloadGen gen(w);
+
+    SubscriptionMatcher naive(MatcherKind::NaiveScan);
+    SubscriptionMatcher index(MatcherKind::IndexLanes);
+    const auto t_build_naive = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto sub = gen.subscription(i);
+      naive.add(static_cast<SubscriptionId>(i), sub);
+    }
+    (void)t_build_naive;
+    const auto t_build_index = Clock::now();
+    for (std::size_t i = 0; i < n; ++i)
+      index.add(static_cast<SubscriptionId>(i), gen.subscription(i));
+    const double build_index_ms = ms_since(t_build_index);
+
+    // Enough events that the slow (naive, 10^6) row stays in seconds while
+    // the small rows keep decent statistics.
+    const std::size_t events = std::max<std::size_t>(16, 4'000'000 / n);
+    Rng event_rng(fnv1a_u64(kFnv1aBasis ^ w.seed, 0xE7E57ULL));
+    std::vector<Event> stream;
+    stream.reserve(events);
+    for (std::size_t e = 0; e < events; ++e)
+      stream.push_back(gen.event(1, e, event_rng));
+
+    // One untimed warm-up match: the index builds its interval trees and
+    // sorts its lanes lazily on first use, and that one-time cost belongs
+    // with the build column's story, not in the per-event match numbers.
+    {
+      std::vector<SubscriptionId> warm;
+      naive.match(stream[0], warm);
+      index.match(stream[0], warm);
+    }
+    const std::uint64_t naive_work0 = naive.work_units();
+    const std::uint64_t index_work0 = index.work_units();
+
+    std::vector<std::vector<SubscriptionId>> expected(events);
+    const auto t_naive = Clock::now();
+    for (std::size_t e = 0; e < events; ++e)
+      naive.match(stream[e], expected[e]);
+    const double naive_ms = ms_since(t_naive);
+
+    std::vector<SubscriptionId> got;
+    std::uint64_t matched_naive = 0, matched_index = 0;
+    const auto t_index = Clock::now();
+    for (std::size_t e = 0; e < events; ++e) {
+      index.match(stream[e], got);
+      if (got != expected[e]) {
+        std::cerr << "FAIL: index diverged from naive oracle at subs=" << n
+                  << " event=" << e << " (" << got.size() << " vs "
+                  << expected[e].size() << " matches)\n";
+        return 1;
+      }
+      matched_index += got.size();
+    }
+    const double index_ms = ms_since(t_index);
+    for (const auto& ids : expected) matched_naive += ids.size();
+
+    const std::uint64_t naive_units = naive.work_units() - naive_work0;
+    const std::uint64_t index_units = index.work_units() - index_work0;
+    const auto naive_evals = static_cast<double>(naive_units);
+    const auto index_work = static_cast<double>(index_units);
+    table.add_row({Table::integer(n), Table::integer(events),
+                   Table::num(build_index_ms, 1), Table::num(naive_ms, 1),
+                   Table::num(index_ms, 1),
+                   Table::num(naive_ms / std::max(index_ms, 1e-9), 1),
+                   Table::integer(naive_units),
+                   Table::integer(index_units),
+                   Table::num(naive_evals / std::max(index_work, 1.0), 1),
+                   Table::integer(matched_naive),
+                   Table::integer(matched_index),
+                   Table::integer(index.index()->scan_bucket_size())});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n[oracle] index == naive scan on every row\n"
+            << "peak RSS " << Table::num(bench::peak_rss_mb(), 1) << " MB\n";
+
+  json.add_table("index vs naive scan", table.headers(), table.rows());
+  json.write();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <map>
 
+#include "filter/index.hpp"
 #include "pmcast/pmcast.hpp"
 
 int main() {
@@ -66,18 +67,36 @@ int main() {
     });
   }
 
+  // The exchange's view of who is interested goes through the predicate
+  // index (the same structure a broker front-end would use at audience
+  // scale), cross-checked every quote against the naive Predicate::match
+  // scan — the two must agree exactly or the example fails.
+  SubscriptionMatcher audience(MatcherKind::IndexLanes);
+  for (std::size_t i = 0; i < members.size(); ++i)
+    audience.add(static_cast<SubscriptionId>(i), members[i].subscription);
+
   // The exchange feed: 40 quotes with prices wandering around the base.
   std::cout << "Publishing 40 quotes across " << members.size()
             << " traders...\n";
   std::map<std::string, std::size_t> interested_totals;
+  std::vector<SubscriptionId> interested;
   for (std::uint64_t seq = 0; seq < 40; ++seq) {
     const std::size_t s = rng.next_below(4);
     const double price = base_price[s] * (0.85 + 0.3 * rng.next_double());
     Event quote(EventId{/*publisher=*/0, seq});
     quote.with("symbol", symbols[s]).with("price", price)
          .with("volume", static_cast<std::int64_t>(rng.next_below(10000)));
+    audience.match(quote, interested);
+    std::size_t naive_interested = 0;
     for (const auto& m : members)
-      if (m.subscription.match(quote)) ++interested_totals[symbols[s]];
+      if (m.subscription.match(quote)) ++naive_interested;
+    if (interested.size() != naive_interested) {
+      std::cerr << "FAIL: predicate index found " << interested.size()
+                << " interested traders, naive scan found "
+                << naive_interested << " (quote " << seq << ")\n";
+      return 1;
+    }
+    interested_totals[symbols[s]] += interested.size();
     nodes[rng.next_below(nodes.size())]->pmcast(quote);
     runtime.run_until_idle();
   }

@@ -1,6 +1,7 @@
 #include "event/value.hpp"
 
-#include <sstream>
+#include <charconv>
+#include <string>
 
 #include "common/contract.hpp"
 
@@ -40,13 +41,31 @@ bool operator==(const Value& a, const Value& b) {
 }
 
 std::string Value::to_string() const {
-  std::ostringstream os;
   switch (kind()) {
-    case ValueKind::Int: os << as_int(); break;
-    case ValueKind::Float: os << as_double(); break;
-    case ValueKind::String: os << '"' << as_string() << '"'; break;
+    case ValueKind::Int: return std::to_string(as_int());
+    case ValueKind::Float: {
+      // Shortest form that round-trips to the same double; the default
+      // ostream precision (6) would turn 0.30000000000000004 into "0.3" and
+      // parse back to a different predicate.
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof buf, as_double());
+      return std::string(buf, res.ptr);
+    }
+    case ValueKind::String: {
+      // Quote and backslash are escaped so the parser's lexer (which maps
+      // `\c` back to `c` inside string literals) round-trips the value.
+      std::string out;
+      out.reserve(as_string().size() + 2);
+      out.push_back('"');
+      for (const char c : as_string()) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
   }
-  return os.str();
+  return {};  // unreachable
 }
 
 }  // namespace pmc

@@ -1,0 +1,558 @@
+#include "filter/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/contract.hpp"
+
+namespace pmc {
+
+namespace {
+
+// compare_values treats -0.0 == +0.0; hash lanes must agree on one key.
+inline double norm_key(double x) { return x == 0.0 ? 0.0 : x; }
+
+// A point guaranteed to be contained in the (non-empty) interval — the
+// split pivot of the interval tree. nextafter handles open rays whose only
+// finite endpoint is excluded.
+double inner_point(const Interval& iv) {
+  const bool lo_inf = iv.unbounded_below();
+  const bool hi_inf = iv.unbounded_above();
+  if (lo_inf && hi_inf) return 0.0;
+  if (hi_inf)
+    return iv.lo_open ? std::nextafter(iv.lo,
+                                       std::numeric_limits<double>::infinity())
+                      : iv.lo;
+  if (lo_inf)
+    return iv.hi_open ? std::nextafter(iv.hi,
+                                       -std::numeric_limits<double>::infinity())
+                      : iv.hi;
+  if (iv.lo == iv.hi) return iv.lo;  // non-empty => closed point
+  return iv.lo / 2 + iv.hi / 2;      // halved first: no overflow to inf
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IntervalLane: centered interval tree
+
+void PredicateIndex::IntervalLane::build() const {
+  nodes_.clear();
+  root_ = -1;
+  std::vector<std::uint32_t> idxs(entries_.size());
+  for (std::uint32_t i = 0; i < idxs.size(); ++i) idxs[i] = i;
+  root_ = build_node(idxs);
+  built_ = true;
+}
+
+std::int32_t PredicateIndex::IntervalLane::build_node(
+    std::vector<std::uint32_t>& idxs) const {
+  if (idxs.empty()) return -1;
+  // Median of inner points: the median interval itself contains the chosen
+  // center, so the node set is never empty and both sides strictly shrink.
+  std::vector<double> points;
+  points.reserve(idxs.size());
+  for (const std::uint32_t i : idxs) points.push_back(inner_point(entries_[i].iv));
+  const auto mid = points.begin() + static_cast<std::ptrdiff_t>(points.size() / 2);
+  std::nth_element(points.begin(), mid, points.end());
+  const double center = *mid;
+
+  std::vector<std::uint32_t> left, right, here;
+  for (const std::uint32_t i : idxs) {
+    const Interval& iv = entries_[i].iv;
+    if (iv.hi_open ? iv.hi <= center : iv.hi < center)
+      left.push_back(i);  // entirely below center
+    else if (iv.lo_open ? iv.lo >= center : iv.lo > center)
+      right.push_back(i);  // entirely above center
+    else
+      here.push_back(i);  // contains center
+  }
+  idxs.clear();
+  idxs.shrink_to_fit();
+
+  const auto n = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    node.center = center;
+    node.by_lo = here;
+    node.by_hi = std::move(here);
+    std::sort(node.by_lo.begin(), node.by_lo.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const Interval& x = entries_[a].iv;
+                const Interval& y = entries_[b].iv;
+                return x.lo < y.lo || (x.lo == y.lo && x.lo_open < y.lo_open);
+              });
+    std::sort(node.by_hi.begin(), node.by_hi.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const Interval& x = entries_[a].iv;
+                const Interval& y = entries_[b].iv;
+                return x.hi > y.hi || (x.hi == y.hi && x.hi_open < y.hi_open);
+              });
+  }
+  // nodes_ may reallocate during recursion: write children after returning.
+  const std::int32_t l = build_node(left);
+  const std::int32_t r = build_node(right);
+  nodes_[static_cast<std::size_t>(n)].left = l;
+  nodes_[static_cast<std::size_t>(n)].right = r;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition
+
+bool PredicateIndex::decompose(const PredicatePtr& p, bool negated,
+                               std::vector<std::vector<ConjAtom>>& out) const {
+  const std::size_t budget = opts_.max_clauses;
+  switch (p->kind()) {
+    case Predicate::Kind::True:
+      if (!negated) out.push_back({});  // one empty clause == always
+      return out.size() <= budget;
+    case Predicate::Kind::False:
+      if (negated) out.push_back({});  // !(false) == always; false == no clause
+      return out.size() <= budget;
+    case Predicate::Kind::Compare:
+      out.push_back({ConjAtom{p.get(), negated}});
+      return out.size() <= budget;
+    case Predicate::Kind::Not:
+      return decompose(p->child(), !negated, out);
+    case Predicate::Kind::And:
+    case Predicate::Kind::Or: {
+      // De Morgan at the decomposition level: !And is a disjunction of the
+      // negated children, !Or a conjunction.
+      const bool conjunctive = (p->kind() == Predicate::Kind::And) != negated;
+      if (!conjunctive) {
+        for (const auto& child : p->children())
+          if (!decompose(child, negated, out)) return false;
+        return out.size() <= budget;
+      }
+      // Conjunction: cross product of the children's clause lists.
+      std::vector<std::vector<ConjAtom>> acc;
+      acc.push_back({});
+      for (const auto& child : p->children()) {
+        std::vector<std::vector<ConjAtom>> cl;
+        if (!decompose(child, negated, cl)) return false;
+        if (acc.size() * cl.size() > budget) return false;
+        std::vector<std::vector<ConjAtom>> next;
+        next.reserve(acc.size() * cl.size());
+        for (const auto& a : acc)
+          for (const auto& b : cl) {
+            auto merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        acc = std::move(next);
+      }
+      for (auto& cl : acc) out.push_back(std::move(cl));
+      return out.size() <= budget;
+    }
+  }
+  return false;  // unreachable
+}
+
+void PredicateIndex::insert_atom(std::uint32_t clause, const Predicate& cmp,
+                                 bool negated) {
+  Lanes& lanes = lanes_[cmp.attr()];
+  if (negated) {
+    lanes.neg.push_back({cmp.op(), cmp.value(), clause});
+    return;
+  }
+  const Value& v = cmp.value();
+  const bool is_str = v.kind() == ValueKind::String;
+  switch (cmp.op()) {
+    case CmpOp::Eq:
+      if (is_str)
+        lanes.eq_str[v.as_string()].push_back(clause);
+      else
+        lanes.eq_num[norm_key(v.as_double())].push_back(clause);
+      return;
+    case CmpOp::Ne:
+      // Kept generic: cross-kind values satisfy Ne, so a hash lane keyed by
+      // one kind cannot represent it.
+      lanes.ne.push_back({v, clause});
+      return;
+    case CmpOp::Gt:
+    case CmpOp::Ge: {
+      // Numeric ordered atoms are fused into interval-lane entries by
+      // install_clause; only string bounds land here.
+      PMC_EXPECTS(is_str);
+      const auto strict = static_cast<std::uint8_t>(cmp.op() == CmpOp::Gt);
+      lanes.str_lower.push_back({v.as_string(), strict, clause});
+      lanes.sorted = false;
+      return;
+    }
+    case CmpOp::Lt:
+    case CmpOp::Le: {
+      PMC_EXPECTS(is_str);
+      const auto strict = static_cast<std::uint8_t>(cmp.op() == CmpOp::Lt);
+      lanes.str_upper.push_back({v.as_string(), strict, clause});
+      lanes.sorted = false;
+      return;
+    }
+  }
+}
+
+void PredicateIndex::install_clause(std::uint32_t handle,
+                                    const std::vector<ConjAtom>& atoms) {
+  // Two jobs before any state is written:
+  //  * fuse all positive numeric ordered atoms on one attribute into a
+  //    single Interval (credited once by the stab lane), and
+  //  * detect clauses that can never hold — a positive Eq/ordered
+  //    comparison against NaN, or contradictory bounds (empty fusion) —
+  //    and drop them entirely. Positive Ne and negated atoms are kept
+  //    as-is: their lanes evaluate compare_values, NaN included.
+  std::vector<std::pair<const std::string*, Interval>> fused;
+  std::uint32_t units = 0;  // atoms as counted by the matcher
+  std::uint32_t neg = 0;
+  for (const auto& a : atoms) {
+    if (a.negated) {
+      ++neg;
+      ++units;
+      continue;
+    }
+    const Value& v = a.cmp->value();
+    const bool is_str = v.kind() == ValueKind::String;
+    const CmpOp op = a.cmp->op();
+    if (!is_str && op != CmpOp::Eq && op != CmpOp::Ne) {
+      const double b = v.as_double();
+      if (std::isnan(b)) return;  // x <op> NaN never holds
+      const Interval iv = op == CmpOp::Gt   ? Interval::at_least(b, true)
+                          : op == CmpOp::Ge ? Interval::at_least(b)
+                          : op == CmpOp::Lt ? Interval::at_most(b, true)
+                                            : Interval::at_most(b);
+      const auto it =
+          std::find_if(fused.begin(), fused.end(), [&a](const auto& f) {
+            return *f.first == a.cmp->attr();
+          });
+      if (it == fused.end())
+        fused.emplace_back(&a.cmp->attr(), iv);
+      else
+        it->second = it->second.intersect(iv);
+      continue;
+    }
+    if (!is_str && op == CmpOp::Eq && std::isnan(v.as_double())) return;
+    ++units;
+  }
+  for (const auto& f : fused) {
+    if (f.second.empty()) return;  // contradictory bounds
+    ++units;
+  }
+
+  const auto clause = static_cast<std::uint32_t>(clause_owner_.size());
+  clause_owner_.push_back(handle);
+  clause_needed_.push_back(units);
+  clause_neg_.push_back(neg);
+  clause_live_.push_back(1);
+  subs_[handle].clauses.push_back(clause);
+  ++live_clauses_;
+  if (units == 0)
+    always_.push_back(clause);
+  else if (neg == units)
+    neg_only_.push_back(clause);  // all-default credit: can match untouched
+  for (const auto& a : atoms) {
+    const bool fused_away = !a.negated &&
+                            a.cmp->value().kind() != ValueKind::String &&
+                            a.cmp->op() != CmpOp::Eq && a.cmp->op() != CmpOp::Ne;
+    if (!fused_away) insert_atom(clause, *a.cmp, a.negated);
+  }
+  for (const auto& f : fused) lanes_[*f.first].interval.add(f.second, clause);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation
+
+void PredicateIndex::add(SubscriptionId id, PredicatePtr pred) {
+  maybe_compact();
+  add_internal(id, std::move(pred));
+}
+
+void PredicateIndex::add_internal(SubscriptionId id, PredicatePtr pred) {
+  PMC_EXPECTS(pred != nullptr);
+  PMC_EXPECTS(by_id_.find(id) == by_id_.end());
+  std::uint32_t handle;
+  if (!free_handles_.empty()) {
+    handle = free_handles_.back();
+    free_handles_.pop_back();
+  } else {
+    handle = static_cast<std::uint32_t>(subs_.size());
+    subs_.emplace_back();
+  }
+  SubRec& rec = subs_[handle];
+  rec.id = id;
+  rec.pred = std::move(pred);
+  rec.live = true;
+  rec.scan = false;
+  rec.clauses.clear();
+  by_id_.emplace(id, handle);
+  ++live_;
+
+  std::vector<std::vector<ConjAtom>> clauses;
+  if (!decompose(rec.pred, false, clauses)) {
+    // DNF budget exceeded: correct-but-linear fallback.
+    rec.scan = true;
+    ++scan_live_;
+    scan_handles_.push_back(handle);
+    return;
+  }
+  for (const auto& cl : clauses) install_clause(handle, cl);
+}
+
+bool PredicateIndex::remove(SubscriptionId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const std::uint32_t handle = it->second;
+  by_id_.erase(it);
+  SubRec& rec = subs_[handle];
+  rec.live = false;
+  --live_;
+  if (rec.scan) {
+    rec.scan = false;
+    --scan_live_;
+    ++dead_scan_;
+  }
+  for (const std::uint32_t c : rec.clauses) {
+    clause_live_[c] = 0;
+    --live_clauses_;
+    ++dead_clauses_;
+  }
+  rec.clauses.clear();
+  rec.pred.reset();
+  free_handles_.push_back(handle);
+  maybe_compact();
+  return true;
+}
+
+void PredicateIndex::maybe_compact() {
+  if (dead_clauses_ <= live_clauses_ + 64 && dead_scan_ <= scan_live_ + 64)
+    return;
+  std::vector<std::pair<SubscriptionId, PredicatePtr>> keep;
+  keep.reserve(live_);
+  for (const auto& rec : subs_)
+    if (rec.live) keep.emplace_back(rec.id, rec.pred);
+  subs_.clear();
+  free_handles_.clear();
+  by_id_.clear();
+  scan_handles_.clear();
+  clause_owner_.clear();
+  clause_needed_.clear();
+  clause_neg_.clear();
+  clause_live_.clear();
+  always_.clear();
+  neg_only_.clear();
+  lanes_.clear();
+  live_ = scan_live_ = live_clauses_ = dead_clauses_ = dead_scan_ = 0;
+  credit_.clear();
+  credit_epoch_.clear();
+  owner_epoch_.clear();
+  touched_.clear();
+  epoch_ = 0;
+  for (auto& [id, pred] : keep) add_internal(id, std::move(pred));
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+
+void PredicateIndex::begin_event() const {
+  const std::size_t nclauses = clause_owner_.size();
+  if (credit_.size() < nclauses) {
+    credit_.resize(nclauses, 0);
+    credit_epoch_.resize(nclauses, 0);
+  }
+  if (owner_epoch_.size() < subs_.size()) owner_epoch_.resize(subs_.size(), 0);
+  ++epoch_;
+  if (epoch_ == 0) {  // wraparound: stamps from 2^32 events ago are garbage
+    std::fill(credit_epoch_.begin(), credit_epoch_.end(), 0u);
+    std::fill(owner_epoch_.begin(), owner_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  touched_.clear();
+}
+
+void PredicateIndex::credit(std::uint32_t clause, int delta) const {
+  if (credit_epoch_[clause] != epoch_) {
+    credit_epoch_[clause] = epoch_;
+    // Baseline: every negated atom starts credited and is revoked when its
+    // positive comparison holds on this event.
+    credit_[clause] = static_cast<int>(clause_neg_[clause]);
+    touched_.push_back(clause);
+  }
+  credit_[clause] += delta;
+}
+
+void PredicateIndex::report(std::uint32_t handle,
+                            std::vector<SubscriptionId>& out) const {
+  if (owner_epoch_[handle] == epoch_) return;  // another clause already fired
+  owner_epoch_[handle] = epoch_;
+  out.push_back(subs_[handle].id);
+  ++counters_.matches;
+}
+
+void PredicateIndex::ensure_sorted(Lanes& lanes) const {
+  if (lanes.sorted) return;
+  // Lower bounds: (key asc, closed before strict) makes satisfied atoms a
+  // prefix for any probe. Upper bounds mirrored: (key asc, strict before
+  // closed) makes them a suffix.
+  std::sort(lanes.str_lower.begin(), lanes.str_lower.end(),
+            [](const StrRangeEntry& a, const StrRangeEntry& b) {
+              return a.key < b.key || (a.key == b.key && a.strict < b.strict);
+            });
+  std::sort(lanes.str_upper.begin(), lanes.str_upper.end(),
+            [](const StrRangeEntry& a, const StrRangeEntry& b) {
+              return a.key < b.key || (a.key == b.key && a.strict > b.strict);
+            });
+  lanes.sorted = true;
+}
+
+void PredicateIndex::match_attribute(const std::string& name,
+                                     const Value& v) const {
+  const auto it = lanes_.find(name);
+  if (it == lanes_.end()) return;
+  Lanes& lanes = it->second;
+  ++counters_.lane_searches;
+
+  if (v.kind() == ValueKind::String) {
+    const std::string& s = v.as_string();
+    if (const auto eq = lanes.eq_str.find(s); eq != lanes.eq_str.end()) {
+      for (const std::uint32_t c : eq->second) {
+        ++counters_.atom_visits;
+        credit(c, +1);
+      }
+    }
+    ensure_sorted(lanes);
+    const auto lo_end = std::partition_point(
+        lanes.str_lower.begin(), lanes.str_lower.end(),
+        [&s](const StrRangeEntry& e) {
+          return e.key < s || (e.key == s && !e.strict);
+        });
+    for (auto p = lanes.str_lower.begin(); p != lo_end; ++p) {
+      ++counters_.atom_visits;
+      credit(p->clause, +1);
+    }
+    const auto hi_begin = std::partition_point(
+        lanes.str_upper.begin(), lanes.str_upper.end(),
+        [&s](const StrRangeEntry& e) {
+          return e.key < s || (e.key == s && e.strict);
+        });
+    for (auto p = hi_begin; p != lanes.str_upper.end(); ++p) {
+      ++counters_.atom_visits;
+      credit(p->clause, +1);
+    }
+  } else {
+    const double x = v.as_double();
+    // NaN satisfies no Eq/ordered comparison: skip those lanes entirely
+    // (exactly what compare_values would conclude per atom). Ne and negated
+    // atoms below use compare_values and handle NaN themselves.
+    if (!std::isnan(x)) {
+      if (const auto eq = lanes.eq_num.find(norm_key(x));
+          eq != lanes.eq_num.end()) {
+        for (const std::uint32_t c : eq->second) {
+          ++counters_.atom_visits;
+          credit(c, +1);
+        }
+      }
+      lanes.interval.stab(x, [this](std::uint32_t c) {
+        ++counters_.atom_visits;
+        credit(c, +1);
+      });
+    }
+  }
+
+  for (const NeEntry& e : lanes.ne) {
+    ++counters_.atom_visits;
+    if (compare_values(v, CmpOp::Ne, e.value)) credit(e.clause, +1);
+  }
+  for (const NegEntry& e : lanes.neg) {
+    ++counters_.atom_visits;
+    if (compare_values(v, e.op, e.value)) credit(e.clause, -1);
+  }
+}
+
+void PredicateIndex::match(const Event& e,
+                           std::vector<SubscriptionId>& out) const {
+  out.clear();
+  ++counters_.events;
+  begin_event();
+
+  for (const auto& attr : e.attributes()) match_attribute(attr.name, attr.value);
+
+  for (const std::uint32_t c : touched_) {
+    ++counters_.candidate_checks;
+    if (clause_live_[c] && credit_[c] == static_cast<int>(clause_needed_[c]))
+      report(clause_owner_[c], out);
+  }
+  // Wildcard clauses and all-negated clauses can fire without any lane
+  // visit, so they are checked every event.
+  for (const std::uint32_t c : always_) {
+    ++counters_.candidate_checks;
+    if (clause_live_[c]) report(clause_owner_[c], out);
+  }
+  for (const std::uint32_t c : neg_only_) {
+    ++counters_.candidate_checks;
+    if (!clause_live_[c]) continue;
+    const int cr = credit_epoch_[c] == epoch_
+                       ? credit_[c]
+                       : static_cast<int>(clause_neg_[c]);
+    if (cr == static_cast<int>(clause_needed_[c])) report(clause_owner_[c], out);
+  }
+  for (const std::uint32_t h : scan_handles_) {
+    const SubRec& rec = subs_[h];
+    if (!rec.live || !rec.scan) continue;
+    ++counters_.fallback_evals;
+    if (rec.pred->match(e)) report(h, out);
+  }
+
+  std::sort(out.begin(), out.end());
+}
+
+// ---------------------------------------------------------------------------
+// SubscriptionMatcher seam
+
+void SubscriptionMatcher::add(SubscriptionId id, PredicatePtr pred) {
+  if (kind_ == MatcherKind::IndexLanes) {
+    index_.add(id, std::move(pred));
+    return;
+  }
+  PMC_EXPECTS(pred != nullptr);
+  const auto it = std::lower_bound(
+      naive_.begin(), naive_.end(), id,
+      [](const auto& e, SubscriptionId v) { return e.first < v; });
+  PMC_EXPECTS(it == naive_.end() || it->first != id);
+  naive_.emplace(it, id, std::move(pred));
+}
+
+bool SubscriptionMatcher::remove(SubscriptionId id) {
+  if (kind_ == MatcherKind::IndexLanes) return index_.remove(id);
+  const auto it = std::lower_bound(
+      naive_.begin(), naive_.end(), id,
+      [](const auto& e, SubscriptionId v) { return e.first < v; });
+  if (it == naive_.end() || it->first != id) return false;
+  naive_.erase(it);
+  return true;
+}
+
+std::size_t SubscriptionMatcher::size() const noexcept {
+  return kind_ == MatcherKind::IndexLanes ? index_.size() : naive_.size();
+}
+
+void SubscriptionMatcher::match(const Event& e,
+                                std::vector<SubscriptionId>& out) const {
+  if (kind_ == MatcherKind::IndexLanes) {
+    index_.match(e, out);
+    return;
+  }
+  // The oracle: one Predicate::match per subscription, ids already sorted.
+  out.clear();
+  for (const auto& [id, pred] : naive_) {
+    ++naive_work_;
+    if (pred->match(e)) out.push_back(id);
+  }
+}
+
+std::uint64_t SubscriptionMatcher::work_units() const noexcept {
+  return kind_ == MatcherKind::IndexLanes ? index_.counters().work()
+                                          : naive_work_;
+}
+
+}  // namespace pmc

@@ -1,0 +1,331 @@
+// Predicate index: matching one event against very many subscriptions.
+//
+// The filter layer evaluates a predicate AST per subscription per event,
+// which is linear in the audience and caps realistic subscriber counts far
+// below the 10^6-process scale of the simulation core. PredicateIndex makes
+// that sublinear with the classic counting (Rete-style) decomposition used
+// by content-based brokers:
+//
+//   subscription predicate
+//     --DNF-->  sub-subscriptions (conjunctive clauses)
+//     --atoms-> per-attribute lanes
+//
+// Decomposition rules (see decompose() in index.cpp):
+//   * And / Or flatten into a DNF of clauses; each clause is a conjunction
+//     of atoms. Or therefore *expands* a subscription into several clauses
+//     (sub-subscription expansion); the subscription matches when any of
+//     its clauses matches.
+//   * An atom is a single comparison `attr op value`, possibly negated.
+//     Not is pushed down De-Morgan-style; a negated comparison stays a
+//     *negated atom* rather than an op-negated one, because the two differ
+//     on events lacking the attribute (Predicate::match: a comparison on an
+//     absent attribute is false, Not flips it) and on NaN / cross-kind
+//     values. A negated atom is true by default and is *revoked* when the
+//     event carries the attribute and the positive comparison holds.
+//   * Predicates whose DNF exceeds Options::max_clauses fall back to a scan
+//     bucket that evaluates Predicate::match directly — always correct,
+//     just not indexed.
+//
+// Lanes per attribute:
+//   * Eq atoms: hash lanes keyed by value (numeric and string separately;
+//     Value(2) and Value(2.0) share a key, mirroring compare_values).
+//   * Numeric Lt/Le/Gt/Ge atoms: all ordered bounds a clause places on one
+//     attribute are intersected into a single pmc::Interval (an empty
+//     intersection kills the clause at insert time), and the per-attribute
+//     interval lane answers stabbing queries with a centered interval tree
+//     in O(log n + hits). Fusing matters: crediting `u >= lo` and `u < hi`
+//     as separate atoms would visit ~half the lane per event (every ray
+//     covers half the space), while the fused interval is hit only by the
+//     events actually inside it — output-sensitive, which is what makes the
+//     whole index sublinear.
+//   * String Lt/Le/Gt/Ge atoms: sorted bound lanes; satisfied lower bounds
+//     are a prefix (key asc, closed-before-strict) and satisfied upper
+//     bounds a suffix under std::partition_point.
+//   * Ne and negated atoms: per-attribute lists evaluated with
+//     compare_values — the same kernel Predicate::match uses, so lane
+//     semantics can't drift from the oracle.
+//
+// Matching is counting: each clause knows how many atoms it needs; visiting
+// an event's attributes credits (or revokes) atoms, and a clause whose
+// credit reaches its need fires. Counters are epoch-stamped so per-event
+// reset is O(touched), not O(total). Only lanes for the event's attributes
+// are visited, so the cost scales with event width x lane hits, not with N.
+//
+// PredicateIndex is an accelerator behind the SubscriptionMatcher seam:
+// Predicate::match remains the oracle (never deleted), and the NaiveScan
+// matcher below *is* that oracle looped over subscriptions — tests and
+// benches cross-check the two on identical streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/interval.hpp"
+#include "filter/predicate.hpp"
+#include "filter/subscription.hpp"
+
+namespace pmc {
+
+using SubscriptionId = std::uint32_t;
+
+/// Work accounting for machine-speed-independent comparisons against the
+/// naive scan (whose work is simply subscriptions x events).
+struct IndexCounters {
+  std::uint64_t events = 0;           ///< match() calls
+  std::uint64_t lane_searches = 0;    ///< attribute -> lane lookups
+  std::uint64_t atom_visits = 0;      ///< lane entries touched (incl. searches)
+  std::uint64_t candidate_checks = 0; ///< clause credit checks
+  std::uint64_t fallback_evals = 0;   ///< scan-bucket Predicate::match calls
+  std::uint64_t matches = 0;          ///< subscription ids reported
+
+  /// Total per-event work in "atom-ish" units, comparable against the naive
+  /// scan's predicate evaluations.
+  std::uint64_t work() const noexcept {
+    return lane_searches + atom_visits + candidate_checks + fallback_evals +
+           matches;
+  }
+};
+
+class PredicateIndex {
+ public:
+  struct Options {
+    /// DNF expansion budget per subscription; predicates that would expand
+    /// into more clauses than this are evaluated via the scan bucket.
+    std::size_t max_clauses = 32;
+  };
+
+  PredicateIndex() = default;
+  explicit PredicateIndex(Options opts) : opts_(opts) {}
+
+  /// Indexes `pred` under `id`. Precondition: `id` not already present.
+  void add(SubscriptionId id, PredicatePtr pred);
+  void add(SubscriptionId id, const Subscription& sub) {
+    add(id, sub.predicate());
+  }
+
+  /// Removes a subscription; false when `id` is unknown. Removal is O(its
+  /// clause count) — lane entries die lazily and are compacted (full
+  /// rebuild) once dead clauses outnumber live ones.
+  bool remove(SubscriptionId id);
+
+  /// Ids of all subscriptions whose predicate matches `e`, ascending.
+  void match(const Event& e, std::vector<SubscriptionId>& out) const;
+  std::vector<SubscriptionId> match(const Event& e) const {
+    std::vector<SubscriptionId> out;
+    match(e, out);
+    return out;
+  }
+
+  std::size_t size() const noexcept { return live_; }
+  /// Subscriptions in the budget-exceeded scan bucket (subset of size()).
+  std::size_t scan_bucket_size() const noexcept { return scan_live_; }
+
+  const IndexCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = IndexCounters{}; }
+
+  /// Output-sensitive interval stabbing: which stored intervals contain x?
+  /// A centered interval tree (rebuilt lazily after mutation): each node
+  /// keeps the intervals containing its center, sorted by lower bound
+  /// ascending and upper bound descending, so a query walks one root-to-leaf
+  /// path and scans only actual hits — O(log n + hits).
+  class IntervalLane {
+   public:
+    /// Precondition: !iv.empty().
+    void add(const Interval& iv, std::uint32_t clause) {
+      entries_.push_back({iv, clause});
+      built_ = false;
+    }
+    bool empty() const noexcept { return entries_.empty(); }
+    std::size_t size() const noexcept { return entries_.size(); }
+
+    /// Calls hit(clause) for every interval containing x. x must not be NaN.
+    template <typename Fn>
+    void stab(double x, Fn&& hit) const {
+      if (!built_) build();
+      std::int32_t n = root_;
+      while (n >= 0) {
+        const Node& node = nodes_[n];
+        if (x == node.center) {  // every interval stored here contains center
+          for (const std::uint32_t i : node.by_lo) hit(entries_[i].clause);
+          return;
+        }
+        if (x < node.center) {
+          // Stored intervals reach past center > x on the right; stabbed
+          // iff the lower bound admits x — a prefix of by_lo.
+          for (const std::uint32_t i : node.by_lo) {
+            const Interval& iv = entries_[i].iv;
+            if (iv.lo_open ? iv.lo >= x : iv.lo > x) break;
+            hit(entries_[i].clause);
+          }
+          n = node.left;
+        } else {
+          for (const std::uint32_t i : node.by_hi) {
+            const Interval& iv = entries_[i].iv;
+            if (iv.hi_open ? iv.hi <= x : iv.hi < x) break;
+            hit(entries_[i].clause);
+          }
+          n = node.right;
+        }
+      }
+    }
+
+   private:
+    struct Entry {
+      Interval iv;
+      std::uint32_t clause = 0;
+    };
+    struct Node {
+      double center = 0;
+      std::int32_t left = -1;
+      std::int32_t right = -1;
+      std::vector<std::uint32_t> by_lo;  // (lo asc, closed before open)
+      std::vector<std::uint32_t> by_hi;  // (hi desc, closed before open)
+    };
+
+    void build() const;
+    std::int32_t build_node(std::vector<std::uint32_t>& idxs) const;
+
+    std::vector<Entry> entries_;
+    mutable std::vector<Node> nodes_;
+    mutable std::int32_t root_ = -1;
+    mutable bool built_ = true;  // empty tree is trivially built
+  };
+
+ private:
+  struct StrRangeEntry {
+    std::string key;
+    std::uint8_t strict = 0;
+    std::uint32_t clause = 0;
+  };
+  struct NeEntry {
+    Value value;
+    std::uint32_t clause = 0;
+  };
+  struct NegEntry {  // negated atom: default-credited, revoked when op holds
+    CmpOp op = CmpOp::Eq;
+    Value value;
+    std::uint32_t clause = 0;
+  };
+
+  struct Lanes {
+    std::unordered_map<double, std::vector<std::uint32_t>> eq_num;
+    std::unordered_map<std::string, std::vector<std::uint32_t>> eq_str;
+    IntervalLane interval;                // fused numeric ordered atoms
+    std::vector<StrRangeEntry> str_lower;
+    std::vector<StrRangeEntry> str_upper;
+    std::vector<NeEntry> ne;
+    std::vector<NegEntry> neg;
+    bool sorted = true;  // string bound lanes sort lazily on first match()
+  };
+
+  struct SubRec {
+    SubscriptionId id = 0;
+    PredicatePtr pred;
+    std::vector<std::uint32_t> clauses;
+    bool scan = false;
+    bool live = false;
+  };
+
+  struct ConjAtom {
+    const Predicate* cmp = nullptr;  // kind() == Compare
+    bool negated = false;
+  };
+
+  void add_internal(SubscriptionId id, PredicatePtr pred);
+  bool decompose(const PredicatePtr& p, bool negated,
+                 std::vector<std::vector<ConjAtom>>& out) const;
+  void install_clause(std::uint32_t handle,
+                      const std::vector<ConjAtom>& atoms);
+  void insert_atom(std::uint32_t clause, const Predicate& cmp, bool negated);
+  void maybe_compact();
+  void match_attribute(const std::string& name, const Value& v) const;
+  void credit(std::uint32_t clause, int delta) const;
+  void report(std::uint32_t handle, std::vector<SubscriptionId>& out) const;
+  void ensure_sorted(Lanes& lanes) const;
+  void begin_event() const;
+
+  Options opts_;
+
+  std::vector<SubRec> subs_;
+  std::vector<std::uint32_t> free_handles_;
+  std::unordered_map<SubscriptionId, std::uint32_t> by_id_;
+  std::vector<std::uint32_t> scan_handles_;  // lazily pruned
+
+  // Clause state (SoA; indexed by clause id).
+  std::vector<std::uint32_t> clause_owner_;
+  std::vector<std::uint32_t> clause_needed_;
+  std::vector<std::uint32_t> clause_neg_;
+  std::vector<std::uint8_t> clause_live_;
+  std::vector<std::uint32_t> always_;    // needed == 0 (wildcard clauses)
+  std::vector<std::uint32_t> neg_only_;  // needed == neg > 0: can match untouched
+
+  mutable std::unordered_map<std::string, Lanes> lanes_;
+
+  std::size_t live_ = 0;
+  std::size_t scan_live_ = 0;
+  std::size_t live_clauses_ = 0;
+  std::size_t dead_clauses_ = 0;
+  std::size_t dead_scan_ = 0;
+
+  // Epoch-stamped match scratch (mutable: match() is logically const).
+  mutable std::vector<int> credit_;
+  mutable std::vector<std::uint32_t> credit_epoch_;
+  mutable std::vector<std::uint32_t> owner_epoch_;
+  mutable std::vector<std::uint32_t> touched_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable IndexCounters counters_;
+};
+
+/// Which matcher a subscription path runs on.
+enum class MatcherKind {
+  IndexLanes,  ///< PredicateIndex (sublinear)
+  NaiveScan,   ///< Predicate::match per subscription — the oracle
+};
+
+/// The seam between subscription storage and match strategy. NaiveScan is
+/// the reference semantics (a literal loop over Predicate::match);
+/// IndexLanes must be indistinguishable from it on any event stream.
+class SubscriptionMatcher {
+ public:
+  explicit SubscriptionMatcher(MatcherKind kind,
+                               PredicateIndex::Options opts = {})
+      : kind_(kind), index_(opts) {}
+
+  MatcherKind kind() const noexcept { return kind_; }
+
+  void add(SubscriptionId id, PredicatePtr pred);
+  void add(SubscriptionId id, const Subscription& sub) {
+    add(id, sub.predicate());
+  }
+  bool remove(SubscriptionId id);
+  std::size_t size() const noexcept;
+
+  /// Matching ids, ascending — identical across kinds by construction.
+  void match(const Event& e, std::vector<SubscriptionId>& out) const;
+  std::vector<SubscriptionId> match(const Event& e) const {
+    std::vector<SubscriptionId> out;
+    match(e, out);
+    return out;
+  }
+
+  /// Work units consumed so far: naive predicate evaluations, or
+  /// IndexCounters::work() for the index — the machine-independent basis of
+  /// the bench gate.
+  std::uint64_t work_units() const noexcept;
+
+  /// Non-null only for MatcherKind::IndexLanes.
+  const PredicateIndex* index() const noexcept {
+    return kind_ == MatcherKind::IndexLanes ? &index_ : nullptr;
+  }
+
+ private:
+  MatcherKind kind_;
+  PredicateIndex index_;
+  std::vector<std::pair<SubscriptionId, PredicatePtr>> naive_;  // id-sorted
+  mutable std::uint64_t naive_work_ = 0;
+};
+
+}  // namespace pmc

@@ -136,7 +136,16 @@ class Lexer {
     const std::string_view lexeme = src_.substr(start, i_ - start);
     if (is_float) {
       cur_.kind = Tok::Float;
-      cur_.float_val = std::stod(std::string(lexeme));
+      // from_chars, not stod: stod throws out_of_range on subnormal
+      // literals like 5e-324 (glibc strtod flags ERANGE underflow), which
+      // would make the printer's shortest-round-trip output unparseable.
+      double v = 0.0;
+      const auto res =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+      if (res.ec != std::errc{} || res.ptr != lexeme.data() + lexeme.size())
+        throw std::invalid_argument("interest parse error: bad float '" +
+                                    std::string(lexeme) + "'");
+      cur_.float_val = v;
     } else {
       cur_.kind = Tok::Int;
       std::int64_t v = 0;

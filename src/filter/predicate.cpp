@@ -108,10 +108,6 @@ PredicatePtr Predicate::negation(PredicatePtr c) {
     case Kind::True: return never();
     case Kind::False: return wildcard();
     case Kind::Not: return c->child();
-    case Kind::Compare:
-      // Push negation into the comparison (keeps predicates normalizable).
-      // Note: negated *string* inequality stays a Compare as well.
-      return compare(c->attr_, pmc::negate(c->op_), c->value_);
     default: break;
   }
   struct Make : Predicate {
@@ -121,8 +117,6 @@ PredicatePtr Predicate::negation(PredicatePtr c) {
   p->children_.push_back(std::move(c));
   return p;
 }
-
-namespace {
 
 bool compare_values(const Value& ev, CmpOp op, const Value& target) {
   const bool ev_str = ev.kind() == ValueKind::String;
@@ -153,8 +147,6 @@ bool compare_values(const Value& ev, CmpOp op, const Value& target) {
   }
   return false;  // unreachable
 }
-
-}  // namespace
 
 bool Predicate::match(const Event& e) const {
   switch (kind_) {

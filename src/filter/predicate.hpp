@@ -24,6 +24,13 @@ enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
 CmpOp negate(CmpOp op) noexcept;
 std::string to_string(CmpOp op);
 
+/// The single-comparison kernel behind Predicate::match: how an event value
+/// relates to a subscription constant. Cross-kind (string vs numeric) values
+/// are never equal, so only Ne holds across kinds; numeric comparisons are
+/// done in double. Exposed so the predicate index lanes share the oracle's
+/// exact semantics instead of reimplementing them.
+bool compare_values(const Value& event_value, CmpOp op, const Value& target);
+
 class Predicate;
 using PredicatePtr = std::shared_ptr<const Predicate>;
 
@@ -39,6 +46,11 @@ class Predicate {
   static PredicatePtr conj(std::vector<PredicatePtr> children);
   /// Disjunction; flattens nested Ors, folds constants.
   static PredicatePtr disj(std::vector<PredicatePtr> children);
+  /// Logical negation. Double negation cancels and True/False fold, but a
+  /// negated comparison stays a Not node: `!(a == v)` matches an event with
+  /// no `a` attribute (the comparison is false, Not flips it) while the
+  /// op-negated `a != v` does not — folding one into the other would change
+  /// absent-attribute semantics.
   static PredicatePtr negation(PredicatePtr child);
 
   Kind kind() const noexcept { return kind_; }

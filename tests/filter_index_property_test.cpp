@@ -1,0 +1,295 @@
+// Randomized oracle check for the predicate index: PredicateIndex::match
+// must return exactly the ids whose Predicate::match(e) is true — over all
+// predicate shapes (every Kind and CmpOp, nested And/Or/Not, int/float/
+// string constants, NaN/infinities, absent attributes, cross-kind values),
+// and keep doing so while subscriptions are added and removed mid-stream.
+// The naive SubscriptionMatcher *is* the oracle (a literal loop over
+// Predicate::match), so this also pins the seam's equivalence.
+#include "filter/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pmc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+const char* const kAttrs[] = {"a", "b", "c", "d", "e"};
+
+Value random_value(Rng& rng, bool allow_nonfinite) {
+  switch (rng.next_below(allow_nonfinite ? 7 : 5)) {
+    case 0: return Value(static_cast<std::int64_t>(rng.next_in(-2, 3)));
+    case 1: return Value(static_cast<double>(rng.next_in(-2, 3)));
+    case 2: return Value(rng.next_double() * 4.0 - 2.0);
+    case 3: {
+      const char* const pool[] = {"a", "b", "v1", "quo\"te", "back\\slash"};
+      return Value(pool[rng.next_below(5)]);
+    }
+    case 4: return Value(rng.bernoulli(0.5) ? 0.0 : -0.0);
+    case 5: return Value(rng.bernoulli(0.5) ? kInf : -kInf);
+    default: return Value(kNaN);
+  }
+}
+
+CmpOp random_op(Rng& rng) {
+  const CmpOp ops[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                       CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+  return ops[rng.next_below(6)];
+}
+
+PredicatePtr random_predicate(Rng& rng, std::size_t depth) {
+  const auto roll = rng.next_below(100);
+  if (depth == 0 || roll < 55) {
+    if (roll < 2) return Predicate::wildcard();
+    if (roll < 4) return Predicate::never();
+    return Predicate::compare(kAttrs[rng.next_below(5)], random_op(rng),
+                              random_value(rng, /*allow_nonfinite=*/true));
+  }
+  if (roll < 70) return Predicate::negation(random_predicate(rng, depth - 1));
+  std::vector<PredicatePtr> children;
+  const auto n = 2 + rng.next_below(2);
+  for (std::uint64_t i = 0; i < n; ++i)
+    children.push_back(random_predicate(rng, depth - 1));
+  return roll < 85 ? Predicate::conj(std::move(children))
+                   : Predicate::disj(std::move(children));
+}
+
+Event random_event(Rng& rng) {
+  Event e;
+  for (const char* attr : kAttrs)
+    if (rng.bernoulli(0.7))
+      e.with(attr, random_value(rng, /*allow_nonfinite=*/true));
+  return e;
+}
+
+void expect_same_matches(const SubscriptionMatcher& naive,
+                         const SubscriptionMatcher& index, const Event& e,
+                         const char* where) {
+  std::vector<SubscriptionId> expected, actual;
+  naive.match(e, expected);
+  index.match(e, actual);
+  ASSERT_EQ(expected, actual) << where << " event=" << e.to_string();
+}
+
+TEST(FilterIndexProperty, BulkBuildMatchesOracle) {
+  Rng rng(0xf11e501);
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  for (SubscriptionId i = 0; i < 10000; ++i) {
+    auto pred = random_predicate(rng, 3);
+    naive.add(i * 7 + 1, pred);
+    index.add(i * 7 + 1, std::move(pred));
+  }
+  ASSERT_EQ(naive.size(), index.size());
+  for (int i = 0; i < 200; ++i)
+    expect_same_matches(naive, index, random_event(rng), "bulk");
+  // The index must have done real indexing, not degenerated to the scan
+  // bucket wholesale.
+  ASSERT_NE(index.index(), nullptr);
+  EXPECT_LT(index.index()->scan_bucket_size(), index.size() / 2);
+}
+
+TEST(FilterIndexProperty, IncrementalAddRemoveMidStream) {
+  Rng rng(0xc0ffee);
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  std::vector<SubscriptionId> alive;
+  SubscriptionId next_id = 1;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto roll = rng.next_below(10);
+    if (roll < 4 || alive.empty()) {
+      auto pred = random_predicate(rng, 3);
+      naive.add(next_id, pred);
+      index.add(next_id, std::move(pred));
+      alive.push_back(next_id);
+      ++next_id;
+    } else if (roll < 7) {
+      const auto pick = rng.next_below(alive.size());
+      const SubscriptionId id = alive[pick];
+      alive[pick] = alive.back();
+      alive.pop_back();
+      ASSERT_TRUE(naive.remove(id));
+      ASSERT_TRUE(index.remove(id));
+      EXPECT_FALSE(index.remove(id));  // already gone
+    } else {
+      expect_same_matches(naive, index, random_event(rng), "churn");
+    }
+    ASSERT_EQ(naive.size(), index.size());
+  }
+}
+
+// Removing most of the audience forces the lazy-compaction rebuild; matches
+// must be unaffected before and after.
+TEST(FilterIndexProperty, CompactionPreservesMatches) {
+  Rng rng(0xdeadbe);
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  for (SubscriptionId i = 0; i < 600; ++i) {
+    auto pred = random_predicate(rng, 3);
+    naive.add(i, pred);
+    index.add(i, std::move(pred));
+  }
+  for (SubscriptionId i = 0; i < 600; ++i) {
+    if (i % 5 == 0) continue;  // keep every fifth
+    ASSERT_TRUE(naive.remove(i));
+    ASSERT_TRUE(index.remove(i));
+  }
+  ASSERT_EQ(index.size(), 120u);
+  for (int i = 0; i < 100; ++i)
+    expect_same_matches(naive, index, random_event(rng), "post-compaction");
+}
+
+// Satellite lock: the index decomposition must not collapse Not(Eq(a,v))
+// into Ne(a,v) — they differ exactly on events lacking `a`.
+TEST(FilterIndexProperty, AbsentAttributeNotVersusNe) {
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  index.add(1, Predicate::negation(
+                   Predicate::compare("a", CmpOp::Eq, Value(7))));
+  index.add(2, Predicate::compare("a", CmpOp::Ne, Value(7)));
+
+  const auto absent = Event{}.with("other", Value(1));
+  EXPECT_EQ(index.match(absent), (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(index.match(Event{}.with("a", Value(8))),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(index.match(Event{}.with("a", Value(7))),
+            (std::vector<SubscriptionId>{}));
+}
+
+// A negated conjunction decomposes through De Morgan into negated atoms;
+// absent attributes make each negated comparison true.
+TEST(FilterIndexProperty, NotOverAndMatchesAbsentAttributes) {
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  const auto pred = Predicate::negation(
+      Predicate::conj({Predicate::compare("a", CmpOp::Ge, Value(1)),
+                       Predicate::compare("b", CmpOp::Eq, Value("x"))}));
+  naive.add(1, pred);
+  index.add(1, pred);
+  for (const Event& e :
+       {Event{}, Event{}.with("a", Value(0)), Event{}.with("a", Value(2)),
+        Event{}.with("a", Value(2)).with("b", Value("x")),
+        Event{}.with("b", Value("x")), Event{}.with("b", Value("y"))}) {
+    expect_same_matches(naive, index, e, "not-over-and");
+  }
+}
+
+// Interval-lane mirror of the interval edge cases: bound inclusivity at
+// equal endpoints, NaN and infinities as event values and as constants.
+TEST(FilterIndexProperty, IntervalLaneEdgeCases) {
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  SubscriptionId id = 1;
+  const auto add = [&](PredicatePtr p) {
+    naive.add(id, p);
+    index.add(id, std::move(p));
+    ++id;
+  };
+  add(Predicate::conj({Predicate::compare("u", CmpOp::Ge, Value(0.5)),
+                       Predicate::compare("u", CmpOp::Lt, Value(0.7))}));
+  add(Predicate::conj({Predicate::compare("u", CmpOp::Gt, Value(0.5)),
+                       Predicate::compare("u", CmpOp::Le, Value(0.7))}));
+  add(Predicate::conj({Predicate::compare("u", CmpOp::Ge, Value(0.5)),
+                       Predicate::compare("u", CmpOp::Le, Value(0.5))}));
+  // Inverted bounds from "constant folding" upstream: never matches.
+  add(Predicate::conj({Predicate::compare("u", CmpOp::Ge, Value(0.7)),
+                       Predicate::compare("u", CmpOp::Le, Value(0.5))}));
+  add(Predicate::compare("u", CmpOp::Ge, Value(-kInf)));
+  add(Predicate::compare("u", CmpOp::Le, Value(kInf)));
+  add(Predicate::compare("u", CmpOp::Gt, Value(kInf)));    // never
+  add(Predicate::compare("u", CmpOp::Ge, Value(kInf)));    // only +inf
+  add(Predicate::compare("u", CmpOp::Lt, Value(kNaN)));    // never
+  add(Predicate::compare("u", CmpOp::Eq, Value(kNaN)));    // never
+  add(Predicate::compare("u", CmpOp::Ne, Value(kNaN)));    // any present u
+  for (const double x : {0.4999, 0.5, 0.5001, 0.6, 0.7, 0.70001, -kInf, kInf,
+                         kNaN, 0.0, -0.0}) {
+    expect_same_matches(naive, index,
+                        Event{}.with("u", Value(x)).with("w", Value(1)),
+                        "interval-edges");
+  }
+  expect_same_matches(naive, index, Event{}.with("w", Value(1)),
+                      "interval-edges-absent");
+}
+
+// Predicates whose DNF exceeds the clause budget must land in the scan
+// bucket and still match exactly.
+TEST(FilterIndexProperty, BudgetOverflowFallsBackToScan) {
+  Rng rng(0xb1d9e7);
+  // And of 7 two-way Ors = 2^7 = 128 clauses > default budget of 32.
+  std::vector<PredicatePtr> ors;
+  for (int i = 0; i < 7; ++i) {
+    const std::string attr = std::string(1, static_cast<char>('a' + i));
+    ors.push_back(
+        Predicate::disj({Predicate::compare(attr, CmpOp::Eq, Value(0)),
+                         Predicate::compare(attr, CmpOp::Eq, Value(1))}));
+  }
+  const auto pred = Predicate::conj(std::move(ors));
+
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  naive.add(42, pred);
+  index.add(42, pred);
+  ASSERT_NE(index.index(), nullptr);
+  EXPECT_EQ(index.index()->scan_bucket_size(), 1u);
+
+  for (int i = 0; i < 200; ++i) {
+    Event e;
+    for (int a = 0; a < 7; ++a)
+      e.with(std::string(1, static_cast<char>('a' + a)),
+             Value(static_cast<std::int64_t>(rng.next_below(3))));
+    expect_same_matches(naive, index, e, "budget-overflow");
+  }
+  // Removing the scan-bucket subscription works like any other removal.
+  ASSERT_TRUE(index.remove(42));
+  EXPECT_EQ(index.index()->scan_bucket_size(), 0u);
+  EXPECT_TRUE(index.match(Event{}.with("a", Value(0))).empty());
+}
+
+TEST(FilterIndexProperty, WildcardAndNeverSubscriptions) {
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  index.add(5, Subscription());  // wildcard
+  index.add(9, Predicate::never());
+  index.add(3, Predicate::compare("a", CmpOp::Gt, Value(0)));
+  EXPECT_EQ(index.match(Event{}.with("z", Value("?"))),
+            (std::vector<SubscriptionId>{5}));
+  EXPECT_EQ(index.match(Event{}.with("a", Value(1))),
+            (std::vector<SubscriptionId>{3, 5}));
+  ASSERT_TRUE(index.remove(5));
+  EXPECT_EQ(index.match(Event{}.with("z", Value("?"))),
+            (std::vector<SubscriptionId>{}));
+}
+
+// The counter surface the bench gate is built on: index work must be well
+// below the naive evaluation count on a selective workload.
+TEST(FilterIndexProperty, WorkCountersAdvanceAndStaySublinear) {
+  Rng rng(0x5eed);
+  SubscriptionMatcher naive(MatcherKind::NaiveScan);
+  SubscriptionMatcher index(MatcherKind::IndexLanes);
+  for (SubscriptionId i = 0; i < 2000; ++i) {
+    const double lo = rng.next_double() * 0.99;
+    const auto pred =
+        Predicate::conj({Predicate::compare("u", CmpOp::Ge, Value(lo)),
+                         Predicate::compare("u", CmpOp::Lt, Value(lo + 0.01))});
+    naive.add(i, pred);
+    index.add(i, pred);
+  }
+  for (int i = 0; i < 50; ++i)
+    expect_same_matches(
+        naive, index,
+        Event{}.with("u", Value(rng.next_double())), "counters");
+  EXPECT_EQ(naive.work_units(), 2000u * 50u);
+  EXPECT_GT(index.work_units(), 0u);
+  // ~1% selectivity: the index should do far less than half the naive work.
+  EXPECT_LT(index.work_units(), naive.work_units() / 2);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pmc {
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 TEST(Interval, ContainsRespectsBounds) {
   const auto iv = Interval::closed(1.0, 2.0);
@@ -104,6 +109,92 @@ TEST(Interval, MergeProducesHull) {
       Interval::closed(1.0, 2.0).merge(Interval::closed(1.5, 4.0));
   EXPECT_DOUBLE_EQ(m.lo, 1.0);
   EXPECT_DOUBLE_EQ(m.hi, 4.0);
+}
+
+TEST(Interval, LeVersusLtAtEqualEndpoints) {
+  // [0,1] ∩ [1,2] is the point {1}; opening either side of the shared
+  // endpoint empties it. The predicate index fuses Le/Lt (and Ge/Gt)
+  // atoms into one interval per clause, so these boundary cases decide
+  // whether e.g. `c >= 1 && c <= 1` keeps a clause alive.
+  EXPECT_FALSE(
+      Interval::closed(0.0, 1.0).intersect(Interval::closed(1.0, 2.0)).empty());
+  EXPECT_TRUE(Interval::half_open(0.0, 1.0)  // [0,1)
+                  .intersect(Interval::closed(1.0, 2.0))
+                  .empty());
+  EXPECT_TRUE(Interval::closed(0.0, 1.0)
+                  .intersect(Interval{1.0, 2.0, true, false})  // (1,2]
+                  .empty());
+  const auto pt =
+      Interval::at_least(1.0).intersect(Interval::at_most(1.0));  // {1}
+  EXPECT_FALSE(pt.empty());
+  EXPECT_TRUE(pt.contains(1.0));
+  EXPECT_FALSE(pt.contains(1.0 + 1e-12));
+}
+
+TEST(Interval, CoversAndMergeableAtSharedOpenEndpoints) {
+  // covers: (0,1) does not cover [0,1) (loses the point 0) but does cover
+  // (0,1]∩(0,1) shapes; mergeable: [0,1) ∪ (1,2] leaves 1 out.
+  EXPECT_FALSE(Interval::open(0.0, 1.0).covers(Interval::half_open(0.0, 1.0)));
+  EXPECT_TRUE(Interval::half_open(0.0, 1.0).covers(Interval::open(0.0, 1.0)));
+  EXPECT_FALSE(Interval::half_open(0.0, 1.0)
+                   .mergeable(Interval{1.0, 2.0, true, false}));
+  EXPECT_TRUE(Interval::half_open(0.0, 1.0).mergeable(Interval::point(1.0)));
+}
+
+TEST(Interval, InvertedBoundsStayEmptyThroughOps) {
+  const Interval inv{2.0, 1.0, false, false};
+  EXPECT_TRUE(inv.empty());
+  EXPECT_FALSE(inv.contains(1.5));
+  EXPECT_TRUE(inv.intersect(Interval::all()).empty());
+  // Every interval covers the empty one; the empty one covers nothing
+  // non-empty.
+  EXPECT_TRUE(Interval::all().covers(inv));
+  EXPECT_TRUE(Interval::point(7.0).covers(inv));
+  EXPECT_FALSE(inv.covers(Interval::point(1.5)));
+}
+
+TEST(Interval, InfiniteEndpoints) {
+  // Rays built from ±inf behave like all(); a closed bound AT +inf still
+  // contains +inf (the event value +inf satisfies `c >= inf`).
+  EXPECT_TRUE(Interval::at_least(-kInf).contains(-kInf));
+  EXPECT_TRUE(Interval::at_least(kInf).contains(kInf));
+  EXPECT_FALSE(Interval::at_least(kInf).contains(1e308));
+  EXPECT_TRUE(Interval::at_least(kInf, /*open=*/true).empty())
+      << "(inf, inf] holds no double";
+  EXPECT_FALSE(Interval::at_most(kInf).empty());
+  EXPECT_TRUE(Interval::at_most(-kInf, /*open=*/true).empty());
+  EXPECT_TRUE(Interval::all().contains(kInf));
+  EXPECT_TRUE(Interval::all().contains(-kInf));
+}
+
+TEST(Interval, ContainsNaNIsDeliberatelyTrue) {
+  // Pinned on purpose, not a bug: contains() is written as two negated
+  // bound checks, and every comparison against NaN is false, so NaN falls
+  // through both and lands on `return true`. The regrouping layer relies
+  // on this as conservative over-coverage — a delegate's merged interval
+  // table must never produce a false NEGATIVE for a child's subscription,
+  // and NaN-valued events are handled (rejected or matched exactly) by
+  // Predicate::match / the index's NaN-aware lanes, both of which skip
+  // interval containment for NaN. If this ever flips to false, regroup
+  // coverage and the index's eq/interval lane skip logic must be
+  // re-audited together.
+  EXPECT_TRUE(Interval::closed(0.0, 1.0).contains(kNaN));
+  EXPECT_TRUE(Interval::open(0.0, 1.0).contains(kNaN));
+  EXPECT_TRUE(Interval::all().contains(kNaN));
+}
+
+TEST(IntervalSet, InfiniteAndBoundaryMembers) {
+  IntervalSet s;
+  s.insert(Interval::at_most(0.0, /*open=*/true));  // (-inf, 0)
+  s.insert(Interval::at_least(1.0));                // [1, inf)
+  EXPECT_TRUE(s.contains(-kInf));
+  EXPECT_TRUE(s.contains(kInf));
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_FALSE(s.contains(0.999999));
+  EXPECT_TRUE(s.contains(1.0));
+  EXPECT_FALSE(s.is_all());
+  s.insert(Interval::closed(0.0, 1.0));  // plugs the gap
+  EXPECT_TRUE(s.is_all());
 }
 
 TEST(IntervalSet, InsertDisjointKeepsBoth) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "filter/subscription.hpp"
 
 namespace pmc {
@@ -142,6 +147,14 @@ TEST(Parser, BangEqualsVersusNotExpression) {
   e3.with("b", 3);
   EXPECT_TRUE(a.match(e3));
   EXPECT_TRUE(b.match(e3));
+  // When b is ABSENT the two diverge: `b != 2` requires b to be present
+  // with another value, while `!(b = 2)` is satisfied vacuously. The
+  // parser must keep them distinct trees (!= one Compare node, !(...) a
+  // Not node) so this semantic difference survives a round trip.
+  Event absent;
+  absent.with("c", 1);
+  EXPECT_FALSE(a.match(absent));
+  EXPECT_TRUE(b.match(absent));
 }
 
 TEST(Parser, TrueFalseKeywords) {
@@ -169,6 +182,118 @@ TEST(Parser, ErrorsThrow) {
 TEST(Parser, AttributeToAttributeRejected) {
   EXPECT_THROW(Subscription::parse("a == b"), std::invalid_argument);
   EXPECT_THROW(Subscription::parse("1 == 2"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: parse(p->to_string()) must be semantically
+// equivalent to p — same verdict on every event. This pins the printer and
+// the lexer to each other: string escaping (Value::to_string escapes `"`
+// and `\`, the lexer unescapes them) and float formatting (shortest
+// round-trip via to_chars, not ostream's 6-digit default) both broke this
+// property before they were fixed. Values are finite only: "inf"/"nan"
+// have no literal syntax in the interest language.
+
+Value random_finite_value(Rng& rng) {
+  switch (rng.next_below(8)) {
+    case 0: return Value(rng.next_in(-3, 3));
+    case 1: return Value(static_cast<double>(rng.next_in(-2, 2)));
+    case 2: return Value(rng.next_double() * 2.0 - 1.0);
+    case 3: return Value(0.1 + 0.2);  // classic shortest-form stressor
+    case 4: return Value(rng.bernoulli(0.5) ? 1e300 : 5e-324);
+    case 5: return Value(rng.bernoulli(0.5) ? -0.0 : 0.0);
+    case 6: {
+      static const char* words[] = {"alpha", "beta", "", "quo\"te",
+                                    "back\\slash", "mixed\\\"both"};
+      return Value(words[rng.next_below(6)]);
+    }
+    default:
+      return Value("w" + std::to_string(rng.next_below(4)));
+  }
+}
+
+PredicatePtr random_finite_predicate(Rng& rng, int depth) {
+  static const char* attrs[] = {"a", "b", "c", "d", "e"};
+  const auto leaf = [&]() -> PredicatePtr {
+    const auto roll = rng.next_below(20);
+    if (roll == 0) return Predicate::wildcard();
+    if (roll == 1) return Predicate::never();
+    static const CmpOp ops[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                                CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+    return Predicate::compare(attrs[rng.next_below(5)],
+                              ops[rng.next_below(6)],
+                              random_finite_value(rng));
+  };
+  if (depth <= 0 || rng.bernoulli(0.55)) return leaf();
+  if (rng.bernoulli(0.3))
+    return Predicate::negation(random_finite_predicate(rng, depth - 1));
+  std::vector<PredicatePtr> kids;
+  const auto n = 2 + rng.next_below(2);
+  for (std::uint64_t i = 0; i < n; ++i)
+    kids.push_back(random_finite_predicate(rng, depth - 1));
+  return rng.bernoulli(0.5) ? Predicate::conj(std::move(kids))
+                            : Predicate::disj(std::move(kids));
+}
+
+Event random_roundtrip_event(Rng& rng) {
+  Event e;
+  for (const char* a : {"a", "b", "c", "d", "e"})
+    if (rng.bernoulli(0.7)) e.with(a, random_finite_value(rng));
+  return e;
+}
+
+TEST(Parser, RoundTripPropertyOverRandomPredicates) {
+  Rng rng(0x20f117e5u);
+  for (int p = 0; p < 2000; ++p) {
+    const auto original = random_finite_predicate(rng, 3);
+    const std::string text = original->to_string();
+    PredicatePtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse_predicate(text))
+        << "unparseable printer output: " << text;
+    for (int e = 0; e < 16; ++e) {
+      const auto ev = random_roundtrip_event(rng);
+      ASSERT_EQ(original->match(ev), reparsed->match(ev))
+          << "round trip changed semantics of: " << text;
+    }
+  }
+}
+
+TEST(Parser, RoundTripEscapedStrings) {
+  for (const char* s : {"quo\"te", "back\\slash", "both\\\"ways", ""}) {
+    const auto p = Predicate::compare("e", CmpOp::Eq, Value(s));
+    const auto back = parse_predicate(p->to_string());
+    Event hit;
+    hit.with("e", s);
+    EXPECT_TRUE(back->match(hit)) << p->to_string();
+    Event miss;
+    miss.with("e", "other");
+    EXPECT_FALSE(back->match(miss)) << p->to_string();
+  }
+}
+
+TEST(Parser, RoundTripFloatPrecision) {
+  // 0.1 + 0.2 != 0.3 in doubles; the printed form must carry all 17
+  // significant digits or the reparsed predicate matches the wrong value.
+  const double exact = 0.1 + 0.2;
+  const auto p = Predicate::compare("c", CmpOp::Eq, Value(exact));
+  const auto back = parse_predicate(p->to_string());
+  Event hit;
+  hit.with("c", exact);
+  EXPECT_TRUE(back->match(hit));
+  Event near_miss;
+  near_miss.with("c", 0.3);
+  EXPECT_FALSE(back->match(near_miss));
+}
+
+TEST(Parser, RoundTripKeepsNotOverCompare) {
+  // Negation of a comparison must survive printing as a Not node — folding
+  // it to the opposite operator would flip the absent-attribute verdict.
+  const auto p = Predicate::negation(
+      Predicate::compare("b", CmpOp::Eq, Value(std::int64_t{2})));
+  const auto back = parse_predicate(p->to_string());
+  Event absent;
+  absent.with("c", 1);
+  EXPECT_TRUE(p->match(absent));
+  EXPECT_TRUE(back->match(absent));
 }
 
 TEST(Parser, Fig2DepthFourRows) {

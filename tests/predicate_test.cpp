@@ -113,11 +113,44 @@ TEST(Predicate, SingleChildCollapses) {
   EXPECT_EQ(Predicate::disj({p}).get(), p.get());
 }
 
-TEST(Predicate, NegationOfComparisonFlipsOperator) {
+TEST(Predicate, NegationOfComparisonStaysANotNode) {
+  // negation() must NOT fold !(b < 5) into b >= 5: the two differ on events
+  // with no `b` attribute (see the absent-attribute lock below).
   const auto p = Predicate::negation(
       Predicate::compare("b", CmpOp::Lt, Value(5)));
-  EXPECT_EQ(p->kind(), Predicate::Kind::Compare);
-  EXPECT_EQ(p->op(), CmpOp::Ge);
+  ASSERT_EQ(p->kind(), Predicate::Kind::Not);
+  EXPECT_EQ(p->child()->kind(), Predicate::Kind::Compare);
+  EXPECT_EQ(p->child()->op(), CmpOp::Lt);
+}
+
+// Absent-attribute semantics lock: a comparison on an attribute the event
+// does not carry is false, and Not flips it. Therefore Not(Eq(a, v)) matches
+// an event lacking `a` while the op-negated Ne(a, v) does not — any
+// normalization (negation(), index decomposition, ...) that collapses the
+// two is wrong.
+TEST(Predicate, NotOfCompareDiffersFromOpNegationOnAbsentAttribute) {
+  const auto absent = Event{}.with("other", Value(1));
+  const auto not_of_eq = Predicate::negation(
+      Predicate::compare("a", CmpOp::Eq, Value(7)));
+  const auto ne = Predicate::compare("a", CmpOp::Ne, Value(7));
+  EXPECT_TRUE(not_of_eq->match(absent));
+  EXPECT_FALSE(ne->match(absent));
+
+  // On events that DO carry the attribute the two agree.
+  EXPECT_FALSE(not_of_eq->match(Event{}.with("a", Value(7))));
+  EXPECT_FALSE(ne->match(Event{}.with("a", Value(7))));
+  EXPECT_TRUE(not_of_eq->match(Event{}.with("a", Value(8))));
+  EXPECT_TRUE(ne->match(Event{}.with("a", Value(8))));
+}
+
+TEST(Predicate, NotOfOrderedCompareMatchesAbsentAttribute) {
+  const auto absent = Event{}.with("other", Value("x"));
+  for (const CmpOp op :
+       {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge}) {
+    const auto cmp = Predicate::compare("a", op, Value(3.5));
+    EXPECT_FALSE(cmp->match(absent)) << to_string(op);
+    EXPECT_TRUE(Predicate::negation(cmp)->match(absent)) << to_string(op);
+  }
 }
 
 TEST(Predicate, DoubleNegationCancels) {
