@@ -588,6 +588,7 @@ int main(int argc, char** argv) {
   }
   // The library refuses a custom file reporter unless --benchmark_out is
   // set; the collector never writes to that stream, so route it nowhere.
+  // detlint:allow(thread-confinement) argv storage built once in main before any threads
   static std::string dev_null = "--benchmark_out=/dev/null";
   if (json.enabled()) args.push_back(dev_null.data());
   int bench_argc = static_cast<int>(args.size());

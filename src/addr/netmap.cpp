@@ -61,6 +61,7 @@ std::uint64_t hash_label(const std::string& label, std::uint64_t salt) {
   for (const char c : label)
     h = fnv1a_byte(h, static_cast<unsigned char>(c));
   // Finalize through splitmix so low bits are well mixed for the modulo.
+  // detlint:allow(rng-discipline) splitmix as hash finalizer over label bytes; no stream semantics
   return SplitMix64(h).next();
 }
 

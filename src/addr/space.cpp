@@ -62,9 +62,16 @@ std::vector<Address> AddressSpace::sample(std::size_t count, Rng& rng) const {
     const std::uint64_t t = rng.next_below(j + 1);
     ranks.insert(ranks.count(t) ? j : t);
   }
+  // Sorted materialization: drain the membership set through a sorted rank
+  // vector so the result never reflects hash-bucket order (the output was
+  // always address-sorted; rank order and address order coincide because
+  // at() is a mixed-radix decode, so the final sort is now a no-op kept
+  // for robustness).
+  std::vector<std::uint64_t> sorted_ranks(ranks.begin(), ranks.end());
+  std::sort(sorted_ranks.begin(), sorted_ranks.end());
   std::vector<Address> out;
   out.reserve(count);
-  for (const auto r : ranks) out.push_back(at(r));
+  for (const auto r : sorted_ranks) out.push_back(at(r));
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -404,6 +404,7 @@ std::uint64_t InterestSummary::hash() const noexcept {
   for (const auto& c : clauses_) h = hash_clause(h, c);
   h = fnv1a_u64(h, opaque_.size());
   for (const auto& p : opaque_)
+    // detlint:allow(pointer-hash) pool-bucket hash only, consistent with pointer ==; never serialized or fingerprinted
     h = fnv1a_u64(h, reinterpret_cast<std::uintptr_t>(p.get()));
   return h;
 }

@@ -79,6 +79,7 @@ struct Population {
 
   explicit Population(const ExperimentConfig& config, bool build_tree) {
     config.validate();
+    // detlint:allow(rng-discipline) master-seed root for population synthesis; no Runtime exists yet
     Rng rng(config.seed);
     const auto space = AddressSpace::regular(
         static_cast<AddrComponent>(config.a), config.d);
@@ -170,6 +171,7 @@ ExperimentResult run_experiment_loop(const ExperimentConfig& config,
                                      MakeNodes&& make_nodes,
                                      Publish&& publish) {
   ExperimentResult out;
+  // detlint:allow(rng-discipline) xor-labeled root that seeds each run's Runtime; predates make_stream
   Rng run_rng(config.seed ^ 0xabcdef0123456789ULL);
   for (std::size_t run = 0; run < config.runs; ++run) {
     NetworkConfig net;
@@ -268,6 +270,7 @@ ExperimentResult run_genuine_experiment(const ExperimentConfig& config,
 
   // Partial views are fixed per configuration (same seed), mirroring a
   // converged lpbcast-style membership.
+  // detlint:allow(rng-discipline) xor-labeled per-config view stream; fixed across runs by design
   Rng view_rng(config.seed ^ 0x7777777777777777ULL);
   std::vector<std::vector<GenuineNode::Peer>> views(pop.members.size());
   for (std::size_t i = 0; i < pop.members.size(); ++i) {
@@ -338,6 +341,7 @@ StreamResult run_stream_experiment(const StreamConfig& stream) {
         pop.members[i].subscription, views, pop.directory_fn()));
   }
 
+  // detlint:allow(rng-discipline) xor-labeled event stream for the fixed-population harness
   Rng rng(config.seed ^ 0x5151515151ULL);
   std::vector<Event> events;
   events.reserve(stream.events);
@@ -377,7 +381,8 @@ StreamResult run_stream_experiment(const StreamConfig& stream) {
 }
 
 std::size_t env_size_t(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
+  // detlint:allow(banned-source) run-scope knob (PMCAST_*) read before any Runtime exists; never feeds draws or fingerprints
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || *value == '\0') return fallback;
   const long parsed = std::strtol(value, nullptr, 10);
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;

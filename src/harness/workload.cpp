@@ -31,6 +31,7 @@ Member stable_member(const Address& address, double pd, std::uint64_t seed) {
   // subscription on every platform.
   std::uint64_t h = kFnv1aBasis ^ seed;
   for (const auto c : address.components()) h = fnv1a_u64(h, c);
+  // detlint:allow(rng-discipline) documented (seed, address) labeled stream — the fnv1a label IS the make_stream discipline, deployment-size independent
   Rng rng(h);
   return Member{address, interval_subscription(rng.next_double(), pd)};
 }
@@ -163,6 +164,7 @@ Subscription ZipfWorkloadGen::subscription(std::size_t i) const {
   // Seeded like stable_member: one FNV-1a-derived stream per (seed, i).
   std::uint64_t h = kFnv1aBasis ^ config_.seed;
   h = fnv1a_u64(h, static_cast<std::uint64_t>(i));
+  // detlint:allow(rng-discipline) documented (seed, i) labeled stream, independent of deployment size — see stable_member
   Rng rng(h);
 
   const auto make_clause = [this, &rng]() -> PredicatePtr {

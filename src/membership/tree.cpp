@@ -47,10 +47,16 @@ GroupTree::GroupTree(TreeConfig config, std::vector<Member> members,
 
   // Bubble rows upward one level at a time so each ancestor's aggregates are
   // recomputed exactly once (refresh_ancestors per leaf would redo the root
-  // once per leaf).
+  // once per leaf). The map walk is a sorted materialization: each level is
+  // put in prefix order before any row is pushed, so version stamps and
+  // push order never depend on hash-bucket layout.
   std::vector<std::vector<const Prefix*>> by_length(config_.depth);
+  // detlint:allow(iteration-order) sorted materialization — levels sorted below
   for (const auto& [prefix, n] : nodes_)
     by_length[prefix.length()].push_back(&prefix);
+  for (auto& level : by_length)
+    std::sort(level.begin(), level.end(),
+              [](const Prefix* a, const Prefix* b) { return *a < *b; });
   for (std::size_t len = config_.depth - 1; len >= 1; --len) {
     for (const Prefix* p : by_length[len]) push_row_to_parent(*p);
     for (const Prefix* q : by_length[len - 1]) recompute_aggregates(node(*q));
@@ -128,6 +134,7 @@ const Subscription& GroupTree::subscription(const Address& a) const {
 
 std::vector<Address> GroupTree::all_members() const {
   std::vector<Address> out;
+  // detlint:allow(iteration-order) sorted materialization — sort below erases bucket order
   for (const auto& [prefix, n] : nodes_) {
     if (prefix.length() == config_.depth - 1) {
       for (const auto& m : n.members) out.push_back(m.address);

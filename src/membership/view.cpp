@@ -64,6 +64,7 @@ bool DepthView::store(std::size_t i, std::span<const AddrId> delegates,
 void DepthView::set_delegates(std::size_t i, std::span<const AddrId> ids) {
   // The new list may alias this view's own pool (a caller forwarding
   // delegates(j)); detach it before the pool reallocates or compacts.
+  // detlint:allow(pointer-hash) aliasing check within one allocation; ordering never observable
   const std::less<const AddrId*> lt;
   if (!ids.empty() && !lt(ids.data(), del_pool_.data()) &&
       lt(ids.data(), del_pool_.data() + del_pool_.size())) {

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "event/event.hpp"
 #include "filter/subscription.hpp"
 #include "pmcast/config.hpp"
@@ -227,11 +228,15 @@ class PmcastNode final : public Process {
   std::unordered_set<EventId, EventIdHash> delivered_ids_;
 
   /// Events retained for digest recovery, with remaining digest rounds.
+  /// A FlatMap so recovery digests enumerate ids in EventId order — with an
+  /// unordered_map the digest wire bytes would leak hash-bucket order
+  /// (detlint iteration-order). The store holds at most a few rounds' worth
+  /// of events, where the sorted vector also beats the bucket array.
   struct Retained {
     std::shared_ptr<const Event> event;
     std::size_t rounds_left = 0;
   };
-  std::unordered_map<EventId, Retained, EventIdHash> store_;
+  FlatMap<EventId, Retained> store_;
 
   Stats stats_;
 };

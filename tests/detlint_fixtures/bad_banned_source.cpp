@@ -1,0 +1,14 @@
+// detlint fixture: MUST be flagged exactly once, rule = banned-source.
+// An environment read in simulation code — a replay on another host (or the
+// same host with a different environment) would observe different state.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string lookup_home() {
+  const char* home = std::getenv("HOME");
+  return home ? std::string(home) : std::string();
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// detlint fixture: MUST be flagged exactly once, rule = iteration-order.
+// Iterating an unordered container leaks hash-bucket order into the result
+// vector — the order differs across standard libraries and across rehash
+// histories, so it must never reach a summary, a wire message, or a
+// fan-out decision.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::uint64_t> drain(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, value] : counts) out.push_back(key * value);
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// detlint fixture: MUST be flagged exactly once, rule = pointer-hash.
+// Hashing a pointer value bakes the allocator's (ASLR-shifted) address into
+// the result — two replays of the same scenario disagree.
+#include <cstddef>
+#include <functional>
+
+namespace fixture {
+
+std::size_t bucket_of(int* item, std::size_t buckets) {
+  std::hash<int*> hasher;
+  return hasher(item) % buckets;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// detlint fixture: MUST be flagged exactly once, rule = rng-discipline.
+// A <random> engine constructed ad hoc: its distributions are
+// implementation-defined, and the draw stream is not labeled, so inserting
+// any consumer upstream perturbs every draw after it.
+#include <random>
+
+namespace fixture {
+
+int roll_die() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen() % 6u) + 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// detlint fixture: MUST be flagged exactly once, rule = thread-confinement.
+// A mutable function-local static is process-global state: worker-pool
+// lanes race on it (TSan only notices when a schedule happens to collide),
+// and its value survives across scenarios within one process, breaking
+// replay-from-fresh-state.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t next_ticket() {
+  static std::size_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// detlint fixture: MUST pass with zero findings.
+// The compliant shapes of the patterns the bad_* fixtures get flagged for:
+// sorted containers for anything iterated, lookups (not loops) against
+// unordered containers, constants instead of mutable statics.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Lookup-only use of an unordered container is fine: no iteration, so no
+// bucket order can leak.
+std::uint64_t lookup(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts,
+    std::uint64_t key) {
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+
+// Iteration over an ordered map is deterministic by construction.
+std::vector<std::uint64_t> drain(
+    const std::map<std::uint64_t, std::uint64_t>& counts) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, value] : counts) out.push_back(key * value);
+  return out;
+}
+
+// Immutable statics are shared-safe and replay-safe.
+std::uint64_t scale(std::uint64_t v) {
+  static constexpr std::uint64_t kFactor = 33;
+  return v * kFactor;
+}
+
+}  // namespace fixture

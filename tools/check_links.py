@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in the repository's Markdown files.
+"""Fail on broken relative links and heading anchors in Markdown files.
 
 Scans every *.md under the given root (default: the repo root containing
 this script), extracts inline links and images ``[text](target)``, and
 checks that every relative target resolves to an existing file or
-directory. External links (http/https/mailto) and pure in-page anchors
-(#...) are skipped; a ``path#anchor`` target is checked for the path part
-only. Registered as the ``docs_link_check`` ctest and run by the
+directory. Anchors are validated too: a pure in-page ``#anchor`` must
+match a heading in the same file, and the ``#anchor`` half of a
+``path#anchor`` target must match a heading in the linked Markdown file
+(GitHub slug rules: lowercase, punctuation stripped, spaces to hyphens,
+``-N`` suffixes for duplicates). External links (http/https/mailto) are
+skipped. Registered as the ``docs_link_check`` ctest and run by the
 docs-and-examples CI job, so documentation cross-references cannot rot
 silently.
 """
@@ -18,8 +21,39 @@ from pathlib import Path
 # Inline link or image: [text](target) / ![alt](target). Targets with
 # spaces or nested parens are not used in this repo; keep the regex simple.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 SKIP_DIRS = {".git", "build", ".cache"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links/images
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md: Path):
+    """All anchor slugs defined in *md*, with GitHub duplicate suffixes."""
+    slugs = set()
+    counts = {}
+    in_fence = False
+    for line in md.read_text(encoding="utf-8", errors="replace").splitlines():
+        if line.lstrip().startswith(("```", "~~~")):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
 
 
 def iter_markdown(root: Path):
@@ -28,7 +62,13 @@ def iter_markdown(root: Path):
             yield path
 
 
-def check_file(md: Path, root: Path):
+def check_file(md: Path, root: Path, slug_cache: dict):
+    def slugs_of(path: Path):
+        key = str(path)
+        if key not in slug_cache:
+            slug_cache[key] = heading_slugs(path)
+        return slug_cache[key]
+
     broken = []
     text = md.read_text(encoding="utf-8", errors="replace")
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -36,14 +76,17 @@ def check_file(md: Path, root: Path):
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue
-            resolved = (md.parent / path_part).resolve()
+            path_part, _, anchor = target.partition("#")
+            resolved = (md.parent / path_part if path_part else md).resolve()
             if not resolved.exists():
                 broken.append((lineno, target))
-            elif root.resolve() not in resolved.parents and resolved != root.resolve():
+                continue
+            if root.resolve() not in resolved.parents and resolved != root.resolve():
                 broken.append((lineno, f"{target} (escapes the repository)"))
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor.lower() not in slugs_of(resolved):
+                    broken.append((lineno, f"{target} (no such heading)"))
     return broken
 
 
@@ -54,9 +97,10 @@ def main() -> int:
         return 2
     failures = 0
     checked = 0
+    slug_cache = {}
     for md in iter_markdown(root):
         checked += 1
-        for lineno, target in check_file(md, root):
+        for lineno, target in check_file(md, root, slug_cache):
             print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
             failures += 1
     if failures:
