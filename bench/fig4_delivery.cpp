@@ -11,35 +11,65 @@
 #include "bench_common.hpp"
 
 #include "analysis/tree_analysis.hpp"
+#include "scenario_rows.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "fig4_delivery");
+  const bool scenarios_only = bench::scenarios_only(argc, argv);
   const std::size_t runs = bench::runs_per_point(15);
   bench::print_header(
       "FIG4", "Probability of delivery for interested processes vs p_d",
       "n=10648 (a=22, d=3), R=3, F=2, eps=0.05, runs/point=" +
           std::to_string(runs));
 
-  Table table({"p_d", "delivery(sim)", "delivery(analysis)", "rounds(sim)"});
-  for (const double pd : {0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6,
-                          0.7, 0.8, 0.9, 1.0}) {
-    ExperimentConfig config;
-    config.a = 22;
-    config.d = 3;
-    config.r = 3;
-    config.fanout = 2;
-    config.pd = pd;
-    config.loss = 0.05;
-    config.runs = runs;
-    config.seed = 42;
-    const auto sim = run_pmcast_experiment(config);
-    const auto analysis = analyze_tree(config.analysis_params());
-    table.add_row({Table::num(pd, 2), bench::pm(sim.delivery),
-                   Table::num(analysis.reliability),
-                   Table::num(sim.rounds.mean(), 1)});
+  if (!scenarios_only) {
+    Table table(
+        {"p_d", "delivery(sim)", "delivery(analysis)", "rounds(sim)"});
+    std::vector<std::vector<std::string>> dump;
+    for (const double pd : {0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6,
+                            0.7, 0.8, 0.9, 1.0}) {
+      ExperimentConfig config;
+      config.a = 22;
+      config.d = 3;
+      config.r = 3;
+      config.fanout = 2;
+      config.pd = pd;
+      config.loss = 0.05;
+      config.runs = runs;
+      config.seed = 42;
+      const auto sim = run_pmcast_experiment(config);
+      const auto analysis = analyze_tree(config.analysis_params());
+      table.add_row({Table::num(pd, 2), bench::pm(sim.delivery),
+                     Table::num(analysis.reliability),
+                     Table::num(sim.rounds.mean(), 1)});
+      dump.push_back({Table::num(pd, 2), Table::num(sim.delivery.mean()),
+                      Table::num(analysis.reliability),
+                      Table::num(sim.rounds.mean(), 1)});
+    }
+    table.print(std::cout);
+    json.add_table("delivery_vs_pd",
+                   {"p_d", "delivery_sim", "delivery_analysis", "rounds_sim"},
+                   dump);
+    std::cout << "\nShape check: delivery ≈ 1 for p_d >= 0.3 and degrades as"
+                 " p_d -> 0 (Pittel small-population anomaly, Sec. 5.1).\n";
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: delivery ≈ 1 for p_d >= 0.3 and degrades as"
-               " p_d -> 0 (Pittel small-population anomaly, Sec. 5.1).\n";
+
+  // Adversarial rows: the same dissemination stack run through the
+  // scenario engine's fault-injection layer (see scenario_rows.hpp for the
+  // timeline shape and the invariants --gate-figures enforces).
+  std::cout << "\nAdversarial scenarios (a=6, d=3, deterministic single"
+               " runs, publish burst at 3s):\n";
+  Table adv(bench::scenario_headers());
+  std::vector<std::vector<std::string>> adv_dump;
+  for (const auto& spec : bench::adversarial_scenarios()) {
+    const auto summary = bench::run_adversarial_scenario(spec, 6, 3, 42);
+    auto row = bench::scenario_row(spec, summary.live, summary);
+    adv.add_row(row);
+    adv_dump.push_back(std::move(row));
+  }
+  adv.print(std::cout);
+  json.add_table("scenarios", bench::scenario_headers(), adv_dump);
+  json.write();
   return 0;
 }

@@ -10,39 +10,72 @@
 #include "bench_common.hpp"
 
 #include "analysis/tree_analysis.hpp"
+#include "scenario_rows.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmc;
+  bench::JsonWriter json(argc, argv, "fig6_scalability");
+  const bool scenarios_only = bench::scenarios_only(argc, argv);
   const std::size_t runs = bench::runs_per_point(8);
   bench::print_header(
       "FIG6", "Scalability: delivery probability vs subgroup size a",
       "d=3, R=4, F=3, eps=0.05, matching rates {0.5, 0.2}, runs/point=" +
           std::to_string(runs));
 
-  Table table({"a", "n", "sim(pd=0.5)", "analysis(0.5)", "sim(pd=0.2)",
-               "analysis(0.2)"});
-  for (const std::size_t a : {10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
-    std::vector<std::string> row{
-        Table::integer(a), Table::integer(a * a * a)};
-    for (const double pd : {0.5, 0.2}) {
-      ExperimentConfig config;
-      config.a = a;
-      config.d = 3;
-      config.r = 4;
-      config.fanout = 3;
-      config.pd = pd;
-      config.loss = 0.05;
-      config.runs = runs;
-      config.seed = 44;
-      const auto sim = run_pmcast_experiment(config);
-      const auto analysis = analyze_tree(config.analysis_params());
-      row.push_back(bench::pm(sim.delivery, 3));
-      row.push_back(Table::num(analysis.reliability, 3));
+  if (!scenarios_only) {
+    Table table({"a", "n", "sim(pd=0.5)", "analysis(0.5)", "sim(pd=0.2)",
+                 "analysis(0.2)"});
+    std::vector<std::vector<std::string>> dump;
+    for (const std::size_t a : {10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
+      std::vector<std::string> row{
+          Table::integer(a), Table::integer(a * a * a)};
+      std::vector<std::string> jrow = row;
+      for (const double pd : {0.5, 0.2}) {
+        ExperimentConfig config;
+        config.a = a;
+        config.d = 3;
+        config.r = 4;
+        config.fanout = 3;
+        config.pd = pd;
+        config.loss = 0.05;
+        config.runs = runs;
+        config.seed = 44;
+        const auto sim = run_pmcast_experiment(config);
+        const auto analysis = analyze_tree(config.analysis_params());
+        row.push_back(bench::pm(sim.delivery, 3));
+        row.push_back(Table::num(analysis.reliability, 3));
+        jrow.push_back(Table::num(sim.delivery.mean(), 3));
+        jrow.push_back(Table::num(analysis.reliability, 3));
+      }
+      table.add_row(std::move(row));
+      dump.push_back(std::move(jrow));
     }
-    table.add_row(std::move(row));
+    table.print(std::cout);
+    json.add_table("delivery_vs_a",
+                   {"a", "n", "sim_pd05", "analysis_pd05", "sim_pd02",
+                    "analysis_pd02"},
+                   dump);
+    std::cout << "\nShape check: both curves high and stable in a; the 0.2"
+                 " curve below the 0.5 curve.\n";
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: both curves high and stable in a; the 0.2"
-               " curve below the 0.5 curve.\n";
+
+  // Adversarial rows at two group scales: the scalability axis of the
+  // fault-injection suite (see scenario_rows.hpp). One deterministic run
+  // per (scenario, a).
+  std::cout << "\nAdversarial scenarios at a in {4, 6} (d=3, deterministic"
+               " single runs, publish burst at 3s):\n";
+  Table adv(bench::scenario_headers());
+  std::vector<std::vector<std::string>> adv_dump;
+  for (const std::size_t a : {std::size_t{4}, std::size_t{6}}) {
+    for (const auto& spec : bench::adversarial_scenarios()) {
+      const auto summary = bench::run_adversarial_scenario(spec, a, 3, 44);
+      auto row = bench::scenario_row(spec, summary.live, summary);
+      adv.add_row(row);
+      adv_dump.push_back(std::move(row));
+    }
+  }
+  adv.print(std::cout);
+  json.add_table("scenarios", bench::scenario_headers(), adv_dump);
+  json.write();
   return 0;
 }

@@ -1,0 +1,118 @@
+// Adversarial scenario rows for the paper-figure benches.
+//
+// The classic fig4/fig6 sweeps measure delivery in a static, calm group.
+// These rows re-run the dissemination stack through the scenario engine
+// under the fault-injection layer — WAN latency profiles, flapping and
+// asymmetric partitions, correlated rack failures, duplicate storms — and
+// report the stable-phase delivery ratio (delivered / expected at publish
+// time) plus the injector audit counters. Each row is ONE deterministic
+// ChurnSim run (fixed seed, no sampling): the JSON snapshot is
+// byte-reproducible and tools/check_bench_json.py --gate-figures enforces
+//   * delivered <= expected           (exactly-once, also under dup bursts)
+//   * ratio >= a per-scenario floor   (delivery must survive the faults)
+//   * dup rows suppressed duplicates  (the injector actually fired)
+// on every CI run.
+//
+// The timeline shape is shared: faults land in [100ms, 2.9s], the publish
+// burst starts at 3s (the "stable phase" — after heals for the partition
+// rows, *inside* the burst window for the duplicate row), and the run
+// drains until 6s. Expected deliveries are counted at publish time over
+// live matching processes, so rows that crash processes (rack) owe fewer
+// deliveries rather than fake a loss.
+#pragma once
+
+#include "bench_common.hpp"
+
+#include "harness/scenario.hpp"
+
+namespace pmc::bench {
+
+struct ScenarioSpec {
+  const char* name;
+  const char* script;
+};
+
+/// The adversarial suite: calm control + five fault rows. Every script
+/// ends with the same stable-phase publish burst so ratios are comparable
+/// down a column.
+inline const std::vector<ScenarioSpec>& adversarial_scenarios() {
+  static const std::vector<ScenarioSpec> specs = {
+      {"calm",  //
+       "at 3s publish 12 every 20ms\n"},
+      {"wan",  //
+       "at 100ms latency lognormal 2ms 0.8\n"
+       "at 3s publish 12 every 20ms\n"},
+      {"flap",  //
+       "at 200ms flap 0 period 200ms duty 0.3 until 5s\n"
+       "at 3s publish 12 every 20ms\n"},
+      {"asym",  //
+       "at 400ms asym 0 to 1 heal 2500ms\n"
+       "at 3s publish 12 every 20ms\n"},
+      {"rack",  //
+       "at 500ms rack 0\n"
+       "at 3s publish 12 every 20ms\n"},
+      {"dup",  //
+       "at 2900ms duplicate 0.5 for 1500ms\n"
+       "at 3s publish 12 every 20ms\n"},
+  };
+  return specs;
+}
+
+inline constexpr SimTime kScenarioHorizon = sim_ms(6000);
+
+/// One deterministic run of `spec` over a group of shape (a, d).
+inline ChurnSummary run_adversarial_scenario(const ScenarioSpec& spec,
+                                             std::size_t a, std::size_t d,
+                                             std::uint64_t seed) {
+  ChurnConfig config;
+  config.a = a;
+  config.d = d;
+  config.r = 2;
+  config.pd = 0.5;
+  config.initial_fill = 0.75;
+  config.loss = 0.01;
+  config.fanout = 3;
+  config.seed = seed;
+  ChurnSim sim(config);
+  sim.play(ScenarioScript::parse(spec.script));
+  sim.run_until(kScenarioHorizon);
+  return sim.summary();
+}
+
+/// Formats one table row (shared column layout of both fig benches).
+inline std::vector<std::string> scenario_row(const ScenarioSpec& spec,
+                                             std::size_t n,
+                                             const ChurnSummary& s) {
+  const double ratio =
+      s.counters.expected_deliveries == 0
+          ? 0.0
+          : static_cast<double>(s.counters.delivered) /
+                static_cast<double>(s.counters.expected_deliveries);
+  return {spec.name,
+          Table::integer(n),
+          Table::integer(s.counters.published),
+          Table::integer(s.counters.expected_deliveries),
+          Table::integer(s.counters.delivered),
+          Table::num(ratio, 4),
+          Table::integer(s.dup_suppressed),
+          Table::integer(s.shed_events),
+          Table::integer(s.network.duplicated),
+          Table::integer(s.network.reordered)};
+}
+
+inline const std::vector<std::string>& scenario_headers() {
+  static const std::vector<std::string> headers = {
+      "scenario", "n",     "published", "expected", "delivered",
+      "ratio",    "dup_suppressed", "shed", "net_dup", "net_reorder"};
+  return headers;
+}
+
+/// True when the binary was invoked with `--scenarios-only` (smoke mode:
+/// skip the classic sweep, print/emit only the scenario table).
+inline bool scenarios_only(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--scenarios-only") return true;
+  return false;
+}
+
+}  // namespace pmc::bench

@@ -28,7 +28,10 @@ void FloodingNode::broadcast(Event event) {
 void FloodingNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
   if (msg->kind != MsgKind::FloodGossip) return;
   const auto& gossip = static_cast<const FloodGossipMsg&>(*msg);
-  if (!seen_.insert(gossip.event->id()).second) return;
+  if (!seen_.insert(gossip.event->id()).second) {
+    ++stats_.dup_suppressed;
+    return;
+  }
   ++stats_.received;
   deliver_if_interested(*gossip.event);
   buffer(Entry{gossip.event, gossip.round});

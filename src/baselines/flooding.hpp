@@ -57,6 +57,9 @@ class FloodingNode final : public Process {
     std::uint64_t received = 0;
     std::uint64_t delivered = 0;
     std::uint64_t gossips_sent = 0;
+    /// Duplicates discarded by the seen-set (exactly-once audit trail
+    /// under the network's duplication injector).
+    std::uint64_t dup_suppressed = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -26,7 +26,10 @@ void GenuineNode::multicast(Event event) {
 void GenuineNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
   if (msg->kind != MsgKind::GenuineGossip) return;
   const auto& gossip = static_cast<const GenuineGossipMsg&>(*msg);
-  if (!seen_.insert(gossip.event->id()).second) return;
+  if (!seen_.insert(gossip.event->id()).second) {
+    ++stats_.dup_suppressed;
+    return;
+  }
   ++stats_.received;
   deliver_if_interested(*gossip.event);
   buffer(Entry{gossip.event, gossip.round});

@@ -31,7 +31,10 @@ void TreecastNode::on_message(ProcessId /*from*/, const MessagePtr& msg) {
   if (msg->kind != MsgKind::Treecast) return;
   const auto& m = static_cast<const TreecastMsg&>(*msg);
   PMC_EXPECTS(m.event != nullptr);
-  if (!seen_.insert(m.event->id()).second) return;
+  if (!seen_.insert(m.event->id()).second) {
+    ++stats_.dup_suppressed;
+    return;
+  }
   ++stats_.received;
   deliver_if_interested(*m.event);
   if (m.depth <= config_.tree.depth) forward_from(m.event, m.depth);

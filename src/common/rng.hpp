@@ -72,6 +72,16 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p) noexcept { return next_double() < p; }
 
+  /// Standard normal deviate via Acklam's rational inverse-CDF
+  /// approximation of a single uniform draw (no rejection loop, so the
+  /// draw count per call is fixed — one — which labeled streams rely on).
+  /// The polynomial is fully specified here; the only libm calls are
+  /// std::sqrt (IEEE correctly rounded) and std::log, whose last-ulp
+  /// variance across libms is far below the integer rounding every
+  /// consumer applies (sim-time latencies), so replays stay byte-identical
+  /// in practice and exactly on any one toolchain.
+  double next_normal() noexcept;
+
   /// Derive an independent generator (for per-process / per-run streams).
   Rng split() noexcept { return Rng(next_u64()); }
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -63,10 +64,95 @@ std::size_t parse_count(const std::string& token, std::size_t line) {
                               ": expected a count, got '" + token + "'");
 }
 
+double parse_double_token(const std::string& token, std::size_t line,
+                          const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size())
+    throw std::invalid_argument("scenario line " + std::to_string(line) +
+                                ": expected a " + what + ", got '" + token +
+                                "'");
+  return value;
+}
+
+std::vector<AddrComponent> parse_components(const std::string& token,
+                                            std::size_t line) {
+  std::vector<AddrComponent> out;
+  std::istringstream parts(token);
+  for (std::string part; std::getline(parts, part, ',');) {
+    const std::size_t c = parse_count(part, line);
+    if (c > std::numeric_limits<AddrComponent>::max())
+      throw std::invalid_argument("scenario line " + std::to_string(line) +
+                                  ": address component out of range: '" +
+                                  part + "'");
+    out.push_back(static_cast<AddrComponent>(c));
+  }
+  return out;
+}
+
 AddressSpace make_space(const ChurnConfig& config) {
   config.validate();
   return AddressSpace::regular(static_cast<AddrComponent>(config.a),
                                config.d);
+}
+
+/// Splices every TraceReplay's parsed child timeline into the script,
+/// offsetting the child's times (including the absolute heal/until times
+/// carried inside Partition/AsymPartition/Flap ops) by the replay action's
+/// time. Nested replays are rejected; the result is re-sorted (stable, so
+/// same-time actions keep script order) and still must pass validate().
+ScenarioScript expand_traces(const ScenarioScript& script) {
+  const auto checked_add = [](SimTime base, SimTime offset,
+                              const std::string& path) {
+    if (base > std::numeric_limits<SimTime>::max() - offset)
+      throw std::invalid_argument("scenario trace '" + path +
+                                  "': offset time out of range");
+    return base + offset;
+  };
+  std::vector<ScenarioAction> out;
+  for (const auto& action : script.actions()) {
+    const auto* replay = std::get_if<TraceReplay>(&action.op);
+    if (replay == nullptr) {
+      out.push_back(action);
+      continue;
+    }
+    std::ifstream in(replay->path);
+    if (!in)
+      throw std::invalid_argument("scenario trace '" + replay->path +
+                                  "': cannot open");
+    std::ostringstream text;
+    text << in.rdbuf();
+    ScenarioScript child;
+    try {
+      child = ScenarioScript::parse(text.str());
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("scenario trace '" + replay->path +
+                                  "': " + e.what());
+    }
+    for (const auto& sub : child.actions()) {
+      if (std::holds_alternative<TraceReplay>(sub.op))
+        throw std::invalid_argument("scenario trace '" + replay->path +
+                                    "': nested replay is not supported");
+      ScenarioOp op = sub.op;
+      if (auto* part = std::get_if<Partition>(&op)) {
+        part->heal_at = checked_add(part->heal_at, action.at, replay->path);
+      } else if (auto* asym = std::get_if<AsymPartition>(&op)) {
+        asym->heal_at = checked_add(asym->heal_at, action.at, replay->path);
+      } else if (auto* flap = std::get_if<Flap>(&op)) {
+        flap->until = checked_add(flap->until, action.at, replay->path);
+      }
+      out.push_back(ScenarioAction{
+          checked_add(sub.at, action.at, replay->path), std::move(op)});
+    }
+  }
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const ScenarioAction& a, const ScenarioAction& b) {
+        return a.at < b.at;
+      });
+  ScenarioScript expanded;
+  for (auto& a : out) expanded.add(a.at, std::move(a.op));
+  return expanded;
 }
 
 }  // namespace
@@ -110,6 +196,7 @@ void ScenarioScript::validate(std::uint64_t prior_crashes) const {
   std::uint64_t crashes = prior_crashes;
   std::uint64_t recovers = 0;
   SimTime loss_busy_until = 0;
+  SimTime dup_busy_until = 0;
   for (const auto& action : actions_) {
     PMC_EXPECTS(action.at >= 0);
     PMC_EXPECTS(action.at >= prev);  // timeline must be sorted
@@ -157,6 +244,61 @@ void ScenarioScript::validate(std::uint64_t prior_crashes) const {
                 PMC_EXPECTS(action.at <=
                             std::numeric_limits<SimTime>::max() - spread);
               }
+            },
+            [&](const LatencyProfile& op) {
+              PMC_EXPECTS(op.median >= 0);
+              // median == 0 restores the uniform default; sigma must be 0
+              // there so every script has exactly one canonical text form.
+              if (op.median > 0) {
+                PMC_EXPECTS(op.sigma > 0.0 && op.sigma <= 4.0);
+                // The clamp window is [0, 16 * median].
+                PMC_EXPECTS(op.median <=
+                            std::numeric_limits<SimTime>::max() / 16);
+              } else {
+                PMC_EXPECTS(op.sigma == 0.0);
+              }
+            },
+            [&](const AsymPartition& op) {
+              PMC_EXPECTS(!op.from_side.empty());
+              PMC_EXPECTS(!op.to_side.empty());
+              PMC_EXPECTS(op.heal_at > action.at);
+            },
+            [&](const Flap& op) {
+              PMC_EXPECTS(!op.side.empty());
+              PMC_EXPECTS(op.period > 0);
+              PMC_EXPECTS(op.duty > 0.0 && op.duty < 1.0);
+              PMC_EXPECTS(op.until > action.at);
+            },
+            [&](const RackFailure& op) {
+              PMC_EXPECTS(!op.prefix.empty());
+            },
+            [&](const JoinStorm& op) {
+              PMC_EXPECTS(op.count >= 1);
+              PMC_EXPECTS(op.over >= 0);
+              // The last join of the storm fires at action.at + over.
+              PMC_EXPECTS(op.over <=
+                          std::numeric_limits<SimTime>::max() - action.at);
+            },
+            [&](const DuplicateBurst& op) {
+              PMC_EXPECTS(op.prob >= 0.0 && op.prob <= 1.0);
+              PMC_EXPECTS(op.duration > 0);
+              PMC_EXPECTS(op.duration <=
+                          std::numeric_limits<SimTime>::max() - action.at);
+              // Same non-overlap rule as loss bursts: a burst starting
+              // inside another's window would truncate its restore.
+              PMC_EXPECTS(action.at >= dup_busy_until);
+              dup_busy_until = action.at + op.duration;
+            },
+            [&](const TraceReplay& op) {
+              // Leaf check only: ChurnSim::play expands the trace (and
+              // re-validates the spliced timeline); here we just need a
+              // path the text format can round-trip.
+              PMC_EXPECTS(!op.path.empty());
+              PMC_EXPECTS(op.path.find('#') == std::string::npos);
+              PMC_EXPECTS(std::none_of(
+                  op.path.begin(), op.path.end(), [](unsigned char ch) {
+                    return std::isspace(ch) != 0;
+                  }));
             },
         },
         action.op);
@@ -233,6 +375,61 @@ ScenarioScript ScenarioScript::parse(const std::string& text) {
         expected = 6;
       }
       script.add(at, op);
+    } else if (verb == "latency") {
+      LatencyProfile op;
+      if (arg(3) == "uniform") {
+        // defaults: median 0 restores the uniform draw
+      } else if (arg(3) == "lognormal") {
+        op.median = parse_time_token(arg(4), line_no);
+        op.sigma = parse_double_token(arg(5), line_no, "sigma");
+        expected = 6;
+      } else {
+        throw fail("expected 'lognormal <median> <sigma>' or 'uniform'");
+      }
+      script.add(at, op);
+    } else if (verb == "asym") {
+      AsymPartition op;
+      op.from_side = parse_components(arg(3), line_no);
+      if (arg(4) != "to") throw fail("expected 'to <components>'");
+      op.to_side = parse_components(arg(5), line_no);
+      if (arg(6) != "heal") throw fail("expected 'heal <time>'");
+      op.heal_at = parse_time_token(arg(7), line_no);
+      script.add(at, std::move(op));
+      expected = 8;
+    } else if (verb == "flap") {
+      Flap op;
+      op.side = parse_components(arg(3), line_no);
+      if (arg(4) != "period") throw fail("expected 'period <time>'");
+      op.period = parse_time_token(arg(5), line_no);
+      if (arg(6) != "duty") throw fail("expected 'duty <fraction>'");
+      op.duty = parse_double_token(arg(7), line_no, "duty fraction");
+      if (arg(8) != "until") throw fail("expected 'until <time>'");
+      op.until = parse_time_token(arg(9), line_no);
+      script.add(at, std::move(op));
+      expected = 10;
+    } else if (verb == "rack") {
+      RackFailure op;
+      op.prefix = parse_components(arg(3), line_no);
+      script.add(at, std::move(op));
+    } else if (verb == "joinstorm") {
+      JoinStorm op;
+      op.count = parse_count(arg(3), line_no);
+      if (tok.size() > 4) {
+        if (arg(4) != "over") throw fail("expected 'over <spread>'");
+        op.over = parse_time_token(arg(5), line_no);
+        expected = 6;
+      }
+      script.add(at, op);
+    } else if (verb == "duplicate") {
+      DuplicateBurst op;
+      op.prob = parse_double_token(arg(3), line_no,
+                                   "duplication probability");
+      if (arg(4) != "for") throw fail("expected 'for <duration>'");
+      op.duration = parse_time_token(arg(5), line_no);
+      script.add(at, op);
+      expected = 6;
+    } else if (verb == "replay") {
+      script.add(at, TraceReplay{arg(3)});
     } else {
       throw fail("unknown action '" + verb + "'");
     }
@@ -288,6 +485,52 @@ std::string ScenarioScript::to_string() const {
               out << "publish " << op.count;
               if (op.spacing > 0) out << " every " << format_time(op.spacing);
             },
+            [&](const LatencyProfile& op) {
+              if (op.median == 0) {
+                out << "latency uniform";
+              } else {
+                char buf[32];
+                const auto res =
+                    std::to_chars(buf, buf + sizeof buf, op.sigma);
+                out << "latency lognormal " << format_time(op.median) << ' '
+                    << std::string_view(buf, res.ptr);
+              }
+            },
+            [&](const AsymPartition& op) {
+              out << "asym ";
+              for (std::size_t i = 0; i < op.from_side.size(); ++i)
+                out << (i ? "," : "") << op.from_side[i];
+              out << " to ";
+              for (std::size_t i = 0; i < op.to_side.size(); ++i)
+                out << (i ? "," : "") << op.to_side[i];
+              out << " heal " << format_time(op.heal_at);
+            },
+            [&](const Flap& op) {
+              char buf[32];
+              const auto res = std::to_chars(buf, buf + sizeof buf, op.duty);
+              out << "flap ";
+              for (std::size_t i = 0; i < op.side.size(); ++i)
+                out << (i ? "," : "") << op.side[i];
+              out << " period " << format_time(op.period) << " duty "
+                  << std::string_view(buf, res.ptr) << " until "
+                  << format_time(op.until);
+            },
+            [&](const RackFailure& op) {
+              out << "rack ";
+              for (std::size_t i = 0; i < op.prefix.size(); ++i)
+                out << (i ? "," : "") << op.prefix[i];
+            },
+            [&](const JoinStorm& op) {
+              out << "joinstorm " << op.count;
+              if (op.over > 0) out << " over " << format_time(op.over);
+            },
+            [&](const DuplicateBurst& op) {
+              char buf[32];
+              const auto res = std::to_chars(buf, buf + sizeof buf, op.prob);
+              out << "duplicate " << std::string_view(buf, res.ptr)
+                  << " for " << format_time(op.duration);
+            },
+            [&](const TraceReplay& op) { out << "replay " << op.path; },
         },
         action.op);
     out << '\n';
@@ -365,6 +608,8 @@ void append_group_fields(std::ostringstream& out, const SummaryT& s) {
   }
   if (s.bound_collapsed > 0)
     out << " | bound collapsed " << s.bound_collapsed;
+  if (s.dup_suppressed > 0) out << " | dup suppressed " << s.dup_suppressed;
+  if (s.shed_events > 0) out << " | shed " << s.shed_events;
   out << " | tombstones " << s.membership_tombstones;
 }
 
@@ -544,6 +789,7 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   sc.suspicion_timeout = config_.suspicion_timeout;
   sc.confirm_suspicion = config_.confirm_suspicion;
   sc.ack_digests = config_.adaptive;  // digests double as loss probes
+  sc.join_backoff = config_.join_backoff;
 
   if (founder) {
     slot.sync = std::make_unique<SyncNode>(
@@ -566,6 +812,8 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
   pc.env.adaptive = config_.adaptive;
   pc.env.ewma_alpha = config_.adaptive_alpha;
   pc.recovery_rounds = config_.recovery_rounds;
+  pc.max_retained = config_.max_retained;
+  pc.max_buffered = config_.max_buffered;
   slot.pm = std::make_unique<PmcastNode>(*rt_, pm_pid(slot_idx), pc,
                                          slot.address, slot.subscription,
                                          *slot.provider, pm_directory());
@@ -595,39 +843,78 @@ void ChurnSim::spawn(std::size_t slot_idx, bool founder, ProcessId contact) {
 }
 
 void ChurnSim::play(const ScenarioScript& script) {
-  script.validate(crash_credit_);
+  // TraceReplay actions splice their parsed child timeline in here, before
+  // validation — everything below (including the stream labels) operates
+  // on the expanded script, so a replayed action is indistinguishable from
+  // the same action written inline at its offset time.
+  const bool has_replay = std::any_of(
+      script.actions().begin(), script.actions().end(),
+      [](const ScenarioAction& a) {
+        return std::holds_alternative<TraceReplay>(a.op);
+      });
+  ScenarioScript expanded;
+  if (has_replay) expanded = expand_traces(script);
+  const ScenarioScript& timeline = has_replay ? expanded : script;
+
+  timeline.validate(crash_credit_);
   const SimTime start = rt_->now();
   // Engine-level validation the script alone cannot do. The whole script
   // must be accepted before any state changes: a throw below would
   // otherwise leave phantom crash credit or already-scheduled actions.
+  const auto check_top_components =
+      [this](const std::vector<AddrComponent>& side) {
+        // A component outside the address space would make the split a
+        // silent no-op; reject it instead.
+        for (const auto c : side) PMC_EXPECTS(c < space_.arity(0));
+      };
   SimTime loss_busy_until = loss_busy_until_;
-  for (const auto& action : script.actions()) {
+  SimTime dup_busy_until = dup_busy_until_;
+  for (const auto& action : timeline.actions()) {
     PMC_EXPECTS(action.at >= start);  // no actions scheduled in the past
     if (const auto* part = std::get_if<Partition>(&action.op)) {
-      // A side component outside the address space would make the split a
-      // silent no-op; reject it instead.
-      for (const auto c : part->side) PMC_EXPECTS(c < space_.arity(0));
+      check_top_components(part->side);
     } else if (const auto* burst = std::get_if<LossBurst>(&action.op)) {
       // Also reject bursts overlapping one scheduled by an earlier play().
       PMC_EXPECTS(action.at >= loss_busy_until);
       loss_busy_until = action.at + burst->duration;
+    } else if (const auto* asym = std::get_if<AsymPartition>(&action.op)) {
+      check_top_components(asym->from_side);
+      check_top_components(asym->to_side);
+    } else if (const auto* flap = std::get_if<Flap>(&action.op)) {
+      check_top_components(flap->side);
+    } else if (const auto* rack = std::get_if<RackFailure>(&action.op)) {
+      PMC_EXPECTS(rack->prefix.size() <= space_.depth());
+      for (std::size_t i = 0; i < rack->prefix.size(); ++i)
+        PMC_EXPECTS(rack->prefix[i] < space_.arity(i));
+    } else if (const auto* dup = std::get_if<DuplicateBurst>(&action.op)) {
+      PMC_EXPECTS(action.at >= dup_busy_until);
+      dup_busy_until = action.at + dup->duration;
     }
   }
   // Accepted: account the crash credit appended timelines recover against,
-  // and the window the last scheduled loss burst occupies.
+  // and the windows the last scheduled loss/duplication bursts occupy.
   loss_busy_until_ = loss_busy_until;
-  for (const auto& action : script.actions()) {
+  dup_busy_until_ = dup_busy_until;
+  for (const auto& action : timeline.actions()) {
     if (const auto* crash = std::get_if<CrashNodes>(&action.op)) {
       crash_credit_ += crash->count;
     } else if (const auto* rec = std::get_if<RecoverNodes>(&action.op)) {
       crash_credit_ -= rec->count;  // validate() guaranteed non-negative
+    } else if (const auto* rack = std::get_if<RackFailure>(&action.op)) {
+      // A rack failure's victim count is only known at fire time; credit
+      // the whole zone's capacity so a later RecoverNodes can target it.
+      std::uint64_t zone = 1;
+      for (std::size_t i = rack->prefix.size(); i < space_.depth(); ++i)
+        zone *= space_.arity(i);
+      crash_credit_ += zone;
     }
   }
   // Stream labels: (time, kind, ordinal-within-time-and-kind), hashed with
   // the run seed. Ordinals persist across play() calls so appended
-  // timelines never reuse a label.
-  static_assert(std::variant_size_v<ScenarioOp> == 7);
-  for (const auto& action : script.actions()) {
+  // timelines never reuse a label. New ScenarioOp alternatives append at
+  // the variant's end — the label hashes op.index().
+  static_assert(std::variant_size_v<ScenarioOp> == 14);
+  for (const auto& action : timeline.actions()) {
     const auto key = std::make_pair(action.at, action.op.index());
     const std::uint64_t ordinal = action_ordinals_[key]++;
     const std::uint64_t tag =
@@ -705,6 +992,29 @@ void ChurnSim::retarget_pending_joiners(Rng& rng) {
   }
 }
 
+void ChurnSim::do_join(Rng& rng) {
+  // One fresh joiner (JoinStorm's unit of work). Unlike the batched Join
+  // action this re-queries the vacancy list per call — storm joins are
+  // spread over time, and earlier arrivals must shrink the pool seen by
+  // later ones.
+  const auto vacant = oracle_->vacancies(space_);
+  if (vacant.empty()) {
+    ++counters_.skipped;
+    return;
+  }
+  const Address address = vacant[rng.next_below(vacant.size())];
+  const auto contacts = contact_slots();
+  if (contacts.empty()) {
+    ++counters_.skipped;
+    return;
+  }
+  const std::size_t contact = contacts[rng.next_below(contacts.size())];
+  const std::size_t idx = slot_for(interns_->addrs.intern(address));
+  spawn(idx, /*founder=*/false, sync_pid(contact));
+  oracle_->add_member(address, slots_[idx].subscription);
+  ++counters_.joins_requested;
+}
+
 void ChurnSim::publish_one(Rng& rng) {
   const auto live = live_slots();
   if (live.empty()) {
@@ -714,6 +1024,10 @@ void ChurnSim::publish_one(Rng& rng) {
   const std::size_t slot =
       live[rng.next_below(live.size())];
   Event e = make_uniform_event(pm_pid(slot), publish_seq_++, rng);
+  // Deliveries owed: every live matching process at publish time (pure
+  // predicate evaluation, no draws — see ChurnCounters).
+  for (const auto& s : slots_)
+    if (s.live && s.subscription.match(e)) ++counters_.expected_deliveries;
   // Record before pmcast: the publisher may deliver to itself inline.
   publish_times_.emplace(e.id(), rt_->now());
   ++counters_.published;
@@ -728,6 +1042,8 @@ bool ChurnSim::publish_external(const EventId& id, double u, Rng& rng) {
   }
   const std::size_t slot = live[rng.next_below(live.size())];
   Event e = make_event_at(id.publisher, id.sequence, u);
+  for (const auto& s : slots_)
+    if (s.live && s.subscription.match(e)) ++counters_.expected_deliveries;
   publish_times_.emplace(e.id(), rt_->now());
   ++counters_.published;
   slots_[slot].pm->pmcast(std::move(e));
@@ -863,6 +1179,143 @@ void ChurnSim::apply(const ScenarioAction& action,
               }
             }
           },
+          [&](const LatencyProfile& op) {
+            // NOTE: in shard mode the network (and thus the latency model)
+            // is runtime-wide, like the base latency config — the owner
+            // decides which shard's script carries the profile actions.
+            if (op.median > 0) {
+              rt_->network().set_latency_model(make_lognormal_latency(
+                  LogNormalParams{op.median, op.sigma}, 0, 16 * op.median));
+            } else {
+              rt_->network().set_latency_model(nullptr);
+            }
+            ++counters_.latency_profiles;
+          },
+          [&](const AsymPartition& op) {
+            const std::vector<AddrComponent> from_side = op.from_side;
+            const std::vector<AddrComponent> to_side = op.to_side;
+            const ProcessId base = pid_base_;
+            const std::size_t capacity = slots_.size();
+            const auto top_of = [this, base, capacity](ProcessId pid) {
+              const std::size_t offset = pid - base;
+              const std::size_t slot =
+                  offset < capacity ? offset : offset - capacity;
+              return slots_[slot].address.component(0);
+            };
+            const auto in_range = [base, capacity](ProcessId pid) {
+              return pid >= base && pid < base + 2 * capacity;
+            };
+            const auto in = [](const std::vector<AddrComponent>& side,
+                               AddrComponent c) {
+              return std::find(side.begin(), side.end(), c) != side.end();
+            };
+            // One-directional: only from_side -> to_side messages drop;
+            // the reverse direction (and co-hosted shards) pass.
+            const auto token = rt_->network().add_link_filter(
+                [top_of, in_range, in, from_side, to_side](ProcessId from,
+                                                           ProcessId to) {
+                  if (!in_range(from) || !in_range(to)) return true;
+                  return !(in(from_side, top_of(from)) &&
+                           in(to_side, top_of(to)));
+                });
+            ++counters_.asym_partitions;
+            rt_->scheduler().schedule_at(op.heal_at, [this, token] {
+              rt_->network().remove_link_filter(token);
+              ++counters_.heals;
+            });
+          },
+          [&](const Flap& op) {
+            const std::vector<AddrComponent> side = op.side;
+            const ProcessId base = pid_base_;
+            const std::size_t capacity = slots_.size();
+            const auto in_side = [this, side, base, capacity](ProcessId pid) {
+              const std::size_t offset = pid - base;
+              const std::size_t slot =
+                  offset < capacity ? offset : offset - capacity;
+              const AddrComponent top = slots_[slot].address.component(0);
+              return std::find(side.begin(), side.end(), top) != side.end();
+            };
+            const auto in_range = [base, capacity](ProcessId pid) {
+              return pid >= base && pid < base + 2 * capacity;
+            };
+            // The down window is a precomputed integer span (at least one
+            // tick), so the filter itself runs pure integer arithmetic on
+            // the send time — no float drift across the flap's lifetime.
+            const SimTime start_at = action.at;
+            const SimTime period = op.period;
+            const SimTime down_window = std::max<SimTime>(
+                1, static_cast<SimTime>(std::llround(
+                       op.duty * static_cast<double>(op.period))));
+            const auto token = rt_->network().add_link_filter(
+                [this, in_side, in_range, start_at, period,
+                 down_window](ProcessId from, ProcessId to) {
+                  if (!in_range(from) || !in_range(to)) return true;
+                  if (in_side(from) == in_side(to)) return true;
+                  return (rt_->now() - start_at) % period >= down_window;
+                });
+            ++counters_.flaps;
+            rt_->scheduler().schedule_at(op.until, [this, token] {
+              rt_->network().remove_link_filter(token);
+              ++counters_.heals;
+            });
+          },
+          [&](const RackFailure& op) {
+            // Correlated: every live process in the address zone
+            // fail-stops at once — no sampling, no draws.
+            ++counters_.rack_failures;
+            for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+              Slot& slot = slots_[idx];
+              if (!slot.live) continue;
+              bool in_zone = true;
+              for (std::size_t i = 0; i < op.prefix.size(); ++i) {
+                if (slot.address.component(i) != op.prefix[i]) {
+                  in_zone = false;
+                  break;
+                }
+              }
+              if (!in_zone) continue;
+              slot.sync->crash();
+              slot.pm->crash();
+              slot.live = false;
+              oracle_->remove_member(slot.address);
+              crashed_pool_.push_back(idx);
+              ++counters_.crashes;
+            }
+            retarget_pending_joiners(*rng);
+          },
+          [&](const JoinStorm& op) {
+            ++counters_.join_storms;
+            const SimTime spacing =
+                op.count > 1
+                    ? op.over / static_cast<SimTime>(op.count - 1)
+                    : 0;
+            for (std::size_t k = 0; k < op.count; ++k) {
+              const SimTime at =
+                  action.at + static_cast<SimTime>(k) * spacing;
+              if (at <= rt_->now()) {
+                do_join(*rng);
+              } else {
+                rt_->scheduler().schedule_at(
+                    at, [this, rng] { do_join(*rng); });
+              }
+            }
+          },
+          [&](const DuplicateBurst& op) {
+            // Epoch-checked restore, mirroring LossBurst.
+            const std::uint64_t epoch = ++dup_epoch_;
+            rt_->network().set_duplication(op.prob);
+            ++counters_.dup_bursts;
+            rt_->scheduler().schedule_after(op.duration, [this, epoch] {
+              if (epoch != dup_epoch_) return;
+              rt_->network().set_duplication(0.0);
+              ++counters_.dup_restores;
+            });
+          },
+          [&](const TraceReplay&) {
+            // play() splices traces before scheduling; reaching here means
+            // the expansion was bypassed.
+            PMC_EXPECTS(false && "TraceReplay must be expanded by play()");
+          },
       },
       action.op);
 }
@@ -914,6 +1367,10 @@ GroupSummary ChurnSim::group_summary() const {
     if (slot.pm != nullptr) {
       const auto& p = slot.pm->stats();
       out.bound_collapsed += p.bound_collapsed;
+      // Summed but NOT hashed: the fingerprint's field list is frozen
+      // (docs/DETERMINISM.md) — new counters are compared by operator==.
+      out.dup_suppressed += p.dup_suppressed;
+      out.shed_events += p.shed_events;
       h = fnv1a_u64(h, p.published);
       h = fnv1a_u64(h, p.received);
       h = fnv1a_u64(h, p.delivered);
@@ -968,6 +1425,8 @@ ChurnSummary ChurnSim::summary() const {
   out.env_crash_ppm = g.env_crash_ppm;
   out.env_windows = g.env_windows;
   out.bound_collapsed = g.bound_collapsed;
+  out.dup_suppressed = g.dup_suppressed;
+  out.shed_events = g.shed_events;
   out.network = rt_->network().counters();
   out.scheduler_executed = rt_->scheduler().executed();
 

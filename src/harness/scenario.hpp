@@ -86,8 +86,74 @@ struct PublishBurst {
   SimTime spacing = 0;
 };
 
-using ScenarioOp = std::variant<CrashNodes, RecoverNodes, Join, Leave,
-                                Partition, LossBurst, PublishBurst>;
+/// Installs a LogNormal WAN latency model (median / log-space sigma) on
+/// the group's network; median == 0 restores the uniform default. The
+/// clamp window is [0, 16 * median] so the heavy tail cannot outlive a
+/// run. Text form: `latency lognormal 2ms 0.8` / `latency uniform`.
+struct LatencyProfile {
+  SimTime median = 0;  ///< 0 = restore the uniform [min, max] draw
+  double sigma = 0.0;
+};
+
+/// One-directional partition: messages from processes whose top-level
+/// address component is in `from_side` towards processes whose component
+/// is in `to_side` are dropped until `heal_at`; the reverse direction
+/// passes. Text form: `asym 0,1 to 2 heal 1800ms`.
+struct AsymPartition {
+  std::vector<AddrComponent> from_side;
+  std::vector<AddrComponent> to_side;
+  SimTime heal_at = 0;
+};
+
+/// Flapping partition: processes whose top-level component is in `side`
+/// are cut off from the rest for the first `duty` fraction of every
+/// `period`, reconnected for the remainder, until `until` (absolute).
+/// Text form: `flap 0 period 200ms duty 0.4 until 2s`.
+struct Flap {
+  std::vector<AddrComponent> side;
+  SimTime period = sim_ms(200);
+  double duty = 0.5;
+  SimTime until = 0;
+};
+
+/// Correlated rack failure: every live process whose address starts with
+/// `prefix` (components 0..k-1) fail-stops at once — the crash burst is
+/// correlated over an address zone, not sampled. Text form: `rack 0` /
+/// `rack 0,2`.
+struct RackFailure {
+  std::vector<AddrComponent> prefix;
+};
+
+/// Flash crowd: `count` fresh joins spread evenly over `over`
+/// (0 = all at once). Text form: `joinstorm 16 over 200ms`.
+struct JoinStorm {
+  std::size_t count = 1;
+  SimTime over = 0;
+};
+
+/// Raises the network duplication probability to `prob` for `duration`,
+/// then restores 0. Text form: `duplicate 0.4 for 300ms`.
+struct DuplicateBurst {
+  double prob = 0.5;
+  SimTime duration = sim_ms(100);
+};
+
+/// Replays the churn timeline parsed from `path` (the scenario text
+/// format), every child action offset by this action's time. Expanded by
+/// ChurnSim::play before validation/scheduling; nesting is rejected. The
+/// path must be whitespace- and '#'-free (the text format could not
+/// round-trip it otherwise). Text form: `replay traces/outage.scn`.
+struct TraceReplay {
+  std::string path;
+};
+
+/// New alternatives are appended at the END: an action's RNG stream label
+/// hashes op.index() (see ChurnSim::play), so reordering the variant would
+/// relabel every existing script's draws.
+using ScenarioOp =
+    std::variant<CrashNodes, RecoverNodes, Join, Leave, Partition, LossBurst,
+                 PublishBurst, LatencyProfile, AsymPartition, Flap,
+                 RackFailure, JoinStorm, DuplicateBurst, TraceReplay>;
 
 /// Parses a sim-time token ("750us", "500ms", "2s"; bare digits mean µs) —
 /// the same syntax scenario scripts use. Throws std::invalid_argument on
@@ -171,6 +237,14 @@ struct ChurnConfig {
   bool confirm_suspicion = false;
   std::size_t fanout = 3;
   std::size_t recovery_rounds = 0;
+  /// Graceful-degradation caps passed through to every PmcastNode
+  /// (PmcastConfig::max_retained / max_buffered); 0 = unbounded, the
+  /// pre-cap behaviour.
+  std::size_t max_retained = 0;
+  std::size_t max_buffered = 0;
+  /// Capped exponential backoff (with labeled-stream jitter) on the
+  /// joiners' join-request retries (SyncConfig::join_backoff).
+  bool join_backoff = false;
   /// Run every message through encode_message/decode_message, as a socket
   /// deployment would (scenarios then exercise the frozen wire format).
   bool wire_transcode = false;
@@ -199,11 +273,26 @@ struct ChurnCounters {
   std::uint64_t leaves = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t partitions = 0;
-  std::uint64_t heals = 0;
+  std::uint64_t heals = 0;  ///< partition/asym/flap filters removed
   std::uint64_t loss_bursts = 0;
   std::uint64_t loss_restores = 0;
   std::uint64_t published = 0;
   std::uint64_t delivered = 0;  ///< HPDELIVER calls across all processes
+  /// Deliveries owed at publish time: for every published event, the live
+  /// processes whose subscription matched it when it entered the group.
+  /// Pure bookkeeping (no draws), so counting it never moves a replay;
+  /// delivered / expected_deliveries is the figure sweeps' delivery ratio,
+  /// and delivered <= expected_deliveries is the exactly-once identity the
+  /// --gate-figures check enforces under duplication.
+  std::uint64_t expected_deliveries = 0;
+  std::uint64_t asym_partitions = 0;
+  std::uint64_t flaps = 0;
+  std::uint64_t rack_failures = 0;   ///< RackFailure actions (crashes
+                                     ///< counts the victims)
+  std::uint64_t join_storms = 0;
+  std::uint64_t dup_bursts = 0;
+  std::uint64_t dup_restores = 0;
+  std::uint64_t latency_profiles = 0;  ///< LatencyProfile actions applied
   std::uint64_t skipped = 0;    ///< action shortfall (e.g. no live target)
 
   friend bool operator==(const ChurnCounters&, const ChurnCounters&) =
@@ -221,6 +310,14 @@ struct ChurnCounters {
     loss_restores += o.loss_restores;
     published += o.published;
     delivered += o.delivered;
+    expected_deliveries += o.expected_deliveries;
+    asym_partitions += o.asym_partitions;
+    flaps += o.flaps;
+    rack_failures += o.rack_failures;
+    join_storms += o.join_storms;
+    dup_bursts += o.dup_bursts;
+    dup_restores += o.dup_restores;
+    latency_profiles += o.latency_profiles;
     skipped += o.skipped;
     return *this;
   }
@@ -252,6 +349,13 @@ struct GroupSummary {
   /// Eq. 11 bound collapses observed across all processes
   /// (PmcastNode::Stats::bound_collapsed).
   std::uint64_t bound_collapsed = 0;
+  /// Duplicate gossips/payloads discarded by the receivers' seen-set
+  /// (summed PmcastNode::Stats::dup_suppressed) — the exactly-once ledger
+  /// the duplication injector is audited against.
+  std::uint64_t dup_suppressed = 0;
+  /// Events shed by the graceful-degradation caps (max_retained /
+  /// max_buffered), summed over live processes.
+  std::uint64_t shed_events = 0;
   /// FNV-1a over every slot's per-node statistics.
   std::uint64_t fingerprint = 0;
 
@@ -278,6 +382,8 @@ struct ChurnSummary {
   std::uint64_t env_crash_ppm = 0;
   std::uint64_t env_windows = 0;
   std::uint64_t bound_collapsed = 0;
+  std::uint64_t dup_suppressed = 0;  ///< see GroupSummary
+  std::uint64_t shed_events = 0;     ///< see GroupSummary
   std::uint64_t fingerprint = 0;
 
   friend bool operator==(const ChurnSummary&, const ChurnSummary&) = default;
@@ -408,6 +514,9 @@ class ChurnSim {
   /// Points still-unjoined joiners at fresh contacts after crashes/leaves
   /// (their original contact may be gone).
   void retarget_pending_joiners(Rng& rng);
+  /// Spawns one fresh joiner at a vacant address (shared by Join and
+  /// JoinStorm); counts a skip when no vacancy or contact exists.
+  void do_join(Rng& rng);
   void publish_one(Rng& rng);
 
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
@@ -440,6 +549,9 @@ class ChurnSim {
   /// Bumped by every burst; a restore only fires if its epoch is current
   /// (a back-to-back burst's set_loss runs before the old restore).
   std::uint64_t loss_epoch_ = 0;
+  /// DuplicateBurst bookkeeping, mirroring the loss-burst pair above.
+  SimTime dup_busy_until_ = 0;
+  std::uint64_t dup_epoch_ = 0;
   std::uint64_t publish_seq_ = 0;
   ChurnCounters counters_;
   /// Publish times by event id, for delivery-latency accounting. Entries

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "common/hash.hpp"
 #include "membership/election.hpp"
 
 namespace pmc {
@@ -10,6 +11,11 @@ namespace pmc {
 namespace {
 
 constexpr std::uint64_t kNeverRecompacted = ~std::uint64_t{0};
+
+/// Label of a joiner's backoff-jitter stream (SyncConfig::join_backoff):
+/// (salt, pid), so each joiner jitters independently and enabling backoff
+/// never touches any other labeled stream.
+constexpr std::uint64_t kJoinBackoffSalt = 0xba0cf0ff;
 
 }  // namespace
 
@@ -43,7 +49,14 @@ SyncNode::SyncNode(Runtime& rt, ProcessId pid, SyncConfig config, Address self,
       join_contact_(contact) {
   recompact_cache_.assign(config_.tree.depth,
                           {kNeverRecompacted, kNeverRecompacted});
+  PMC_EXPECTS(config_.join_backoff_cap >= 1);
+  PMC_EXPECTS(config_.join_backoff_jitter >= 0.0 &&
+              config_.join_backoff_jitter <= 1.0);
+  if (config_.join_backoff)
+    join_jitter_rng_ =
+        rt.make_stream(fnv1a_u64(kFnv1aBasis ^ kJoinBackoffSalt, pid));
   send_join_request();
+  if (config_.join_backoff) schedule_next_join_retry();
   arm_periodic(config_.gossip_period);
 }
 
@@ -55,11 +68,30 @@ void SyncNode::send_join_request() {
   send(join_contact_, std::move(join));
 }
 
+void SyncNode::schedule_next_join_retry() {
+  // The k-th retry (k = budget spent) waits min(2^k, cap) gossip periods,
+  // plus jitter uniform in [0, wait * jitter]: concurrent joiners hitting
+  // the same revived contact (a flash crowd, scenario JoinStorm) spread out
+  // instead of thundering in lockstep. Pure integer schedule; the jitter
+  // draw comes from this joiner's own labeled stream.
+  const std::uint32_t shift = std::min<std::uint32_t>(join_retry_budget_, 31);
+  const std::uint64_t factor = std::min<std::uint64_t>(
+      std::uint64_t{1} << shift, config_.join_backoff_cap);
+  SimTime wait = config_.gossip_period * static_cast<SimTime>(factor);
+  const SimTime span = static_cast<SimTime>(
+      static_cast<double>(wait) * config_.join_backoff_jitter);
+  if (span > 0)
+    wait += static_cast<SimTime>(
+        join_jitter_rng_.next_below(static_cast<std::uint64_t>(span) + 1));
+  join_next_retry_at_ = runtime().now() + wait;
+}
+
 void SyncNode::retarget_join(ProcessId contact) {
   if (joined_) return;
   join_contact_ = contact;
   join_retry_budget_ = 0;
   send_join_request();
+  if (config_.join_backoff) schedule_next_join_retry();
 }
 
 void SyncNode::leave() {
@@ -112,11 +144,17 @@ void SyncNode::on_period() {
     // server's row upsert and our transfer handling are idempotent). The
     // budget bounds traffic towards a contact that died before serving us;
     // retarget_join() grants a fresh contact and budget.
+    // With join_backoff the periodic tick only acts once the backed-off
+    // deadline has passed; the tick cadence itself stays every period, so
+    // the schedule is a filter over the legacy one (never earlier).
+    if (config_.join_backoff && runtime().now() < join_next_retry_at_)
+      return;
     if (config_.max_join_retries == 0 ||
         join_retry_budget_ < config_.max_join_retries) {
       send_join_request();
       ++join_retry_budget_;
       ++stats_.join_retries;
+      if (config_.join_backoff) schedule_next_join_retry();
     }
     return;
   }

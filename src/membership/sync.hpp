@@ -123,6 +123,18 @@ struct SyncConfig {
   /// arrives, giving up after this many retries (the contact may be dead —
   /// see retarget_join). 0 retries forever.
   std::uint32_t max_join_retries = 240;
+  /// Capped exponential backoff on those retries: the k-th retry waits
+  /// min(2^k, join_backoff_cap) gossip periods plus a jitter drawn from the
+  /// joiner's own labeled stream (uniform in [0, wait * join_backoff_jitter]
+  /// — labeled, so enabling backoff on one joiner never moves any other
+  /// process's draws). Off by default: the legacy every-period retry
+  /// cadence (and every existing run fingerprint) is unchanged.
+  /// retarget_join resets the schedule along with the budget.
+  bool join_backoff = false;
+  /// Ceiling on the backoff factor, in gossip periods.
+  std::uint32_t join_backoff_cap = 8;
+  /// Jitter fraction of the backed-off wait, in [0, 1].
+  double join_backoff_jitter = 0.5;
   /// When true, a timed-out neighbor is only tombstoned after a second
   /// leaf neighbor confirms it has not heard from the suspect either
   /// (Sec. 6's leaf-level agreement before exclusion).
@@ -203,6 +215,8 @@ class SyncNode final : public Process {
 
  private:
   void send_join_request();
+  /// Arms the next backed-off retry (SyncConfig::join_backoff).
+  void schedule_next_join_retry();
   void handle_digest(ProcessId from, const MembershipDigestMsg& m);
   void handle_update(const MembershipUpdateMsg& m);
   void handle_join(ProcessId from, const JoinRequestMsg& m);
@@ -241,6 +255,12 @@ class SyncNode final : public Process {
   ProcessId join_contact_ = kNoProcess;
   /// Retries spent on the current contact; reset by retarget_join.
   std::uint32_t join_retry_budget_ = 0;
+  /// Earliest time the next backed-off join retry may fire, and the
+  /// joiner's labeled jitter stream (both used only with join_backoff;
+  /// the stream is assigned from Runtime::make_stream in the joiner
+  /// constructor, per the labeled-stream discipline).
+  SimTime join_next_retry_at_ = 0;
+  Rng join_jitter_rng_;
   std::uint64_t version_counter_ = 0;
   std::size_t ping_cursor_ = 0;  // round-robin over immediate neighbors
   /// Times of *direct* contact (messages actually received from a process).

@@ -62,6 +62,18 @@ struct PmcastConfig {
   /// traffic. 0 disables (the paper's plain algorithm).
   std::size_t recovery_rounds = 0;
 
+  /// Graceful degradation under adversarial load: caps on the two stores a
+  /// hostile schedule can grow without bound. `max_retained` bounds the
+  /// digest-recovery store (overflow sheds the smallest EventId — a
+  /// deterministic total order, so replays agree on every victim);
+  /// `max_buffered` bounds the total entries across the per-depth gossip
+  /// buffers (overflow drops the incoming event instead of buffering it —
+  /// it was delivered locally if interested, only its re-gossip is shed).
+  /// Every shed increments Stats::shed_events. 0 = unbounded (the default;
+  /// fingerprints of capless runs are unchanged).
+  std::size_t max_retained = 0;
+  std::size_t max_buffered = 0;
+
   void validate() const {
     tree.validate();
     env.validate();

@@ -78,7 +78,10 @@ void PmcastNode::on_message(ProcessId from, const MessagePtr& msg) {
     piggyback_sink_(gossip.sender, gossip.piggyback);
 
   // Fig. 3 lines 20-23 (with whole-lifetime dedup, see header).
-  if (!seen_.insert(gossip.event->id()).second) return;
+  if (!seen_.insert(gossip.event->id()).second) {
+    ++stats_.dup_suppressed;
+    return;
+  }
   ++stats_.received;
   if (gossip.no_regossip) {
     // Leaf flood (Sec. 6): the sender already addressed every interested
@@ -282,6 +285,12 @@ double PmcastNode::rate_at(std::size_t depth, const Event& e) const {
 
 void PmcastNode::buffer_event(std::size_t depth, Entry entry) {
   PMC_EXPECTS(depth >= 1 && depth <= config_.tree.depth);
+  if (config_.max_buffered > 0 && buffered_total() >= config_.max_buffered) {
+    // Degradation cap: the event was already delivered locally if
+    // interested; only its re-gossip duty is shed.
+    ++stats_.shed_events;
+    return;
+  }
   gossips_[depth - 1].push_back(std::move(entry));
   if (!periodic_armed()) arm_periodic(config_.period);
 }
@@ -298,11 +307,23 @@ bool PmcastNode::buffers_empty() const noexcept {
                      [](const auto& v) { return v.empty(); });
 }
 
+std::size_t PmcastNode::buffered_total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& v : gossips_) n += v.size();
+  return n;
+}
+
 void PmcastNode::retain_for_recovery(std::shared_ptr<const Event> event) {
   if (config_.recovery_rounds == 0 || event == nullptr) return;
   const EventId id = event->id();  // before the move: evaluation order of
                                    // the subscript and the move is unspecified
   store_[id] = Retained{std::move(event), config_.recovery_rounds};
+  if (config_.max_retained > 0 && store_.size() > config_.max_retained) {
+    // Deterministic shedding: FlatMap is EventId-ordered, so every replica
+    // evicts the same victim (the smallest id — oldest publishers first).
+    store_.erase(store_.begin());
+    ++stats_.shed_events;
+  }
 }
 
 void PmcastNode::run_recovery_round() {
@@ -368,7 +389,11 @@ void PmcastNode::handle_request(ProcessId from, const EventRequestMsg& m) {
 
 void PmcastNode::handle_payload(const EventPayloadMsg& m) {
   for (const auto& event : m.events) {
-    if (event == nullptr || !seen_.insert(event->id()).second) continue;
+    if (event == nullptr) continue;
+    if (!seen_.insert(event->id()).second) {
+      ++stats_.dup_suppressed;
+      continue;
+    }
     ++stats_.received;
     ++stats_.recoveries;
     deliver_if_interested(*event);

@@ -156,6 +156,13 @@ class PmcastNode final : public Process {
     std::uint64_t leaf_floods = 0;  ///< Sec. 6 leaf-flood activations
     std::uint64_t digests_sent = 0;
     std::uint64_t recoveries = 0;  ///< events obtained via retransmission
+    /// Duplicate events discarded by the whole-lifetime seen-set (gossip
+    /// and recovery-payload paths). Under the network's duplication
+    /// injector this is the exactly-once audit trail: every duplicate the
+    /// wire manufactures lands here, never in `delivered`.
+    std::uint64_t dup_suppressed = 0;
+    /// Events shed by the PmcastConfig::max_retained / max_buffered caps.
+    std::uint64_t shed_events = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -191,6 +198,7 @@ class PmcastNode final : public Process {
   void gossip_entries_at(std::size_t depth);
   void deliver_if_interested(const Event& e);
   bool buffers_empty() const noexcept;
+  std::size_t buffered_total() const noexcept;
 
   /// Starts (or refreshes) the recovery phase for a retained event.
   void retain_for_recovery(std::shared_ptr<const Event> event);

@@ -1,5 +1,9 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/contract.hpp"
 #include "common/hash.hpp"
 
@@ -9,6 +13,13 @@ namespace {
 /// Pids below this use the dense per-sender table; a sentinel-like sender
 /// falls back to the sparse map instead of forcing a huge resize.
 constexpr ProcessId kDenseSenderLimit = ProcessId{1} << 26;
+
+// Injector stream labels (see the header comment): each per-message
+// injector draw runs on Rng(fnv1a(msg_seed, label)), derived only when the
+// injector is on, so calm runs consume exactly the legacy draws.
+constexpr std::uint64_t kLatencyDrawLabel = 0x1a7e9c1d;
+constexpr std::uint64_t kDuplicateDrawLabel = 0xd0b1e77a;
+constexpr std::uint64_t kReorderDrawLabel = 0x5e0cde55;
 }  // namespace
 
 Network::Network(Scheduler& sched, NetworkConfig config, Rng rng)
@@ -81,6 +92,18 @@ void Network::set_loss(double eps) {
   config_.loss_probability = eps;
 }
 
+void Network::set_duplication(double prob) {
+  PMC_EXPECTS(prob >= 0.0 && prob <= 1.0);
+  duplicate_probability_ = prob;
+}
+
+void Network::set_reorder(double prob, SimTime window) {
+  PMC_EXPECTS(prob >= 0.0 && prob <= 1.0);
+  PMC_EXPECTS(window >= 0);
+  reorder_probability_ = prob;
+  reorder_window_ = window;
+}
+
 Network::FilterToken Network::add_link_filter(LinkFilter filter) {
   PMC_EXPECTS(filter != nullptr);
   const FilterToken token = next_filter_token_++;
@@ -115,22 +138,23 @@ std::uint64_t Network::next_draw_seed(ProcessId from) {
                    sparse_send_seq_[from]++);
 }
 
-void Network::deliver_after_draw(ProcessId from, ProcessId to,
-                                 MessagePtr msg) {
-  const double eps =
-      loss_model_ ? loss_model_(from, to) : config_.loss_probability;
-  PMC_EXPECTS(eps >= 0.0 && eps <= 1.0);
-  Rng draw(next_draw_seed(from));
-  if (eps > 0.0 && draw.bernoulli(eps)) {
-    ++counters_.lost;
-    return;
+SimTime Network::draw_latency(ProcessId from, ProcessId to,
+                              std::uint64_t msg_seed, Rng& legacy) {
+  if (latency_model_) {
+    Rng model_rng(fnv1a_u64(msg_seed, kLatencyDrawLabel));
+    const SimTime latency = latency_model_(from, to, model_rng);
+    PMC_EXPECTS(latency >= 0);
+    return latency;
   }
   const SimTime span = config_.latency_max - config_.latency_min;
-  const SimTime latency =
-      config_.latency_min +
-      (span > 0 ? static_cast<SimTime>(
-                      draw.next_below(static_cast<std::uint64_t>(span) + 1))
-                : 0);
+  return config_.latency_min +
+         (span > 0 ? static_cast<SimTime>(legacy.next_below(
+                         static_cast<std::uint64_t>(span) + 1))
+                   : 0);
+}
+
+void Network::schedule_delivery(ProcessId from, ProcessId to, SimTime latency,
+                                MessagePtr msg) {
   // The capture list fits UniqueFunction's inline storage: delivery costs
   // no allocation beyond the shared payload's refcount bump.
   sched_.schedule_after(latency, [this, from, to, msg = std::move(msg)] {
@@ -143,6 +167,53 @@ void Network::deliver_after_draw(ProcessId from, ProcessId to,
       ++counters_.dead_target;
     }
   });
+}
+
+void Network::deliver_after_draw(ProcessId from, ProcessId to,
+                                 MessagePtr msg) {
+  const double eps =
+      loss_model_ ? loss_model_(from, to) : config_.loss_probability;
+  PMC_EXPECTS(eps >= 0.0 && eps <= 1.0);
+  const std::uint64_t msg_seed = next_draw_seed(from);
+  Rng draw(msg_seed);
+  if (eps > 0.0 && draw.bernoulli(eps)) {
+    ++counters_.lost;
+    return;
+  }
+  SimTime latency = draw_latency(from, to, msg_seed, draw);
+  // Injector draws run on their own (msg_seed, label) streams and only
+  // when the injector is on — so enabling one never shifts the loss or
+  // latency draws, and calm runs replay builds that predate the injectors.
+  if (reorder_probability_ > 0.0) {
+    Rng reorder(fnv1a_u64(msg_seed, kReorderDrawLabel));
+    if (reorder.bernoulli(reorder_probability_) && reorder_window_ > 0) {
+      latency += static_cast<SimTime>(reorder.next_below(
+          static_cast<std::uint64_t>(reorder_window_) + 1));
+      ++counters_.reordered;
+    }
+  }
+  if (duplicate_probability_ > 0.0) {
+    Rng dup(fnv1a_u64(msg_seed, kDuplicateDrawLabel));
+    if (dup.bernoulli(duplicate_probability_)) {
+      // The clone draws its own latency from the duplicate stream (model
+      // or uniform), so the copies race each other — the receiver's dedup
+      // path is exercised under both orders.
+      SimTime dup_latency;
+      if (latency_model_) {
+        dup_latency = latency_model_(from, to, dup);
+        PMC_EXPECTS(dup_latency >= 0);
+      } else {
+        const SimTime span = config_.latency_max - config_.latency_min;
+        dup_latency = config_.latency_min +
+                      (span > 0 ? static_cast<SimTime>(dup.next_below(
+                                      static_cast<std::uint64_t>(span) + 1))
+                                : 0);
+      }
+      ++counters_.duplicated;
+      schedule_delivery(from, to, dup_latency, msg);
+    }
+  }
+  schedule_delivery(from, to, latency, std::move(msg));
 }
 
 void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
@@ -160,6 +231,52 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
     }
   }
   deliver_after_draw(from, to, std::move(msg));
+}
+
+namespace {
+
+/// One LogNormal draw: median * exp(sigma * z), rounded to integer
+/// sim-time and clamped into [floor, cap]. llround pins the float ->
+/// sim-time edge to a fully specified rounding.
+SimTime lognormal_draw(const LogNormalParams& params, SimTime floor,
+                       SimTime cap, Rng& rng) {
+  const double sample =
+      static_cast<double>(params.median) * std::exp(params.sigma *
+                                                    rng.next_normal());
+  const double capped =
+      std::min(sample, static_cast<double>(std::numeric_limits<SimTime>::max()));
+  return std::clamp(static_cast<SimTime>(std::llround(capped)), floor, cap);
+}
+
+void check_lognormal(const LogNormalParams& params, SimTime floor,
+                     SimTime cap) {
+  PMC_EXPECTS(params.median > 0);
+  PMC_EXPECTS(params.sigma >= 0.0 && params.sigma <= 4.0);
+  PMC_EXPECTS(floor >= 0 && floor <= cap);
+}
+
+}  // namespace
+
+Network::LatencyModel make_lognormal_latency(LogNormalParams params,
+                                             SimTime floor, SimTime cap) {
+  check_lognormal(params, floor, cap);
+  return [params, floor, cap](ProcessId, ProcessId, Rng& rng) {
+    return lognormal_draw(params, floor, cap, rng);
+  };
+}
+
+Network::LatencyModel make_zoned_latency(
+    std::function<std::uint32_t(ProcessId)> zone_of, LogNormalParams local,
+    LogNormalParams wan, SimTime floor, SimTime cap) {
+  PMC_EXPECTS(zone_of != nullptr);
+  check_lognormal(local, floor, cap);
+  check_lognormal(wan, floor, cap);
+  return [zone_of = std::move(zone_of), local, wan, floor,
+          cap](ProcessId from, ProcessId to, Rng& rng) {
+    const LogNormalParams& params =
+        zone_of(from) == zone_of(to) ? local : wan;
+    return lognormal_draw(params, floor, cap, rng);
+  };
 }
 
 void Network::send_multi(ProcessId from, std::span<const ProcessId> to,

@@ -1,8 +1,25 @@
-// Simulated unreliable network (paper Sec. 4.1's model): every message is
-// independently lost with probability ε; delivery latency is uniform in
-// [latency_min, latency_max], which the analysis requires to stay below the
-// gossip period P. Loss can change mid-run (scenario loss bursts) and any
-// number of link filters can be layered to model concurrent partitions.
+// Simulated unreliable network (paper Sec. 4.1's model, plus an
+// adversarial-WAN layer): every message is independently lost with
+// probability ε; delivery latency defaults to uniform in [latency_min,
+// latency_max] (which the analysis requires to stay below the gossip
+// period P) but an installed LatencyModel replaces that draw — e.g. the
+// LogNormal WAN profiles built by make_lognormal_latency /
+// make_zoned_latency. Deterministic duplication and reordering injectors
+// can clone a message or stretch its latency, and any number of link
+// filters can be layered to model concurrent partitions; a filter sees
+// (from, to), so one-directional (asymmetric) and time-varying (flapping)
+// partitions are ordinary filters.
+//
+// Draw streams (docs/DETERMINISM.md §1): every per-message decision hashes
+// off the same labeled seed, (network seed, sender, sender's send count) —
+// below, "msg_seed". The legacy loss + uniform-latency pair consumes
+// Rng(msg_seed) exactly as it always has; each injector derives its own
+// stream from it and only when enabled:
+//   * latency model:  Rng(fnv1a(msg_seed, kLatencyDrawLabel))
+//   * duplication:    Rng(fnv1a(msg_seed, kDuplicateDrawLabel))
+//   * reordering:     Rng(fnv1a(msg_seed, kReorderDrawLabel))
+// So runs with the injectors off are byte-identical to runs on builds that
+// predate them, and toggling one injector never shifts another's draws.
 //
 // The send path is built to stay allocation-free per message: receive
 // handlers are a fixed (context, function-pointer) dispatch table instead
@@ -75,6 +92,12 @@ struct NetworkCounters {
   std::uint64_t lost = 0;       ///< dropped by ε
   std::uint64_t filtered = 0;   ///< dropped by a link filter (partition)
   std::uint64_t dead_target = 0;  ///< target crashed or unregistered
+  /// Injector activity (zero whenever the injectors are off, so digests of
+  /// calm runs are unchanged). A duplicated copy that arrives also counts
+  /// as delivered; a reordered message counts once here and once on
+  /// whichever of delivered/dead_target it lands on.
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
 
   friend bool operator==(const NetworkCounters&, const NetworkCounters&) =
       default;
@@ -145,8 +168,38 @@ class Network {
   using LossModel = std::function<double(ProcessId from, ProcessId to)>;
   void set_loss_model(LossModel model) { loss_model_ = std::move(model); }
 
+  /// When set, replaces the uniform [latency_min, latency_max] draw: the
+  /// model returns the delivery latency for (from, to), drawing whatever it
+  /// needs from `rng` — a per-message stream labeled
+  /// (msg_seed, kLatencyDrawLabel), so installing a model never perturbs
+  /// the loss draw and removing it restores the legacy latencies exactly.
+  /// Must return a non-negative latency. Pass nullptr to restore uniform.
+  using LatencyModel = std::function<SimTime(ProcessId from, ProcessId to,
+                                             Rng& rng)>;
+  void set_latency_model(LatencyModel model) {
+    latency_model_ = std::move(model);
+  }
+  bool has_latency_model() const noexcept {
+    return latency_model_ != nullptr;
+  }
+
+  /// Duplication injector: each message that passes loss is cloned with
+  /// probability `prob`; the clone draws its own latency (from the
+  /// duplicate's labeled stream), so copies may arrive in either order.
+  /// 0 disables (default) and leaves every draw stream untouched.
+  void set_duplication(double prob);
+  double duplication() const noexcept { return duplicate_probability_; }
+
+  /// Reordering injector: with probability `prob` a message's latency is
+  /// stretched by an extra uniform delay in [0, window], letting later
+  /// sends overtake it. 0 disables (default); draws come from the
+  /// reorder-labeled stream only when enabled.
+  void set_reorder(double prob, SimTime window);
+
   /// When set, messages with filter(from, to) == false are dropped
-  /// (simulates partitions). Pass nullptr to clear.
+  /// (simulates partitions). The filter sees the direction, so asymmetric
+  /// (one-way) partitions are expressed directly; a filter may also read a
+  /// scheduler clock to flap. Pass nullptr to clear.
   void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
 
   /// Layered link filters for concurrent partitions: a message passes only
@@ -192,8 +245,15 @@ class Network {
   /// The labeled per-message draw seed for `from`'s next send (advances
   /// the sender's sequence).
   std::uint64_t next_draw_seed(ProcessId from);
-  /// Applies the loss/latency draw and schedules delivery.
+  /// Applies the loss/latency draws (and the injectors) and schedules
+  /// delivery.
   void deliver_after_draw(ProcessId from, ProcessId to, MessagePtr msg);
+  /// One latency draw: the installed model on its labeled sub-stream, else
+  /// the legacy uniform draw from `legacy` (the Rng(msg_seed) stream).
+  SimTime draw_latency(ProcessId from, ProcessId to, std::uint64_t msg_seed,
+                       Rng& legacy);
+  void schedule_delivery(ProcessId from, ProcessId to, SimTime latency,
+                         MessagePtr msg);
   void ensure_sender_states(std::size_t count);
 
   Scheduler& sched_;
@@ -218,7 +278,32 @@ class Network {
   FilterToken next_filter_token_ = 1;
   Transcoder transcoder_;
   LossModel loss_model_;
+  LatencyModel latency_model_;
+  double duplicate_probability_ = 0.0;
+  double reorder_probability_ = 0.0;
+  SimTime reorder_window_ = 0;
   NetworkCounters counters_;
 };
+
+/// A LogNormal latency distribution: exp(ln(median) + sigma * N(0,1)),
+/// clamped to [floor, cap]. `median` is the 50th percentile (the LogNormal
+/// is specified by its median, not its mean, so the knob reads directly
+/// off a WAN RTT chart); sigma is the log-space spread — 0.5 gives a p99
+/// of ~3.2x the median, the heavy tail WAN paths actually show.
+struct LogNormalParams {
+  SimTime median = sim_ms(1);
+  double sigma = 0.5;
+};
+
+/// LatencyModel drawing every link from one LogNormal profile.
+Network::LatencyModel make_lognormal_latency(LogNormalParams params,
+                                             SimTime floor, SimTime cap);
+
+/// Per-zone WAN model: links within a zone (zone_of(from) == zone_of(to))
+/// draw from `local`, links crossing zones from `wan`. `zone_of` must be a
+/// pure function of the pid (e.g. an address-prefix bucket).
+Network::LatencyModel make_zoned_latency(
+    std::function<std::uint32_t(ProcessId)> zone_of, LogNormalParams local,
+    LogNormalParams wan, SimTime floor, SimTime cap);
 
 }  // namespace pmc

@@ -89,6 +89,29 @@ TEST(ReproGolden, Shards16AnyThreadCount) {
   }
 }
 
+TEST(ReproGolden, WanFlapScenarioAnyThreadCount) {
+  // Adversarial pin: a WAN latency profile plus a flapping partition on
+  // shard 0. The injector draws ride labeled sub-streams of the
+  // per-message seed, so the fingerprint must not move with the thread
+  // count — and any change to how those streams are derived moves it.
+  for (const auto threads : kThreadCounts) {
+    ShardedConfig config = sharded_config(4);
+    config.threads = threads;
+    ShardedSim sim(config);
+    sim.play(0, ScenarioScript::parse(
+                    "at 100ms latency lognormal 2ms 0.8\n"
+                    "at 200ms flap 0 period 200ms duty 0.3 until 1500ms\n"
+                    "at 2s publish 6 every 50ms\n"));
+    sim.run_until(sim_ms(3500));
+    const ShardedSummary s = sim.summary();
+    EXPECT_EQ(s.fingerprint, 0x0f34ef7a70b65007ULL)
+        << "threads=" << threads << "\n" << s.to_string();
+    EXPECT_EQ(s.aggregate.fingerprint, 0xba8c26674d1c9b2cULL);
+    ASSERT_EQ(s.shards.size(), 4u);
+    EXPECT_EQ(s.shards[0].fingerprint, 0x4d0f251324264df4ULL);
+  }
+}
+
 TEST(ReproGolden, Shards4Cross2AnyThreadCount) {
   for (const auto threads : kThreadCounts) {
     ShardedConfig config = sharded_config(4);

@@ -1,0 +1,194 @@
+// Scenario-script fuzz: random scripts over every ScenarioOp alternative
+// must either validate or be rejected with the contract's std::logic_error
+// (never crash, never throw anything else), and every script that
+// validates must round-trip through the text format byte-identically:
+// parse(to_string()) re-prints to the same bytes. Rng use is fine here —
+// tests/ is outside detlint's draw-discipline scope, and the fuzz seeds
+// are fixed so failures replay.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "harness/scenario.hpp"
+
+namespace pmc {
+namespace {
+
+std::vector<AddrComponent> random_components(Rng& rng, std::size_t min_len) {
+  std::vector<AddrComponent> out;
+  const std::size_t len = min_len + rng.next_below(3);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<AddrComponent>(rng.next_below(6)));
+  return out;
+}
+
+/// A time strictly after `at` (valid for heal_at / until deadlines).
+SimTime after(Rng& rng, SimTime at) {
+  return at + 1 + static_cast<SimTime>(rng.next_below(sim_ms(800)));
+}
+
+/// One random action at time `at`. With `wild`, parameters may stray
+/// outside the contract (empty sides, duty > 1, sigma > 4, overlapping
+/// duplicate bursts...) so the validate-or-reject path gets exercised;
+/// without it, every parameter respects the documented contract.
+/// `dup_busy_until` threads the DuplicateBurst non-overlap rule through
+/// sane generation. Exercises all 14 ScenarioOp alternatives.
+ScenarioOp random_op(Rng& rng, SimTime at, bool wild,
+                     SimTime& dup_busy_until, std::size_t& crash_credit) {
+  static_assert(std::variant_size_v<ScenarioOp> == 14,
+                "new ScenarioOp alternatives need a generator arm");
+  const auto count = [&](std::size_t lo) {
+    return wild ? rng.next_below(4) : lo + rng.next_below(3);
+  };
+  switch (rng.next_below(14)) {
+    case 0:
+      crash_credit += 2;
+      return CrashNodes{2};
+    case 1: {
+      if (wild) return RecoverNodes{1 + rng.next_below(4)};
+      if (crash_credit == 0) return ScenarioOp{CrashNodes{1}};
+      const std::size_t n = 1 + rng.next_below(crash_credit);
+      crash_credit -= n;
+      return RecoverNodes{n};
+    }
+    case 2:
+      return Join{count(1)};
+    case 3:
+      return Leave{count(1)};
+    case 4: {
+      Partition p;
+      p.side = random_components(rng, wild ? 0 : 1);
+      p.heal_at = wild ? static_cast<SimTime>(rng.next_below(sim_ms(2000)))
+                       : after(rng, at);
+      return p;
+    }
+    case 5: {
+      LossBurst b;
+      b.eps = (wild ? 2.0 : 1.0) * rng.next_double();
+      b.duration = 1 + static_cast<SimTime>(rng.next_below(sim_ms(500)));
+      return b;
+    }
+    case 6:
+      return PublishBurst{count(1),
+                          static_cast<SimTime>(rng.next_below(sim_ms(50)))};
+    case 7: {
+      LatencyProfile p;
+      if (rng.next_below(4) == 0) return p;  // `latency uniform`
+      p.median = 1 + static_cast<SimTime>(rng.next_below(sim_ms(20)));
+      p.sigma = (wild ? 6.0 : 3.9) * rng.next_double() + 0.01;
+      return p;
+    }
+    case 8: {
+      AsymPartition p;
+      p.from_side = random_components(rng, wild ? 0 : 1);
+      p.to_side = random_components(rng, wild ? 0 : 1);
+      p.heal_at = wild ? static_cast<SimTime>(rng.next_below(sim_ms(2000)))
+                       : after(rng, at);
+      return p;
+    }
+    case 9: {
+      Flap f;
+      f.side = random_components(rng, wild ? 0 : 1);
+      f.period = 1 + static_cast<SimTime>(rng.next_below(sim_ms(300)));
+      f.duty = wild ? 1.5 * rng.next_double()
+                    : 0.01 + 0.98 * rng.next_double();
+      f.until = wild ? static_cast<SimTime>(rng.next_below(sim_ms(2000)))
+                     : after(rng, at);
+      return f;
+    }
+    case 10: {
+      RackFailure r;
+      r.prefix = random_components(rng, wild ? 0 : 1);
+      return r;
+    }
+    case 11:
+      return JoinStorm{count(1),
+                       static_cast<SimTime>(rng.next_below(sim_ms(400)))};
+    case 12: {
+      DuplicateBurst b;
+      b.prob = wild ? 1.5 * rng.next_double() : rng.next_double();
+      b.duration = 1 + static_cast<SimTime>(rng.next_below(sim_ms(400)));
+      if (!wild && at < dup_busy_until) return PublishBurst{1, 0};
+      dup_busy_until = at + b.duration;
+      return b;
+    }
+    default: {
+      static const char* const kPaths[] = {"trace.scn", "sub/outage.scn",
+                                           "a", "has space.scn", ""};
+      const std::size_t pick =
+          rng.next_below(wild ? 5 : 3);  // last two are contract breaches
+      return TraceReplay{kPaths[pick]};
+    }
+  }
+}
+
+ScenarioScript random_script(Rng& rng, bool wild) {
+  ScenarioScript s;
+  SimTime at = 0;
+  SimTime dup_busy_until = 0;
+  std::size_t crash_credit = 0;
+  const std::size_t n = 1 + rng.next_below(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    at += static_cast<SimTime>(rng.next_below(sim_ms(600)));
+    s.add(at, random_op(rng, at, wild, dup_busy_until, crash_credit));
+  }
+  return s;
+}
+
+/// validate() either passes or throws the contract's std::logic_error;
+/// any other escape (segfault, bad_variant_access, bad_alloc...) fails.
+bool validates_cleanly(const ScenarioScript& s) {
+  try {
+    s.validate();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+TEST(ScenarioFuzz, WildScriptsValidateOrRejectCleanly) {
+  Rng rng(0xf022ed01);
+  std::size_t accepted = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const ScenarioScript s = random_script(rng, /*wild=*/true);
+    (validates_cleanly(s) ? accepted : rejected) += 1;
+  }
+  // The generator straddles the contract boundary: both outcomes must be
+  // well represented or the fuzz is only testing one path.
+  EXPECT_GT(accepted, 25u);
+  EXPECT_GT(rejected, 25u);
+}
+
+TEST(ScenarioFuzz, ValidScriptsRoundTripByteIdentically) {
+  Rng rng(0x5eed5afe);
+  std::size_t round_tripped = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const ScenarioScript s = random_script(rng, /*wild=*/false);
+    if (!validates_cleanly(s)) continue;
+    const std::string text = s.to_string();
+    ScenarioScript reparsed;
+    ASSERT_NO_THROW(reparsed = ScenarioScript::parse(text))
+        << "valid script failed to re-parse:\n" << text;
+    EXPECT_EQ(reparsed.to_string(), text);
+    ++round_tripped;
+  }
+  EXPECT_GT(round_tripped, 100u);
+}
+
+TEST(ScenarioFuzz, WildSurvivorsAlsoRoundTrip) {
+  // Scripts that pass validation despite the wild generator must still
+  // round-trip — the text format has no "barely legal" corner.
+  Rng rng(0xacc1de27);
+  for (int iter = 0; iter < 400; ++iter) {
+    const ScenarioScript s = random_script(rng, /*wild=*/true);
+    if (!validates_cleanly(s)) continue;
+    const std::string text = s.to_string();
+    EXPECT_EQ(ScenarioScript::parse(text).to_string(), text) << text;
+  }
+}
+
+}  // namespace
+}  // namespace pmc

@@ -4,8 +4,11 @@
 // heal, loss bursts restore, publishes deliver — all reproducibly.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "harness/scenario.hpp"
 
@@ -496,6 +499,213 @@ TEST(ChurnSim, JoinersSurviveTheirContactLeaving) {
   sim.run_for(sim_ms(4000));
   EXPECT_EQ(sim.joined_count(), sim.live_count());
   EXPECT_EQ(sim.live_count(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial verbs: parsing, validation, round-trip, engine semantics
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioScript, ParsesAdversarialVerbs) {
+  const auto s = ScenarioScript::parse(
+      "at 100ms latency lognormal 2ms 0.8\n"
+      "at 200ms asym 0,1 to 2 heal 1800ms\n"
+      "at 300ms flap 0 period 200ms duty 0.4 until 2s\n"
+      "at 400ms rack 1,0\n"
+      "at 500ms joinstorm 16 over 250ms\n"
+      "at 600ms joinstorm 4\n"
+      "at 700ms duplicate 0.4 for 300ms\n"
+      "at 800ms replay traces/outage.scn\n"
+      "at 900ms latency uniform\n");
+  ASSERT_EQ(s.size(), 9u);
+  const auto& lat = std::get<LatencyProfile>(s.actions()[0].op);
+  EXPECT_EQ(lat.median, sim_ms(2));
+  EXPECT_DOUBLE_EQ(lat.sigma, 0.8);
+  const auto& asym = std::get<AsymPartition>(s.actions()[1].op);
+  EXPECT_EQ(asym.from_side, (std::vector<AddrComponent>{0, 1}));
+  EXPECT_EQ(asym.to_side, (std::vector<AddrComponent>{2}));
+  EXPECT_EQ(asym.heal_at, sim_ms(1800));
+  const auto& flap = std::get<Flap>(s.actions()[2].op);
+  EXPECT_EQ(flap.side, (std::vector<AddrComponent>{0}));
+  EXPECT_EQ(flap.period, sim_ms(200));
+  EXPECT_DOUBLE_EQ(flap.duty, 0.4);
+  EXPECT_EQ(flap.until, sim_sec(2));
+  const auto& rack = std::get<RackFailure>(s.actions()[3].op);
+  EXPECT_EQ(rack.prefix, (std::vector<AddrComponent>{1, 0}));
+  const auto& storm = std::get<JoinStorm>(s.actions()[4].op);
+  EXPECT_EQ(storm.count, 16u);
+  EXPECT_EQ(storm.over, sim_ms(250));
+  EXPECT_EQ(std::get<JoinStorm>(s.actions()[5].op).over, 0);
+  const auto& dup = std::get<DuplicateBurst>(s.actions()[6].op);
+  EXPECT_DOUBLE_EQ(dup.prob, 0.4);
+  EXPECT_EQ(dup.duration, sim_ms(300));
+  EXPECT_EQ(std::get<TraceReplay>(s.actions()[7].op).path,
+            "traces/outage.scn");
+  const auto& uniform = std::get<LatencyProfile>(s.actions()[8].op);
+  EXPECT_EQ(uniform.median, 0);
+}
+
+TEST(ScenarioScript, AdversarialVerbsRoundTrip) {
+  const char* text =
+      "at 100ms latency lognormal 2ms 0.8\n"
+      "at 200ms asym 0,1 to 2 heal 1800ms\n"
+      "at 300ms flap 0 period 200ms duty 0.4 until 2s\n"
+      "at 400ms rack 1,0\n"
+      "at 500ms joinstorm 16 over 250ms\n"
+      "at 700ms duplicate 0.4 for 300ms\n"
+      "at 800ms replay traces/outage.scn\n"
+      "at 900ms latency uniform\n";
+  const auto s = ScenarioScript::parse(text);
+  EXPECT_EQ(ScenarioScript::parse(s.to_string()).to_string(), s.to_string());
+}
+
+TEST(ScenarioScript, RejectsMalformedAdversarialVerbs) {
+  // Wrong arity / missing keywords.
+  EXPECT_THROW(ScenarioScript::parse("at 1s asym 0 heal 2s\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s asym 0 to 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioScript::parse("at 1s flap 0 period 200ms duty 0.4\n"),
+      std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s duplicate 0.4\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s latency lognormal 2ms\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s rack\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s replay\n"),
+               std::invalid_argument);
+  // Malformed numbers must fail loudly, like the loss verb.
+  EXPECT_THROW(
+      ScenarioScript::parse("at 1s flap 0 period 200ms duty O.4 until 2s\n"),
+      std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse("at 1s duplicate 0.4x for 300ms\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioScript, RejectsAdversarialContractBreaches) {
+  {
+    ScenarioScript s;  // heal before the cut
+    AsymPartition p;
+    p.from_side = {0};
+    p.to_side = {1};
+    p.heal_at = sim_ms(100);
+    s.add(sim_ms(500), p);
+    EXPECT_THROW(s.validate(), std::logic_error);
+  }
+  {
+    ScenarioScript s;  // duty outside (0, 1)
+    Flap f;
+    f.side = {0};
+    f.duty = 1.0;
+    f.until = sim_ms(900);
+    s.add(sim_ms(500), f);
+    EXPECT_THROW(s.validate(), std::logic_error);
+  }
+  {
+    ScenarioScript s;  // sigma above the lognormal sanity bound
+    s.add(sim_ms(100), LatencyProfile{sim_ms(2), 5.0});
+    EXPECT_THROW(s.validate(), std::logic_error);
+  }
+  {
+    ScenarioScript s;  // overlapping duplicate bursts
+    s.add(sim_ms(100), DuplicateBurst{0.5, sim_ms(300)});
+    s.add(sim_ms(200), DuplicateBurst{0.5, sim_ms(300)});
+    EXPECT_THROW(s.validate(), std::logic_error);
+  }
+  {
+    ScenarioScript s;  // replay path with whitespace can't round-trip
+    s.add(sim_ms(100), TraceReplay{"bad path.scn"});
+    EXPECT_THROW(s.validate(), std::logic_error);
+  }
+}
+
+TEST(ChurnSim, RackFailureCrashesExactlyTheZone) {
+  auto config = small_config();
+  config.initial_fill = 1.0;
+  ChurnSim sim(config);
+  const std::size_t before = sim.live_count();
+  ScenarioScript s;
+  RackFailure r;
+  r.prefix = {0};
+  s.add(sim_ms(200), r);
+  sim.play(s);
+  sim.run_for(sim_ms(400));
+  // a=4, d=2, full fill: the rack under top-level component 0 is 4 wide.
+  EXPECT_EQ(sim.counters().rack_failures, 1u);
+  EXPECT_EQ(sim.counters().crashes, 4u);
+  EXPECT_EQ(sim.live_count(), before - 4);
+}
+
+TEST(ChurnSim, JoinStormCompletes) {
+  auto config = small_config();
+  config.initial_fill = 0.5;
+  ChurnSim sim(config);
+  ScenarioScript s;
+  s.add(sim_ms(200), JoinStorm{6, sim_ms(250)});
+  sim.play(s);
+  sim.run_for(sim_ms(5000));
+  EXPECT_EQ(sim.counters().join_storms, 1u);
+  EXPECT_GE(sim.counters().joins_requested, 6u);
+  EXPECT_EQ(sim.joined_count(), sim.live_count());
+  EXPECT_EQ(sim.live_count(), 14u);  // 8 founders + 6 stormers
+}
+
+TEST(ChurnSim, DuplicateBurstRaisesAndRestores) {
+  ChurnSim sim(small_config());
+  ScenarioScript s;
+  s.add(sim_ms(200), DuplicateBurst{0.6, sim_ms(600)});
+  s.add(sim_ms(300), PublishBurst{4, sim_ms(30)});
+  sim.play(s);
+  sim.run_for(sim_ms(2500));
+  const auto summary = sim.summary();
+  EXPECT_EQ(summary.counters.dup_bursts, 1u);
+  EXPECT_EQ(summary.counters.dup_restores, 1u);
+  EXPECT_GT(summary.network.duplicated, 0u);
+  EXPECT_GT(summary.dup_suppressed, 0u);
+  // Exactly-once held anyway.
+  EXPECT_LE(summary.counters.delivered,
+            summary.counters.expected_deliveries);
+}
+
+TEST(ChurnSim, TraceReplayExpandsWithOffset) {
+  const std::string path =
+      ::testing::TempDir() + "pmc_trace_replay_test.scn";
+  {
+    std::ofstream out(path);
+    out << "at 100ms join 1\n"
+        << "at 300ms publish 2 every 10ms\n";
+  }
+  ChurnSim sim(small_config());
+  ScenarioScript s;
+  s.add(sim_ms(500), TraceReplay{path});
+  sim.play(s);
+  sim.run_for(sim_ms(3000));
+  // The child timeline runs shifted by the replay's time: join at 600ms,
+  // publishes at 800/810ms.
+  EXPECT_EQ(sim.counters().joins_requested, 1u);
+  EXPECT_EQ(sim.counters().published, 2u);
+  EXPECT_EQ(sim.joined_count(), sim.live_count());
+  std::remove(path.c_str());
+}
+
+TEST(ChurnSim, TraceReplayRejectsMissingAndNestedFiles) {
+  {
+    ChurnSim sim(small_config());
+    ScenarioScript s;
+    s.add(sim_ms(500), TraceReplay{"/nonexistent/trace.scn"});
+    EXPECT_THROW(sim.play(s), std::logic_error);
+  }
+  {
+    const std::string nested =
+        ::testing::TempDir() + "pmc_trace_nested_test.scn";
+    std::ofstream(nested) << "at 100ms replay " << nested << "\n";
+    ChurnSim sim(small_config());
+    ScenarioScript s;
+    s.add(sim_ms(500), TraceReplay{nested});
+    EXPECT_THROW(sim.play(s), std::logic_error);
+    std::remove(nested.c_str());
+  }
 }
 
 TEST(ChurnSim, WireTranscodeScenarioStillWorks) {

@@ -198,5 +198,73 @@ TEST(SyncNode, MessagesCarryNoUpdatesWhenConverged) {
   EXPECT_LE(per_period, static_cast<double>(c.nodes.size()) * 3 * 2);
 }
 
+// ---------------------------------------------------------------------------
+// Join retry backoff (SyncConfig::join_backoff)
+// ---------------------------------------------------------------------------
+
+/// Times (sim µs) at which a lone joiner (re)sends its JoinRequest when
+/// the contact never answers (pid 0 is registered nowhere, so every send
+/// lands on dead_target). Sends are observed through the network's sent
+/// counter, sampled on a 5 ms grid — fine enough to see the 50 ms period
+/// ticks exactly.
+std::vector<SimTime> join_send_times(bool backoff, SimTime horizon) {
+  Interns interns;
+  SyncConfig config;
+  config.tree.depth = 2;
+  config.tree.redundancy = 2;
+  config.gossip_period = sim_ms(50);
+  config.max_join_retries = 0;  // unbounded: observe the raw schedule
+  config.join_backoff = backoff;
+  Runtime rt(NetworkConfig{}, /*seed=*/901);
+  SyncNode joiner(rt, /*pid=*/1, config, Address::parse("0.0"),
+                  Subscription::parse("u < 0.5"), /*contact=*/0, interns);
+  std::vector<SimTime> times;
+  std::uint64_t seen = 0;
+  for (SimTime t = 0; t <= horizon; t += sim_ms(5)) {
+    rt.run_until(t);
+    const auto sent = rt.network().counters().sent;
+    if (sent > seen) {
+      times.push_back(t);
+      seen = sent;
+    }
+  }
+  return times;
+}
+
+TEST(SyncNode, LegacyJoinRetryCadenceIsEveryPeriod) {
+  const auto times = join_send_times(false, sim_ms(500));
+  ASSERT_GE(times.size(), 5u);
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_EQ(times[i] - times[i - 1], sim_ms(50)) << i;
+}
+
+TEST(SyncNode, JoinBackoffScheduleIsPinned) {
+  // The backed-off schedule is a deterministic function of (base seed,
+  // pid, period): doubling waits capped at 8 periods, plus jitter from the
+  // joiner's labeled stream, quantized up to the next period tick. Pinned
+  // so a refactor that silently moves the jitter draws (or re-seeds the
+  // stream) shows up here rather than in a flaky soak.
+  const auto times = join_send_times(true, sim_ms(4000));
+  const std::vector<SimTime> pinned = {0,       100000,  250000,  550000,
+                                       1000000, 1550000, 2050000, 2600000,
+                                       3100000, 3600000};
+  EXPECT_EQ(times, pinned);
+
+  // Structure, independent of the jitter values: the k-th wait is at
+  // least period * min(2^k, 8) and at most 1.5x that plus one period of
+  // tick quantization — and the whole schedule replays bit for bit.
+  ASSERT_GE(times.size(), 4u);
+  for (std::size_t k = 1; k < times.size(); ++k) {
+    const SimTime gap = times[k] - times[k - 1];
+    const SimTime base =
+        sim_ms(50) * static_cast<SimTime>(
+                         std::min<std::uint64_t>(std::uint64_t{1} << (k - 1),
+                                                 8));
+    EXPECT_GE(gap, base) << k;
+    EXPECT_LE(gap, base + base / 2 + sim_ms(50)) << k;
+  }
+  EXPECT_EQ(join_send_times(true, sim_ms(4000)), times);
+}
+
 }  // namespace
 }  // namespace pmc

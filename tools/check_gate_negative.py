@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Prove --gate-figures actually bites: seed regressions into a copy of a
+fig bench JSON and require the gate to FAIL on each one.
+
+Usage:
+    check_gate_negative.py FIG_FILE
+
+A gate that silently passes everything is worse than no gate — it reads
+as coverage while enforcing nothing. This script is the gate's own
+acceptance test: it takes a real (passing) fig4/fig6 --json dump, writes
+tampered copies into a temp directory, runs check_bench_json.py
+--gate-figures on each, and exits non-zero unless EVERY tampered copy is
+rejected. Three seeded regressions, one per invariant class:
+
+  * exactly-once broken: delivered = expected + 1 on a scenario row
+    (a node delivered some event twice);
+  * delivery collapse: delivered = expected // 2 (far below every
+    scenario's floor — graceful degradation lost);
+  * injector dead: net_dup = 0 and dup_suppressed = 0 on the dup row
+    (the duplicate storm silently stopped firing).
+
+CI runs this right after the positive gate on the committed snapshots,
+so both directions of the gate are exercised on every push.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECKER = os.path.join(HERE, "check_bench_json.py")
+
+
+def fail(msg):
+    print(f"check_gate_negative: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def scenarios_table(doc, path):
+    for t in doc["tables"]:
+        if t.get("title") == "scenarios":
+            return t
+    fail(f"{path}: no 'scenarios' table to tamper with")
+
+
+def col(table, name, path):
+    try:
+        return table["headers"].index(name)
+    except ValueError:
+        fail(f"{path}: 'scenarios' table has no {name!r} column")
+
+
+def run_gate(path):
+    """Returns the checker's exit code on --gate-figures PATH."""
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--gate-figures", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail("usage: check_gate_negative.py FIG_FILE")
+    src = argv[1]
+    try:
+        with open(src, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{src}: {e}")
+
+    # The pristine file must pass — otherwise the negative results below
+    # prove nothing (the gate might be failing for an unrelated reason).
+    code, out = run_gate(src)
+    if code != 0:
+        fail(f"{src} does not pass the gate untampered:\n{out}")
+
+    table = scenarios_table(doc, src)
+    exp_col = col(table, "expected", src)
+    del_col = col(table, "delivered", src)
+    dup_col = col(table, "dup_suppressed", src)
+    netdup_col = col(table, "net_dup", src)
+    name_col = col(table, "scenario", src)
+
+    def tamper_exactly_once(d):
+        row = scenarios_table(d, src)["rows"][0]
+        row[del_col] = str(int(float(row[exp_col])) + 1)
+
+    def tamper_collapse(d):
+        row = scenarios_table(d, src)["rows"][0]
+        row[del_col] = str(int(float(row[exp_col])) // 2)
+
+    def tamper_dead_injector(d):
+        for row in scenarios_table(d, src)["rows"]:
+            if str(row[name_col]) == "dup":
+                row[netdup_col] = "0"
+                row[dup_col] = "0"
+                return
+        fail(f"{src}: no 'dup' scenario row to tamper with")
+
+    tampers = [
+        ("exactly-once broken (delivered > expected)", tamper_exactly_once),
+        ("delivery collapse (ratio ~0.5)", tamper_collapse),
+        ("dead duplicate injector (net_dup = 0)", tamper_dead_injector),
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, tamper in tampers:
+            tampered = copy.deepcopy(doc)
+            tamper(tampered)
+            path = os.path.join(tmp, "tampered.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(tampered, f)
+            code, out = run_gate(path)
+            if code == 0:
+                fail(f"gate PASSED a seeded regression [{label}] — "
+                     f"--gate-figures is not enforcing anything")
+            print(f"check_gate_negative: OK: gate rejected [{label}]")
+    print(f"check_gate_negative: OK: {src} — all seeded regressions caught")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
